@@ -1,0 +1,60 @@
+//! Criterion bench: O(1) ragged access (CoRa's Algorithm 1) vs the
+//! CSF-style tree walk of past work — the micro-cost behind §5.3.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cora_ragged::access::offset;
+use cora_ragged::aux::AuxOffsets;
+use cora_ragged::csf::CsfStorage;
+use cora_ragged::{Dim, RaggedLayout};
+
+fn attention_layout(lens: &[usize], heads: usize) -> RaggedLayout {
+    let batch = Dim::new("batch");
+    let l1 = Dim::new("l1");
+    let h = Dim::new("h");
+    let l2 = Dim::new("l2");
+    RaggedLayout::builder()
+        .cdim(batch.clone(), lens.len())
+        .vdim(l1, &batch, lens.to_vec())
+        .cdim(h, heads)
+        .vdim(l2, &batch, lens.to_vec())
+        .build()
+        .unwrap()
+}
+
+fn bench_access(c: &mut Criterion) {
+    let lens: Vec<usize> = (0..64).map(|i| 32 + (i * 7) % 96).collect();
+    let layout = attention_layout(&lens, 8);
+    let aux = AuxOffsets::build(&layout);
+    let csf = CsfStorage::build(&layout);
+    let indices: Vec<[usize; 4]> = (0..1024)
+        .map(|i| {
+            let b = i % lens.len();
+            [b, i % lens[b], i % 8, (i * 3) % lens[b]]
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("ragged_access");
+    g.bench_function("cora_offset", |bench| {
+        bench.iter(|| {
+            let mut acc = 0usize;
+            for ix in &indices {
+                acc = acc.wrapping_add(offset(&layout, &aux, black_box(ix)));
+            }
+            acc
+        })
+    });
+    g.bench_function("csf_offset", |bench| {
+        bench.iter(|| {
+            let mut acc = 0usize;
+            for ix in &indices {
+                acc = acc.wrapping_add(csf.offset(&layout, black_box(ix)));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_access);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: one encoder layer, ragged (CoRa-style) vs fully
+//! padded, real CPU execution on an MNLI-like batch (the wall-clock
+//! counterpart of Table 4's headline comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cora_datasets::Dataset;
+use cora_exec::CpuPool;
+use cora_transformer::config::EncoderConfig;
+use cora_transformer::encoder::{encoder_layer_padded, encoder_layer_ragged, RaggedBatch};
+use cora_transformer::weights::EncoderWeights;
+
+fn bench_encoder(c: &mut Criterion) {
+    let cfg = EncoderConfig::scaled(8);
+    let w = EncoderWeights::random(&cfg, 1);
+    let pool = CpuPool::host();
+    let lens = Dataset::Mnli.sample_batch_sorted(16, 5);
+    let x = RaggedBatch::random(&lens, cfg.hidden, 2);
+    let max_len = *lens.first().unwrap();
+    let padded_in = x.to_padded(max_len);
+
+    let mut g = c.benchmark_group("encoder_layer_mnli16");
+    g.sample_size(20);
+    g.bench_function("ragged", |b| {
+        b.iter(|| encoder_layer_ragged(&pool, &cfg, &w, &x))
+    });
+    g.bench_function("padded", |b| {
+        b.iter(|| encoder_layer_padded(&pool, &cfg, &w, &lens, max_len, &padded_in))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encoder);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench: prelude construction — CoRa's offset arrays and
+//! fusion maps vs the CSF-style scheme (§7.4's time column).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cora_datasets::Dataset;
+use cora_ragged::aux::{AuxOffsets, FusedLoopMaps};
+use cora_ragged::csf::CsfStorage;
+use cora_transformer::config::EncoderConfig;
+use cora_transformer::prelude_costs::attention_layout;
+
+fn bench_prelude(c: &mut Criterion) {
+    let cfg = EncoderConfig::base();
+    let lens = Dataset::Race.sample_batch_sorted(32, 1);
+    let layout = attention_layout(&cfg, &lens);
+
+    let mut g = c.benchmark_group("prelude_race32");
+    g.bench_function("cora_storage", |b| b.iter(|| AuxOffsets::build(&layout)));
+    g.bench_function("cora_loop_fusion", |b| b.iter(|| FusedLoopMaps::build(&lens)));
+    g.bench_function("sparse_csf", |b| b.iter(|| CsfStorage::build(&layout)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_prelude);
+criterion_main!(benches);

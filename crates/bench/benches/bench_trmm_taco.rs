@@ -1,0 +1,96 @@
+//! Criterion bench: triangular ops — CoRa-style direct ragged iteration
+//! vs Taco-style CSR/BCSR (Table 6's micro-level comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cora_sparse::ops::{tradd_csr, trmm_bcsr, trmm_csr, trmul_csr};
+use cora_sparse::{BcsrMatrix, CsrMatrix};
+
+const N: usize = 256;
+
+fn tri(seed: usize) -> Vec<f32> {
+    let mut d = vec![0.0f32; N * N];
+    for i in 0..N {
+        for j in 0..=i {
+            d[i * N + j] = (((i * 7 + j * 13 + seed) % 17) as f32) - 8.0;
+        }
+    }
+    d
+}
+
+fn cora_trmm(l: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..N {
+        let c_row = &mut c[i * N..(i + 1) * N];
+        for p in 0..=i {
+            let v = l[i * N + p];
+            let b_row = &b[p * N..(p + 1) * N];
+            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                *cv += v * *bv;
+            }
+        }
+    }
+}
+
+fn bench_trmm(c: &mut Criterion) {
+    let ad = tri(1);
+    let bd = tri(2);
+    let dense_b: Vec<f32> = (0..N * N).map(|i| ((i % 9) as f32) - 4.0).collect();
+    let a_csr = CsrMatrix::from_dense(N, N, &ad);
+    let b_csr = CsrMatrix::from_dense(N, N, &bd);
+    let a_bcsr = BcsrMatrix::from_dense(N, N, 32, &ad);
+
+    let mut g = c.benchmark_group("trmm_256");
+    g.bench_function("cora", |bench| {
+        bench.iter(|| {
+            let mut out = vec![0.0f32; N * N];
+            cora_trmm(&ad, &dense_b, &mut out);
+            out
+        })
+    });
+    g.bench_function("taco_csr", |bench| {
+        bench.iter(|| {
+            let mut out = vec![0.0f32; N * N];
+            trmm_csr(&a_csr, &dense_b, &mut out);
+            out
+        })
+    });
+    g.bench_function("taco_bcsr", |bench| {
+        bench.iter(|| {
+            let mut out = vec![0.0f32; N * N];
+            trmm_bcsr(&a_bcsr, &dense_b, &mut out);
+            out
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("tr_elementwise_256");
+    g.bench_function("taco_tradd_union", |bench| {
+        bench.iter(|| {
+            let mut out = vec![0.0f32; N * N];
+            tradd_csr(&a_csr, &b_csr, &mut out);
+            out
+        })
+    });
+    g.bench_function("taco_trmul_intersect", |bench| {
+        bench.iter(|| {
+            let mut out = vec![0.0f32; N * N];
+            trmul_csr(&a_csr, &b_csr, &mut out);
+            out
+        })
+    });
+    g.bench_function("cora_direct", |bench| {
+        bench.iter(|| {
+            let mut out = vec![0.0f32; N * N];
+            for i in 0..N {
+                for j in 0..=i {
+                    out[i * N + j] = ad[i * N + j] + bd[i * N + j];
+                }
+            }
+            out
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_trmm);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: ragged vs fully padded batched gemm on the CPU
+//! (the real-execution counterpart of Fig. 9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cora_bench::matmul::vgemm_shapes;
+use cora_exec::CpuPool;
+use cora_kernels::sgemm;
+
+fn run(shapes: &[(usize, usize, usize)], pool: &CpuPool) {
+    let bufs: Vec<(Vec<f32>, Vec<f32>, std::sync::Mutex<Vec<f32>>)> = shapes
+        .iter()
+        .map(|&(m, k, n)| {
+            (
+                vec![1.0f32; m * k],
+                vec![0.5f32; k * n],
+                std::sync::Mutex::new(vec![0.0f32; m * n]),
+            )
+        })
+        .collect();
+    pool.parallel_for(shapes.len(), |i| {
+        let (m, k, n) = shapes[i];
+        let (a, b, c) = &bufs[i];
+        sgemm(m, k, n, a, b, &mut c.lock().unwrap());
+    });
+}
+
+fn bench_vgemm(c: &mut Criterion) {
+    let pool = CpuPool::host();
+    // Scaled-down shapes (1/8 of the paper's dims) so iterations are fast.
+    let shapes: Vec<(usize, usize, usize)> = vgemm_shapes(8, 7)
+        .into_iter()
+        .map(|(m, k, n)| (m / 8, k / 8, n / 8))
+        .collect();
+    let m = shapes.iter().map(|s| s.0).max().unwrap();
+    let k = shapes.iter().map(|s| s.1).max().unwrap();
+    let n = shapes.iter().map(|s| s.2).max().unwrap();
+    let padded = vec![(m, k, n); shapes.len()];
+
+    let mut g = c.benchmark_group("vgemm_cpu");
+    g.sample_size(20);
+    g.bench_function("ragged", |b| b.iter(|| run(&shapes, &pool)));
+    g.bench_function("fully_padded", |b| b.iter(|| run(&padded, &pool)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_vgemm);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 2: relative wasted computation from full padding in a
+//! transformer encoder layer, per dataset, batch sizes 1–128.
+//!
+//! Prints the `FLOPs(full padding) / FLOPs(no padding)` ratio the paper
+//! plots (computed analytically).
+
+use cora_bench::{f2, print_table};
+use cora_datasets::ALL_DATASETS;
+use cora_transformer::config::EncoderConfig;
+use cora_transformer::flops::wasted_computation_ratio;
+
+fn main() {
+    let cfg = EncoderConfig::base();
+    let batch_sizes = [1usize, 2, 4, 8, 16, 32, 64, 128];
+    println!("Fig. 2 — wasted computation due to padding (encoder layer, analytic FLOPs)");
+    println!("rows: dataset; columns: batch size; value: padded/ideal FLOP ratio\n");
+    let mut rows = Vec::new();
+    for ds in ALL_DATASETS {
+        let mut row = vec![ds.name().to_string()];
+        for &bs in &batch_sizes {
+            let lens = ds.sample_lengths(bs, 42);
+            row.push(f2(wasted_computation_ratio(&cfg, &lens)));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("dataset".to_string())
+        .chain(batch_sizes.iter().map(|b| b.to_string()))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(&headers_ref, &rows);
+    println!("\nPaper shape: ratios grow with batch size; RACE/Wiki512 lowest waste,");
+    println!("short-sequence datasets (MNLI, CoLA) highest (up to ~3x at batch 128).");
+}

@@ -1,0 +1,39 @@
+//! Fig. 10: triangular matrix multiplication — cuBLAS sgemm/trmm vs three
+//! CoRa variants (progressively adding operation splitting and thread
+//! remapping), sizes 512–8192, simulated GPU.
+//!
+//! Values are speedups relative to cuBLAS sgemm (the paper's baseline).
+
+use cora_bench::matmul::{trmm_latency_ms, TrmmImpl};
+use cora_bench::{f2, print_table};
+use cora_exec::cost::GpuModel;
+
+const IMPLS: [TrmmImpl; 5] = [
+    TrmmImpl::CublasSgemm,
+    TrmmImpl::CoraUnsplitUnbalanced,
+    TrmmImpl::CoraSplitUnbalanced,
+    TrmmImpl::CoraSplitBalanced,
+    TrmmImpl::CublasTrmm,
+];
+
+fn main() {
+    let model = GpuModel::default();
+    let sizes = [512usize, 1024, 2048, 4096, 8192];
+    println!("Fig. 10 — trmm speedup over cuBLAS sgemm (simulated GPU)\n");
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let base = trmm_latency_ms(&model, TrmmImpl::CublasSgemm, n);
+        let mut row = vec![n.to_string()];
+        for imp in IMPLS {
+            row.push(f2(base / trmm_latency_ms(&model, imp, n)));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("size")
+        .chain(IMPLS.iter().map(|i| i.name()))
+        .collect();
+    print_table(&headers, &rows);
+    println!("\nPaper shape: trmm implementations beat dense sgemm only for larger");
+    println!("matrices; splitting then balancing each help; CoRa-Split-Balanced");
+    println!("reaches >= 81% of cuBLAS trmm.");
+}

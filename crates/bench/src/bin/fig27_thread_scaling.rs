@@ -1,0 +1,40 @@
+//! Fig. 27: MHA latency vs thread count (MNLI, batch 64 in the paper;
+//! scaled model and `--batch=16` by default here). Real execution.
+
+use cora_bench::{f2, opt_usize, print_table};
+use cora_datasets::Dataset;
+use cora_exec::CpuPool;
+use cora_transformer::config::EncoderConfig;
+use cora_transformer::encoder::RaggedBatch;
+use cora_transformer::mha::{mha_padded, mha_ragged, time_best_ms};
+use cora_transformer::weights::EncoderWeights;
+
+fn main() {
+    let scale = opt_usize("scale", 4);
+    let bs = opt_usize("batch", 16);
+    let cfg = EncoderConfig::scaled(scale);
+    let w = EncoderWeights::random(&cfg, 1);
+    let lens = Dataset::Mnli.sample_batch_sorted(bs, 5);
+    let x = RaggedBatch::random(&lens, cfg.hidden, 6);
+    let max_len = *lens.first().unwrap();
+    let padded_in = x.to_padded(max_len);
+    let host = CpuPool::host().threads();
+
+    println!("Fig. 27 — MHA latency (ms) vs thread count, MNLI @ batch {bs}\n");
+    let mut rows = Vec::new();
+    let mut t = 1usize;
+    while t <= host {
+        let pool = CpuPool::new(t);
+        let tf = time_best_ms(2, || {
+            let _ = mha_padded(&pool, &cfg, &w, &lens, max_len, &padded_in);
+        });
+        let cora = time_best_ms(2, || {
+            let _ = mha_ragged(&pool, &cfg, &w, &x);
+        });
+        rows.push(vec![t.to_string(), f2(tf), f2(cora)]);
+        t *= 2;
+    }
+    print_table(&["threads", "TF(padded)", "CoRa"], &rows);
+    println!("\nPaper shape: both scale with threads; CoRa stays below the padded");
+    println!("implementation at every thread count.");
+}

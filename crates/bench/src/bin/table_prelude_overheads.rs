@@ -1,0 +1,61 @@
+//! §7.4 prelude-overhead table and Tables 7/8: construction time and
+//! memory of the auxiliary structures — CSF-style "sparse storage" vs
+//! CoRa storage vs CoRa loop fusion, plus the host-to-device copy — for
+//! CoLA and RACE at batch sizes 32 and 128, with and without the
+//! prototype's redundant per-operator rebuilds.
+
+use cora_bench::{f3, print_table};
+use cora_datasets::Dataset;
+use cora_exec::cost::GpuModel;
+use cora_transformer::config::EncoderConfig;
+use cora_transformer::prelude_costs::measure_prelude;
+
+fn main() {
+    let cfg = EncoderConfig::base();
+    let model = GpuModel::default();
+    let cases = [
+        (Dataset::Cola, 32usize),
+        (Dataset::Cola, 128),
+        (Dataset::Race, 32),
+        (Dataset::Race, 128),
+    ];
+    // §6/§D.7: the prototype builds each structure once per operator; the
+    // encoder's kernels rebuild shared structures ~6 times per layer
+    // stack. "Optimized" builds once.
+    for (label, redundancy) in [("CoRa-Optimized (shared)", 1usize), ("CoRa-Redundant", 6)] {
+        println!("\n§7.4 / Tables 7-8 — prelude overheads, {label}");
+        println!("(times in ms, memory in kB; copy = host-to-device of CoRa's structures)\n");
+        let mut rows = Vec::new();
+        for (ds, bs) in cases {
+            let lens = ds.sample_batch_sorted(bs, 31);
+            let c = measure_prelude(&cfg, &model, &lens, redundancy);
+            rows.push(vec![
+                format!("{} / {}", ds.name(), bs),
+                f3(c.sparse_time_ms),
+                f3(c.sparse_mem_kb),
+                format!("{:.2e}", c.cora_storage_time_ms),
+                f3(c.cora_storage_mem_kb),
+                f3(c.cora_fusion_time_ms),
+                f3(c.cora_fusion_mem_kb),
+                f3(c.cora_copy_ms),
+            ]);
+        }
+        print_table(
+            &[
+                "dataset/batch",
+                "sparse t",
+                "sparse kB",
+                "cora-store t",
+                "store kB",
+                "fusion t",
+                "fusion kB",
+                "copy t",
+            ],
+            &rows,
+        );
+    }
+    println!("\nPaper shape: CoRa's storage scheme needs orders of magnitude less");
+    println!("time/memory than the sparse (CSF) scheme; loop-fusion maps dominate");
+    println!("CoRa's own aux data; the device copy is the largest single cost; and");
+    println!("removing redundant rebuilds cuts everything by the sharing factor.");
+}

@@ -1,0 +1,150 @@
+//! Bounds inference across fused vloops (§5.2, Fig. 7).
+//!
+//! When loops `o` and `i` are fused into `f`, bounds inference must
+//! translate iteration-variable ranges between the fused and unfused
+//! spaces. Fig. 7 gives the four rules; this module implements them over
+//! concrete prelude maps (the arrays `ffo`/`ffi`/`foif` take at runtime):
+//!
+//! 1. `o ∈ [ol, ou] ∧ i ∈ [il, iu]  →  f ∈ [foif(ol, il), foif(ou, iu)]`
+//! 2. `f ∈ [fl, fu]                →  o ∈ [ffo(fl), ffo(fu)]`
+//! 3. `f ∈ [fl, fu] ∧ ffo(fl) ≠ ffo(fu) → i ∈ [0, max_slice_len - 1]`
+//! 4. `f ∈ [fl, fu] ∧ ffo(fl) = ffo(fu) → i ∈ [ffi(fl), ffi(fu)]`
+//!
+//! All ranges are inclusive, matching the figure.
+
+use cora_ragged::FusedLoopMaps;
+
+/// An inclusive integer range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncRange {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl IncRange {
+    /// Creates a range; `lo` must not exceed `hi`.
+    pub fn new(lo: i64, hi: i64) -> IncRange {
+        assert!(lo <= hi, "invalid range [{lo}, {hi}]");
+        IncRange { lo, hi }
+    }
+
+    /// Number of integers in the range.
+    pub fn len(&self) -> i64 {
+        self.hi - self.lo + 1
+    }
+
+    /// Ranges are never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Bounds translation over one fused loop pair.
+#[derive(Debug)]
+pub struct FusedBounds<'a> {
+    maps: &'a FusedLoopMaps,
+    /// Per-`o` slice lengths (the inner loop's extents).
+    lens: &'a [usize],
+}
+
+impl<'a> FusedBounds<'a> {
+    /// Creates a translator for `maps` built from `lens`.
+    pub fn new(maps: &'a FusedLoopMaps, lens: &'a [usize]) -> FusedBounds<'a> {
+        FusedBounds { maps, lens }
+    }
+
+    /// Rule 1: `(o, i)` rectangle → fused range.
+    pub fn fused_of(&self, o: IncRange, i: IncRange) -> IncRange {
+        IncRange::new(
+            self.maps.foif(o.lo as usize, i.lo as usize),
+            self.maps.foif(o.hi as usize, i.hi as usize),
+        )
+    }
+
+    /// Rule 2: fused range → outer range.
+    pub fn outer_of(&self, f: IncRange) -> IncRange {
+        IncRange::new(
+            self.maps.ffo[f.lo as usize],
+            self.maps.ffo[f.hi as usize],
+        )
+    }
+
+    /// Rules 3/4: fused range → inner range.
+    pub fn inner_of(&self, f: IncRange) -> IncRange {
+        let o_lo = self.maps.ffo[f.lo as usize];
+        let o_hi = self.maps.ffo[f.hi as usize];
+        if o_lo == o_hi {
+            // Rule 4: within one slice.
+            IncRange::new(self.maps.ffi[f.lo as usize], self.maps.ffi[f.hi as usize])
+        } else {
+            // Rule 3: spans slices, fall back to the full inner extent of
+            // the touched slices.
+            let max_len = self.lens[o_lo as usize..=o_hi as usize]
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0);
+            IncRange::new(0, max_len.saturating_sub(1) as i64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(lens: &[usize]) -> FusedLoopMaps {
+        FusedLoopMaps::build(lens)
+    }
+
+    #[test]
+    fn round_trip_single_point() {
+        let lens = [5usize, 2, 3];
+        let maps = setup(&lens);
+        let b = FusedBounds::new(&maps, &lens);
+        let f = b.fused_of(IncRange::new(1, 1), IncRange::new(1, 1));
+        assert_eq!(f, IncRange::new(6, 6));
+        assert_eq!(b.outer_of(f), IncRange::new(1, 1));
+        assert_eq!(b.inner_of(f), IncRange::new(1, 1));
+    }
+
+    #[test]
+    fn rule3_spanning_slices_widens_inner() {
+        let lens = [5usize, 2, 3];
+        let maps = setup(&lens);
+        let b = FusedBounds::new(&maps, &lens);
+        // f from 4 (o=0,i=4) to 6 (o=1,i=1): spans two slices.
+        let f = IncRange::new(4, 6);
+        assert_eq!(b.outer_of(f), IncRange::new(0, 1));
+        assert_eq!(b.inner_of(f), IncRange::new(0, 4));
+    }
+
+    #[test]
+    fn rule4_within_slice_is_tight() {
+        let lens = [5usize, 2, 3];
+        let maps = setup(&lens);
+        let b = FusedBounds::new(&maps, &lens);
+        let f = IncRange::new(1, 3); // o=0, i in [1,3]
+        assert_eq!(b.inner_of(f), IncRange::new(1, 3));
+    }
+
+    #[test]
+    fn fused_range_covers_rectangle_exactly_when_dense() {
+        // With uniform lens the fused range of the full rectangle is the
+        // whole space.
+        let lens = [4usize; 3];
+        let maps = setup(&lens);
+        let b = FusedBounds::new(&maps, &lens);
+        let f = b.fused_of(IncRange::new(0, 2), IncRange::new(0, 3));
+        assert_eq!(f, IncRange::new(0, 11));
+        assert_eq!(f.len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn inverted_range_rejected() {
+        IncRange::new(3, 2);
+    }
+}

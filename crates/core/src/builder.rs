@@ -1,0 +1,273 @@
+//! A compact builder facade over the Ragged API for common operator
+//! shapes (Listing 1 of the paper in spirit: declare dims, extents,
+//! tensors, computation — then schedule).
+
+use std::rc::Rc;
+
+use cora_ir::FExpr;
+use cora_ragged::{Dim, DgraphError, LengthFn, RaggedLayout};
+
+use crate::api::{BodyFn, LoopSpec, Operator, TensorRef};
+use crate::program::Program;
+use crate::schedule::{Schedule, ScheduleError};
+
+/// Errors from building or compiling an operator through the facade.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The layout's dimension structure is invalid.
+    Layout(DgraphError),
+    /// The schedule is illegal for the operator.
+    Schedule(ScheduleError),
+    /// The builder was used inconsistently.
+    Incomplete(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Layout(e) => write!(f, "layout error: {e}"),
+            BuildError::Schedule(e) => write!(f, "schedule error: {e}"),
+            BuildError::Incomplete(m) => write!(f, "incomplete operator description: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<DgraphError> for BuildError {
+    fn from(e: DgraphError) -> Self {
+        BuildError::Layout(e)
+    }
+}
+
+impl From<ScheduleError> for BuildError {
+    fn from(e: ScheduleError) -> Self {
+        BuildError::Schedule(e)
+    }
+}
+
+enum DimDecl {
+    Const { name: String, extent: usize },
+    Var { name: String, dep: String, lens: LengthFn },
+}
+
+/// Builder for simple ragged operators (elementwise maps and custom
+/// bodies over a shared input/output iteration space).
+pub struct OpBuilder {
+    name: String,
+    dims: Vec<DimDecl>,
+    input: Option<String>,
+    body: Option<ElementwiseFn>,
+    storage_pads: Vec<(String, usize)>,
+}
+
+type ElementwiseFn = Rc<dyn Fn(FExpr) -> FExpr>;
+
+impl OpBuilder {
+    /// Starts an operator named `name`.
+    pub fn new(name: impl Into<String>) -> OpBuilder {
+        OpBuilder {
+            name: name.into(),
+            dims: Vec::new(),
+            input: None,
+            body: None,
+            storage_pads: Vec::new(),
+        }
+    }
+
+    /// Adds a constant dimension.
+    pub fn cdim(mut self, name: impl Into<String>, extent: usize) -> Self {
+        self.dims.push(DimDecl::Const {
+            name: name.into(),
+            extent,
+        });
+        self
+    }
+
+    /// Adds a variable dimension whose slice sizes along `dep` are `lens`.
+    pub fn vdim_of(
+        mut self,
+        name: impl Into<String>,
+        dep: impl Into<String>,
+        lens: Vec<usize>,
+    ) -> Self {
+        self.dims.push(DimDecl::Var {
+            name: name.into(),
+            dep: dep.into(),
+            lens: LengthFn::new(lens),
+        });
+        self
+    }
+
+    /// Pads the storage of a named dimension to a multiple.
+    pub fn pad_dimension(mut self, name: impl Into<String>, multiple: usize) -> Self {
+        self.storage_pads.push((name.into(), multiple));
+        self
+    }
+
+    /// Names the input tensor (same iteration space as the output).
+    pub fn input(mut self, name: impl Into<String>) -> Self {
+        self.input = Some(name.into());
+        self
+    }
+
+    /// Sets an elementwise body: `out[ix] = f(in[ix])`.
+    pub fn elementwise(mut self, f: impl Fn(FExpr) -> FExpr + 'static) -> Self {
+        self.body = Some(Rc::new(f));
+        self
+    }
+
+    /// Builds the scheduled-but-unscheduled operator.
+    pub fn build(self) -> Result<BuiltOp, BuildError> {
+        let input_name = self
+            .input
+            .ok_or_else(|| BuildError::Incomplete("missing input tensor".into()))?;
+        let f = self
+            .body
+            .ok_or_else(|| BuildError::Incomplete("missing body".into()))?;
+        if self.dims.is_empty() {
+            return Err(BuildError::Incomplete("no dimensions declared".into()));
+        }
+        let make_layout = |pads: &[(String, usize)]| -> Result<RaggedLayout, DgraphError> {
+            let mut handles: Vec<(String, Dim)> = Vec::new();
+            let mut b = RaggedLayout::builder();
+            for d in &self.dims {
+                match d {
+                    DimDecl::Const { name, extent } => {
+                        let dim = Dim::new(name.clone());
+                        handles.push((name.clone(), dim.clone()));
+                        b = b.cdim(dim, *extent);
+                    }
+                    DimDecl::Var { name, dep, lens } => {
+                        let dim = Dim::new(name.clone());
+                        let dep_dim = handles
+                            .iter()
+                            .find(|(n, _)| n == dep)
+                            .map(|(_, d)| d.clone())
+                            .unwrap_or_else(|| Dim::new("missing"));
+                        handles.push((name.clone(), dim.clone()));
+                        b = b.vdim(dim, &dep_dim, lens.clone());
+                    }
+                }
+                if let Some((_, pad)) = pads.iter().find(|(n, _)| {
+                    n == match d {
+                        DimDecl::Const { name, .. } | DimDecl::Var { name, .. } => name,
+                    }
+                }) {
+                    b = b.pad(*pad);
+                }
+            }
+            b.build()
+        };
+        let in_layout = make_layout(&self.storage_pads)?;
+        let out_layout = make_layout(&self.storage_pads)?;
+        let input = TensorRef::new(input_name, in_layout);
+        let output = TensorRef::new(format!("{}_out", self.name), out_layout);
+
+        let mut loops = Vec::new();
+        let dim_names: Vec<String> = self
+            .dims
+            .iter()
+            .map(|d| match d {
+                DimDecl::Const { name, .. } | DimDecl::Var { name, .. } => name.clone(),
+            })
+            .collect();
+        for d in &self.dims {
+            match d {
+                DimDecl::Const { name, extent } => loops.push(LoopSpec::fixed(name.clone(), *extent)),
+                DimDecl::Var { name, dep, lens } => {
+                    let dep_pos = dim_names
+                        .iter()
+                        .position(|n| n == dep)
+                        .ok_or_else(|| BuildError::Incomplete(format!("unknown dep `{dep}`")))?;
+                    loops.push(LoopSpec::variable(name.clone(), dep_pos, lens.clone()));
+                }
+            }
+        }
+        let in_ref = input.clone();
+        let body: BodyFn = Rc::new(move |args| f(in_ref.at(args)));
+        Ok(BuiltOp {
+            op: Operator::new(self.name, loops, vec![], output, vec![input], body),
+        })
+    }
+}
+
+/// An operator built through [`OpBuilder`], ready for scheduling and
+/// compilation.
+pub struct BuiltOp {
+    /// The underlying operator (full API available).
+    pub op: Operator,
+}
+
+impl BuiltOp {
+    /// Mutable access to the schedule.
+    pub fn schedule(&mut self) -> &mut Schedule {
+        self.op.schedule_mut()
+    }
+
+    /// Compiles to an executable program.
+    pub fn compile(&self) -> Result<Program, ScheduleError> {
+        crate::lower::lower(&self.op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_elementwise_end_to_end() {
+        let lens = vec![5usize, 2, 3];
+        let mut b = OpBuilder::new("double")
+            .cdim("batch", lens.len())
+            .vdim_of("len", "batch", lens.clone())
+            .input("A")
+            .elementwise(|x| x * 2.0)
+            .build()
+            .unwrap();
+        b.schedule().pad_loop("len", 1);
+        let p = b.compile().unwrap();
+        let n: usize = lens.iter().sum();
+        let input: Vec<f32> = (0..n).map(|x| x as f32).collect();
+        let r = p.run(&[("A", input.clone())]);
+        let expect: Vec<f32> = input.iter().map(|x| 2.0 * x).collect();
+        assert_eq!(r.output, expect);
+        assert!(p.cuda_source().contains("for"));
+    }
+
+    #[test]
+    fn missing_body_rejected() {
+        let e = OpBuilder::new("x").cdim("b", 2).input("A").build();
+        assert!(matches!(e, Err(BuildError::Incomplete(_))));
+    }
+
+    #[test]
+    fn storage_padding_allows_loop_padding() {
+        let lens = vec![5usize, 2, 3];
+        let mut b = OpBuilder::new("double")
+            .cdim("batch", lens.len())
+            .vdim_of("len", "batch", lens)
+            .pad_dimension("len", 4)
+            .input("A")
+            .elementwise(|x| x + 1.0)
+            .build()
+            .unwrap();
+        b.schedule().pad_loop("len", 2);
+        assert!(b.compile().is_ok());
+        // Loop padding beyond storage padding is illegal (§4.1).
+        let lens2 = vec![5usize, 2, 3];
+        let mut b2 = OpBuilder::new("double")
+            .cdim("batch", lens2.len())
+            .vdim_of("len", "batch", lens2)
+            .pad_dimension("len", 2)
+            .input("A")
+            .elementwise(|x| x + 1.0)
+            .build()
+            .unwrap();
+        b2.schedule().pad_loop("len", 8);
+        assert!(matches!(
+            b2.compile(),
+            Err(ScheduleError::LoopPaddingExceedsStorage { .. })
+        ));
+    }
+}

@@ -1,0 +1,48 @@
+//! # cora-core
+//!
+//! The CoRa ragged-tensor compiler (the paper's primary contribution):
+//!
+//! * [`api`] — the Ragged API: named dimensions, vloops/vdims with
+//!   uninterpreted extent functions, tensor declarations with Algorithm-1
+//!   access lowering.
+//! * [`schedule`] — scheduling primitives, including the ragged-specific
+//!   ones: loop/storage padding, vloop fusion, bulk padding, thread
+//!   remapping, load hoisting.
+//! * [`opsplit`] — operation splitting and horizontal fusion.
+//! * [`bounds`] — iteration-variable range translation across fused
+//!   vloops (Fig. 7).
+//! * [`lower`] — the lowering pipeline to statement IR + prelude spec.
+//! * [`prelude_gen`] — prelude planning and host-side construction of
+//!   auxiliary structures.
+//! * [`program`] — compiled programs: C/CUDA source, numeric execution,
+//!   simulated-GPU kernels.
+//! * [`builder`] — a compact facade for common operator shapes.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod bounds;
+pub mod builder;
+pub mod lower;
+pub mod opsplit;
+pub mod prelude_gen;
+pub mod program;
+pub mod schedule;
+
+/// Convenience re-exports for downstream code and examples.
+pub mod prelude {
+    pub use crate::api::{BodyFn, LoopExtent, LoopShift, LoopSpec, Operator, TensorRef};
+    pub use crate::builder::{BuildError, BuiltOp, OpBuilder};
+    pub use crate::lower::lower;
+    pub use crate::opsplit::{hfuse_sim, split_operation};
+    pub use crate::prelude_gen::{FusionSpec, PreludeData, PreludeSpec};
+    pub use crate::program::{Program, RunResult};
+    pub use crate::schedule::{Directive, RemapPolicy, Schedule, ScheduleError};
+    pub use cora_ir::{Expr, FExpr, ForKind};
+}
+
+pub use api::{LoopSpec, Operator, TensorRef};
+pub use builder::OpBuilder;
+pub use lower::lower;
+pub use program::Program;
+pub use schedule::{RemapPolicy, Schedule, ScheduleError};

@@ -1,0 +1,200 @@
+//! Real multithreaded CPU execution: a work-pulling parallel-for.
+//!
+//! The CPU experiments (Table 5, Table 9, Fig. 27) run for real on the
+//! host. `parallel_for` distributes iterations dynamically (an atomic
+//! cursor, like a guided OpenMP schedule); `parallel_for_static` splits
+//! the range into contiguous chunks per worker — the policy under which
+//! ragged workloads show load imbalance, used by the ablation benches.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-width thread team for parallel loops.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuPool {
+    threads: usize,
+}
+
+impl CpuPool {
+    /// Creates a pool that runs loops on `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        CpuPool { threads }
+    }
+
+    /// A pool sized to the machine's available parallelism.
+    pub fn host() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        CpuPool::new(n)
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(i)` for every `i in 0..n`, pulling iterations dynamically.
+    pub fn parallel_for<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        if self.threads == 1 || n == 1 {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        let workers = self.threads.min(n);
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    f(i);
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+
+    /// Runs `f(i)` for every `i in 0..n` with static contiguous chunking:
+    /// worker `w` gets the `w`-th chunk. No load balancing.
+    pub fn parallel_for_static<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        if self.threads == 1 || n == 1 {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        let workers = self.threads.min(n);
+        let chunk = n.div_ceil(workers);
+        crossbeam::scope(|scope| {
+            for w in 0..workers {
+                let f = &f;
+                scope.spawn(move |_| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n);
+                    for i in lo..hi {
+                        f(i);
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+
+    /// Splits `data` into `n` disjoint mutable rows of given lengths and
+    /// runs `f(i, row_i)` in parallel. Rows are consecutive in `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row lengths overrun `data`.
+    pub fn parallel_rows<F>(&self, data: &mut [f32], row_lens: &[usize], f: F)
+    where
+        F: Fn(usize, &mut [f32]) + Sync,
+    {
+        let total: usize = row_lens.iter().sum();
+        assert!(total <= data.len(), "row lengths overrun the buffer");
+        // Pre-split into disjoint slices, then distribute.
+        let mut rows: Vec<&mut [f32]> = Vec::with_capacity(row_lens.len());
+        let mut rest = data;
+        for &l in row_lens {
+            let (head, tail) = rest.split_at_mut(l);
+            rows.push(head);
+            rest = tail;
+        }
+        let rows: Vec<parking_lot::Mutex<Option<&mut [f32]>>> = rows
+            .into_iter()
+            .map(|r| parking_lot::Mutex::new(Some(r)))
+            .collect();
+        self.parallel_for(rows.len(), |i| {
+            let row = rows[i].lock().take().expect("row taken once");
+            f(i, row);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_all_iterations_once() {
+        let pool = CpuPool::new(4);
+        let hits = AtomicU64::new(0);
+        let sum = AtomicU64::new(0);
+        pool.parallel_for(1000, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn static_schedule_covers_all() {
+        let pool = CpuPool::new(3);
+        let hits = AtomicU64::new(0);
+        pool.parallel_for_static(10, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn zero_iterations_is_noop() {
+        let pool = CpuPool::new(2);
+        pool.parallel_for(0, |_| panic!("must not run"));
+        pool.parallel_for_static(0, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = CpuPool::new(1);
+        let mut seen = 0u64;
+        let cell = std::sync::Mutex::new(&mut seen);
+        pool.parallel_for(5, |_| {
+            **cell.lock().unwrap() += 1;
+        });
+        assert_eq!(seen, 5);
+    }
+
+    #[test]
+    fn parallel_rows_disjoint_writes() {
+        let pool = CpuPool::new(4);
+        let mut data = vec![0.0f32; 10];
+        pool.parallel_rows(&mut data, &[3, 2, 5], |i, row| {
+            for v in row.iter_mut() {
+                *v = i as f32 + 1.0;
+            }
+        });
+        assert_eq!(
+            data,
+            vec![1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 3.0, 3.0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be positive")]
+    fn zero_threads_rejected() {
+        CpuPool::new(0);
+    }
+}

@@ -1,0 +1,271 @@
+//! The simulated GPU: in-order block dispatch over streaming
+//! multiprocessors.
+//!
+//! A kernel is a list of thread-block costs (microseconds). Blocks are
+//! dispatched *in list order* to whichever SM frees up first — the same
+//! greedy, in-order policy real GPUs use, which is why the paper's thread
+//! remapping (§4.1, Fig. 15) matters: scheduling the heaviest blocks first
+//! shortens the makespan under imbalance.
+//!
+//! Horizontal fusion (§4.1) concatenates two kernels' block lists into a
+//! single launch: one launch overhead, and the small kernel's blocks fill
+//! the tail bubbles of the big one — exactly the effect Fig. 14 measures.
+
+use std::collections::BinaryHeap;
+
+use crate::cost::GpuModel;
+
+/// One kernel launch: named, with per-block execution times.
+#[derive(Debug, Clone)]
+pub struct SimKernel {
+    /// Kernel name (appears in execution breakdowns).
+    pub name: String,
+    /// Per-thread-block execution time in microseconds, in dispatch order.
+    pub block_costs_us: Vec<f64>,
+}
+
+impl SimKernel {
+    /// Creates a kernel from block costs.
+    pub fn new(name: impl Into<String>, block_costs_us: Vec<f64>) -> Self {
+        SimKernel {
+            name: name.into(),
+            block_costs_us,
+        }
+    }
+
+    /// Horizontally fuses two kernels: one grid containing both block
+    /// lists (self's blocks first).
+    pub fn hfuse(mut self, other: SimKernel) -> SimKernel {
+        self.name = format!("{}+{}", self.name, other.name);
+        self.block_costs_us.extend(other.block_costs_us);
+        self
+    }
+
+    /// Reorders blocks by descending cost — the "schedule thread blocks
+    /// with the most work first" remapping policy used for trmm (§7.1)
+    /// and the transformer kernels (§D.2).
+    pub fn remap_longest_first(mut self) -> SimKernel {
+        self.block_costs_us
+            .sort_by(|a, b| b.partial_cmp(a).expect("block costs are finite"));
+        self
+    }
+
+    /// Applies an arbitrary thread-remapping policy: `remap(i)` gives the
+    /// original block index scheduled at position `i`.
+    pub fn remap_with(mut self, remap: impl Fn(usize) -> usize) -> SimKernel {
+        let old = self.block_costs_us.clone();
+        for (i, slot) in self.block_costs_us.iter_mut().enumerate() {
+            *slot = old[remap(i)];
+        }
+        self
+    }
+
+    /// Total work across blocks, microseconds.
+    pub fn total_work_us(&self) -> f64 {
+        self.block_costs_us.iter().sum()
+    }
+}
+
+/// Per-kernel result of a simulated execution.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Kernel name.
+    pub name: String,
+    /// Makespan of the block schedule (without launch overhead), us.
+    pub makespan_us: f64,
+    /// Launch overhead charged, us.
+    pub launch_us: f64,
+    /// Sum of block costs, us.
+    pub total_work_us: f64,
+    /// Number of blocks.
+    pub blocks: usize,
+    /// Load imbalance: makespan / (total work / SM count), ≥ 1 when the
+    /// device is saturated.
+    pub imbalance: f64,
+}
+
+/// Result of executing a sequence of kernels plus optional copies.
+#[derive(Debug, Clone, Default)]
+pub struct GpuRunReport {
+    /// Per-kernel reports, in execution order.
+    pub kernels: Vec<KernelReport>,
+    /// Host-to-device copy time, us.
+    pub copy_us: f64,
+    /// End-to-end simulated latency, us.
+    pub total_us: f64,
+}
+
+impl GpuRunReport {
+    /// Latency in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_us / 1_000.0
+    }
+}
+
+/// The simulated device.
+#[derive(Debug, Clone, Default)]
+pub struct GpuSim {
+    /// Device constants.
+    pub model: GpuModel,
+}
+
+impl GpuSim {
+    /// Creates a simulator with the default (V100-like) model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a simulator with a custom model.
+    pub fn with_model(model: GpuModel) -> Self {
+        GpuSim { model }
+    }
+
+    /// Simulates one kernel: greedy in-order dispatch onto SMs.
+    pub fn run_kernel(&self, kernel: &SimKernel) -> KernelReport {
+        let makespan = schedule_makespan(&kernel.block_costs_us, self.model.sm_count);
+        let total: f64 = kernel.total_work_us();
+        let lower_bound = total / self.model.sm_count as f64;
+        KernelReport {
+            name: kernel.name.clone(),
+            makespan_us: makespan,
+            launch_us: self.model.kernel_launch_us,
+            total_work_us: total,
+            blocks: kernel.block_costs_us.len(),
+            imbalance: if lower_bound > 0.0 {
+                makespan / lower_bound
+            } else {
+                1.0
+            },
+        }
+    }
+
+    /// Simulates a sequence of kernels executed back-to-back, plus an
+    /// initial host-to-device copy of `copy_bytes` auxiliary data.
+    pub fn run(&self, kernels: &[SimKernel], copy_bytes: usize) -> GpuRunReport {
+        let copy_us = if copy_bytes > 0 {
+            self.model.copy_time_us(copy_bytes)
+        } else {
+            0.0
+        };
+        let mut report = GpuRunReport {
+            copy_us,
+            ..Default::default()
+        };
+        let mut total = copy_us;
+        for k in kernels {
+            let kr = self.run_kernel(k);
+            total += kr.makespan_us + kr.launch_us;
+            report.kernels.push(kr);
+        }
+        report.total_us = total;
+        report
+    }
+}
+
+/// Greedy in-order list scheduling: block `i` starts on the SM with the
+/// earliest free time. Returns the makespan.
+fn schedule_makespan(blocks: &[f64], sm_count: usize) -> f64 {
+    assert!(sm_count > 0, "device must have at least one SM");
+    if blocks.is_empty() {
+        return 0.0;
+    }
+    // Min-heap of SM free times (negated for BinaryHeap's max semantics).
+    let mut heap: BinaryHeap<std::cmp::Reverse<OrderedF64>> = (0..sm_count)
+        .map(|_| std::cmp::Reverse(OrderedF64(0.0)))
+        .collect();
+    let mut makespan = 0.0f64;
+    for &b in blocks {
+        let std::cmp::Reverse(OrderedF64(free)) = heap.pop().expect("non-empty heap");
+        let end = free + b;
+        makespan = makespan.max(end);
+        heap.push(std::cmp::Reverse(OrderedF64(end)));
+    }
+    makespan
+}
+
+#[derive(PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite block times")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(sms: usize) -> GpuSim {
+        let mut model = GpuModel::default();
+        model.sm_count = sms;
+        GpuSim::with_model(model)
+    }
+
+    #[test]
+    fn perfect_balance_is_work_over_sms() {
+        let s = sim(4);
+        let k = SimKernel::new("k", vec![1.0; 8]);
+        let r = s.run_kernel(&k);
+        assert!((r.makespan_us - 2.0).abs() < 1e-9);
+        assert!((r.imbalance - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn descending_order_beats_ascending_under_imbalance() {
+        // One huge block and many small ones: scheduling the huge block
+        // last wastes a whole wave (the thread-remapping motivation).
+        let s = sim(4);
+        let mut asc: Vec<f64> = vec![1.0; 12];
+        asc.push(10.0);
+        let k_asc = SimKernel::new("asc", asc.clone());
+        let k_desc = SimKernel::new("desc", asc).remap_longest_first();
+        let t_asc = s.run_kernel(&k_asc).makespan_us;
+        let t_desc = s.run_kernel(&k_desc).makespan_us;
+        assert!(
+            t_desc < t_asc,
+            "longest-first {t_desc} should beat in-order {t_asc}"
+        );
+    }
+
+    #[test]
+    fn hfusion_saves_a_launch_and_fills_bubbles() {
+        let s = sim(4);
+        // Kernel A: 4 blocks of 4us. Kernel B: 4 blocks of 1us.
+        let a = SimKernel::new("a", vec![4.0; 4]);
+        let b = SimKernel::new("b", vec![1.0; 4]);
+        let separate = s.run(&[a.clone(), b.clone()], 0).total_us;
+        let fused = s.run(&[a.hfuse(b)], 0).total_us;
+        assert!(fused < separate, "fused {fused} vs separate {separate}");
+    }
+
+    #[test]
+    fn copy_time_included_once() {
+        let s = sim(2);
+        let k = SimKernel::new("k", vec![1.0]);
+        let with_copy = s.run(std::slice::from_ref(&k), 1 << 20).total_us;
+        let without = s.run(std::slice::from_ref(&k), 0).total_us;
+        assert!(with_copy > without);
+    }
+
+    #[test]
+    fn remap_with_permutes() {
+        let k = SimKernel::new("k", vec![1.0, 2.0, 3.0]).remap_with(|i| 2 - i);
+        assert_eq!(k.block_costs_us, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_kernel_is_free_except_launch() {
+        let s = sim(4);
+        let r = s.run(&[SimKernel::new("empty", vec![])], 0);
+        assert_eq!(r.total_us, s.model.kernel_launch_us);
+    }
+}

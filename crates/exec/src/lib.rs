@@ -1,0 +1,29 @@
+//! # cora-exec
+//!
+//! Execution substrates for the CoRa reproduction:
+//!
+//! * [`gpu`] — a deterministic simulated GPU (in-order thread-block
+//!   dispatch over streaming multiprocessors, launch and copy overheads)
+//!   used for every GPU-side experiment, since real CUDA codegen is out of
+//!   scope for this environment (see DESIGN.md §2).
+//! * [`cpu`] — a real multithreaded parallel-for used for the CPU
+//!   experiments (wall-clock numbers).
+//! * [`interp`] — a scalar interpreter giving the lowered IR executable
+//!   semantics and instruction-mix statistics.
+//! * [`cost`] — the analytic cost model shared by the simulator and the
+//!   benchmark harnesses.
+//! * [`profile`] — per-operator breakdown accounting.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod cpu;
+pub mod gpu;
+pub mod interp;
+pub mod profile;
+
+pub use cost::{CpuModel, GpuModel, KernelTraits};
+pub use cpu::CpuPool;
+pub use gpu::{GpuRunReport, GpuSim, KernelReport, SimKernel};
+pub use interp::{InterpStats, Machine};
+pub use profile::Profiler;

@@ -1,0 +1,140 @@
+//! Per-operator timing breakdowns (Fig. 13, Fig. 24, Fig. 25).
+//!
+//! A [`Profiler`] accumulates named spans — either wall-clock (CPU
+//! experiments) or simulated microseconds (GPU experiments) — and renders
+//! the per-operator breakdown tables the paper reports.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Accumulates named time spans.
+#[derive(Debug, Default, Clone)]
+pub struct Profiler {
+    spans: Vec<(String, f64)>,
+    index: HashMap<String, usize>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `us` microseconds to span `name` (creating it on first use;
+    /// insertion order is preserved for reporting).
+    pub fn add_us(&mut self, name: &str, us: f64) {
+        match self.index.get(name) {
+            Some(&i) => self.spans[i].1 += us,
+            None => {
+                self.index.insert(name.to_string(), self.spans.len());
+                self.spans.push((name.to_string(), us));
+            }
+        }
+    }
+
+    /// Times `f` with wall-clock and charges it to `name`; returns `f`'s
+    /// result.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.add_us(name, t0.elapsed().as_secs_f64() * 1e6);
+        out
+    }
+
+    /// Microseconds recorded for `name` (0 if absent).
+    pub fn get_us(&self, name: &str) -> f64 {
+        self.index
+            .get(name)
+            .map(|&i| self.spans[i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Total microseconds across spans.
+    pub fn total_us(&self) -> f64 {
+        self.spans.iter().map(|(_, v)| v).sum()
+    }
+
+    /// All spans in insertion order.
+    pub fn spans(&self) -> &[(String, f64)] {
+        &self.spans
+    }
+
+    /// Renders a two-column table (name, milliseconds).
+    pub fn render_ms(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .spans
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(4)
+            .max(5);
+        for (name, us) in &self.spans {
+            out.push_str(&format!("{name:width$}  {:>9.3} ms\n", us / 1e3));
+        }
+        out.push_str(&format!(
+            "{:width$}  {:>9.3} ms\n",
+            "TOTAL",
+            self.total_us() / 1e3
+        ));
+        out
+    }
+
+    /// Merges another profiler's spans into this one.
+    pub fn merge(&mut self, other: &Profiler) {
+        for (name, us) in &other.spans {
+            self.add_us(name, *us);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_by_name() {
+        let mut p = Profiler::new();
+        p.add_us("gemm", 10.0);
+        p.add_us("softmax", 5.0);
+        p.add_us("gemm", 2.5);
+        assert_eq!(p.get_us("gemm"), 12.5);
+        assert_eq!(p.total_us(), 17.5);
+        assert_eq!(p.spans()[0].0, "gemm");
+    }
+
+    #[test]
+    fn time_measures_something() {
+        let mut p = Profiler::new();
+        let v = p.time("work", || {
+            let mut s = 0u64;
+            for i in 0..100_000u64 {
+                s = s.wrapping_add(i);
+            }
+            s
+        });
+        assert!(v > 0);
+        assert!(p.get_us("work") > 0.0);
+    }
+
+    #[test]
+    fn render_includes_total() {
+        let mut p = Profiler::new();
+        p.add_us("a", 1000.0);
+        let r = p.render_ms();
+        assert!(r.contains("TOTAL"));
+        assert!(r.contains("a"));
+    }
+
+    #[test]
+    fn merge_sums_spans() {
+        let mut a = Profiler::new();
+        a.add_us("x", 1.0);
+        let mut b = Profiler::new();
+        b.add_us("x", 2.0);
+        b.add_us("y", 3.0);
+        a.merge(&b);
+        assert_eq!(a.get_us("x"), 3.0);
+        assert_eq!(a.get_us("y"), 3.0);
+    }
+}

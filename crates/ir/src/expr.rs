@@ -1,0 +1,389 @@
+//! Integer scalar expressions.
+//!
+//! CoRa's lowering manipulates *index expressions*: loop variables, extents,
+//! memory offsets. Ragged tensors add two constructs absent from dense
+//! tensor compilers:
+//!
+//! * [`ExprKind::Uf`] — a call to an *uninterpreted function* (Strout et
+//!   al., 2018) such as the variable loop bound `s(o)` or the fused-loop
+//!   maps `ffo`/`ffi`/`foif` of the paper's §5.1. At compile time these are
+//!   opaque symbols with registered properties; at run time the prelude
+//!   materialises them as arrays.
+//! * [`ExprKind::Load`] — a read from a named integer auxiliary buffer
+//!   (e.g. a row-offset array produced by the prelude).
+//!
+//! Expressions are immutable trees shared through [`std::rc::Rc`]; cloning
+//! is O(1).
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ufunc::UfRef;
+
+/// An integer-valued expression (cheaply cloneable handle).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Expr(pub(crate) Rc<ExprKind>);
+
+/// The operator at the root of an [`Expr`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Named integer variable (loop iteration variable or parameter).
+    Var(String),
+    /// `lhs + rhs`.
+    Add(Expr, Expr),
+    /// `lhs - rhs`.
+    Sub(Expr, Expr),
+    /// `lhs * rhs`.
+    Mul(Expr, Expr),
+    /// Floor division `lhs / rhs` (rounds toward negative infinity).
+    FloorDiv(Expr, Expr),
+    /// Floor modulo, `lhs - floor_div(lhs, rhs) * rhs`.
+    FloorMod(Expr, Expr),
+    /// Binary minimum.
+    Min(Expr, Expr),
+    /// Binary maximum.
+    Max(Expr, Expr),
+    /// `if cond { then_ } else { else_ }`.
+    Select(Cond, Expr, Expr),
+    /// Application of an uninterpreted function to integer arguments.
+    Uf(UfRef, Vec<Expr>),
+    /// Read of element `index` from a named integer auxiliary buffer.
+    Load(String, Expr),
+}
+
+/// A boolean condition over integer expressions.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Cond(pub(crate) Rc<CondKind>);
+
+/// The operator at the root of a [`Cond`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum CondKind {
+    /// Boolean literal.
+    Const(bool),
+    /// `lhs < rhs`.
+    Lt(Expr, Expr),
+    /// `lhs <= rhs`.
+    Le(Expr, Expr),
+    /// `lhs == rhs`.
+    Eq(Expr, Expr),
+    /// `lhs != rhs`.
+    Ne(Expr, Expr),
+    /// Conjunction.
+    And(Cond, Cond),
+    /// Disjunction.
+    Or(Cond, Cond),
+    /// Negation.
+    Not(Cond),
+}
+
+impl Expr {
+    /// Integer literal.
+    pub fn int(v: i64) -> Self {
+        Expr(Rc::new(ExprKind::Int(v)))
+    }
+
+    /// Named variable.
+    pub fn var(name: impl Into<String>) -> Self {
+        Expr(Rc::new(ExprKind::Var(name.into())))
+    }
+
+    /// Uninterpreted-function call.
+    pub fn uf(f: UfRef, args: Vec<Expr>) -> Self {
+        assert_eq!(
+            f.arity(),
+            args.len(),
+            "uninterpreted function `{}` expects {} argument(s), got {}",
+            f.name(),
+            f.arity(),
+            args.len()
+        );
+        Expr(Rc::new(ExprKind::Uf(f, args)))
+    }
+
+    /// Read from a named integer auxiliary buffer.
+    pub fn load(buffer: impl Into<String>, index: Expr) -> Self {
+        Expr(Rc::new(ExprKind::Load(buffer.into(), index)))
+    }
+
+    /// Conditional select.
+    pub fn select(cond: Cond, then_: Expr, else_: Expr) -> Self {
+        Expr(Rc::new(ExprKind::Select(cond, then_, else_)))
+    }
+
+    /// Binary minimum.
+    pub fn min(self, other: Expr) -> Self {
+        Expr(Rc::new(ExprKind::Min(self, other)))
+    }
+
+    /// Binary maximum.
+    pub fn max(self, other: Expr) -> Self {
+        Expr(Rc::new(ExprKind::Max(self, other)))
+    }
+
+    /// Floor division by `other`.
+    pub fn floor_div(self, other: Expr) -> Self {
+        Expr(Rc::new(ExprKind::FloorDiv(self, other)))
+    }
+
+    /// Floor modulo by `other`.
+    pub fn floor_mod(self, other: Expr) -> Self {
+        Expr(Rc::new(ExprKind::FloorMod(self, other)))
+    }
+
+    /// Ceiling division `ceil(self / other)` expressed with floor division.
+    ///
+    /// Used pervasively for padded extents: `pad_loop(l, k)` turns extent
+    /// `e` into `ceil_div(e, k) * k`.
+    pub fn ceil_div(self, other: Expr) -> Self {
+        (self + other.clone() - Expr::int(1)).floor_div(other)
+    }
+
+    /// Rounds `self` up to the nearest multiple of `multiple`.
+    pub fn round_up(self, multiple: Expr) -> Self {
+        self.ceil_div(multiple.clone()) * multiple
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Cond {
+        Cond(Rc::new(CondKind::Lt(self, other)))
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Cond {
+        Cond(Rc::new(CondKind::Le(self, other)))
+    }
+
+    /// `self == other`.
+    pub fn eq_expr(self, other: Expr) -> Cond {
+        Cond(Rc::new(CondKind::Eq(self, other)))
+    }
+
+    /// `self != other`.
+    pub fn ne_expr(self, other: Expr) -> Cond {
+        Cond(Rc::new(CondKind::Ne(self, other)))
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Cond {
+        other.lt(self)
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Cond {
+        other.le(self)
+    }
+
+    /// The root operator.
+    pub fn kind(&self) -> &ExprKind {
+        &self.0
+    }
+
+    /// Returns the literal value if this is an integer constant.
+    pub fn as_int(&self) -> Option<i64> {
+        match self.kind() {
+            ExprKind::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the variable name if this is a variable reference.
+    pub fn as_var(&self) -> Option<&str> {
+        match self.kind() {
+            ExprKind::Var(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// True if the expression is the literal `0`.
+    pub fn is_zero(&self) -> bool {
+        self.as_int() == Some(0)
+    }
+
+    /// True if the expression is the literal `1`.
+    pub fn is_one(&self) -> bool {
+        self.as_int() == Some(1)
+    }
+}
+
+impl Cond {
+    /// Boolean literal.
+    pub fn const_bool(v: bool) -> Self {
+        Cond(Rc::new(CondKind::Const(v)))
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Cond) -> Self {
+        Cond(Rc::new(CondKind::And(self, other)))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Cond) -> Self {
+        Cond(Rc::new(CondKind::Or(self, other)))
+    }
+
+    /// Negation.
+    pub fn not(self) -> Self {
+        Cond(Rc::new(CondKind::Not(self)))
+    }
+
+    /// The root operator.
+    pub fn kind(&self) -> &CondKind {
+        &self.0
+    }
+
+    /// Returns the literal value if this is a boolean constant.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self.kind() {
+            CondKind::Const(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Self {
+        Expr::int(v)
+    }
+}
+
+impl From<usize> for Expr {
+    fn from(v: usize) -> Self {
+        Expr::int(v as i64)
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait_:ident, $method:ident, $kind:ident) => {
+        impl std::ops::$trait_ for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr(Rc::new(ExprKind::$kind(self, rhs)))
+            }
+        }
+        impl std::ops::$trait_<i64> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: i64) -> Expr {
+                Expr(Rc::new(ExprKind::$kind(self, Expr::int(rhs))))
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, Add);
+impl_binop!(Sub, sub, Sub);
+impl_binop!(Mul, mul, Mul);
+
+/// Floor division for `i64` matching [`ExprKind::FloorDiv`] semantics.
+pub fn floor_div_i64(a: i64, b: i64) -> i64 {
+    debug_assert!(b != 0, "division by zero in index arithmetic");
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Floor modulo for `i64` matching [`ExprKind::FloorMod`] semantics.
+pub fn floor_mod_i64(a: i64, b: i64) -> i64 {
+    a - floor_div_i64(a, b) * b
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            ExprKind::Int(v) => write!(f, "{v}"),
+            ExprKind::Var(n) => write!(f, "{n}"),
+            ExprKind::Add(a, b) => write!(f, "({a} + {b})"),
+            ExprKind::Sub(a, b) => write!(f, "({a} - {b})"),
+            ExprKind::Mul(a, b) => write!(f, "({a}*{b})"),
+            ExprKind::FloorDiv(a, b) => write!(f, "({a}/{b})"),
+            ExprKind::FloorMod(a, b) => write!(f, "({a}%{b})"),
+            ExprKind::Min(a, b) => write!(f, "min({a}, {b})"),
+            ExprKind::Max(a, b) => write!(f, "max({a}, {b})"),
+            ExprKind::Select(c, a, b) => write!(f, "({c} ? {a} : {b})"),
+            ExprKind::Uf(uf, args) => {
+                write!(f, "{}(", uf.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            ExprKind::Load(buf, idx) => write!(f, "{buf}[{idx}]"),
+        }
+    }
+}
+
+impl fmt::Debug for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            CondKind::Const(b) => write!(f, "{b}"),
+            CondKind::Lt(a, b) => write!(f, "({a} < {b})"),
+            CondKind::Le(a, b) => write!(f, "({a} <= {b})"),
+            CondKind::Eq(a, b) => write!(f, "({a} == {b})"),
+            CondKind::Ne(a, b) => write!(f, "({a} != {b})"),
+            CondKind::And(a, b) => write!(f, "({a} && {b})"),
+            CondKind::Or(a, b) => write!(f, "({a} || {b})"),
+            CondKind::Not(a) => write!(f, "!{a}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_structure() {
+        let e = (Expr::var("i") * 4 + Expr::var("j")).floor_div(Expr::int(2));
+        assert_eq!(format!("{e}"), "(((i*4) + j)/2)");
+    }
+
+    #[test]
+    fn ceil_div_formula() {
+        let e = Expr::var("n").ceil_div(Expr::int(4));
+        assert_eq!(format!("{e}"), "(((n + 4) - 1)/4)");
+    }
+
+    #[test]
+    fn floor_div_matches_mathematical_floor() {
+        assert_eq!(floor_div_i64(7, 2), 3);
+        assert_eq!(floor_div_i64(-7, 2), -4);
+        assert_eq!(floor_div_i64(7, -2), -4);
+        assert_eq!(floor_mod_i64(-7, 2), 1);
+        assert_eq!(floor_mod_i64(7, 2), 1);
+    }
+
+    #[test]
+    fn as_int_and_predicates() {
+        assert_eq!(Expr::int(3).as_int(), Some(3));
+        assert!(Expr::int(0).is_zero());
+        assert!(Expr::int(1).is_one());
+        assert_eq!(Expr::var("x").as_int(), None);
+        assert_eq!(Expr::var("x").as_var(), Some("x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 1 argument")]
+    fn uf_arity_is_checked() {
+        let f = UfRef::new("s", 1);
+        let _ = Expr::uf(f, vec![Expr::int(1), Expr::int(2)]);
+    }
+}

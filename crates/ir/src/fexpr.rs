@@ -1,0 +1,194 @@
+//! Floating-point value expressions for kernel bodies.
+//!
+//! Index arithmetic lives in [`crate::expr::Expr`]; the *values* flowing
+//! through a kernel body (loads, arithmetic, transcendentals used by
+//! softmax/layernorm/GELU) live here. The split mirrors tensor-compiler IRs
+//! where address computation and payload computation are distinct types.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::expr::{Cond, Expr};
+
+/// A `f32`-valued expression (cheaply cloneable handle).
+#[derive(Clone, PartialEq)]
+pub struct FExpr(pub(crate) Rc<FExprKind>);
+
+/// The operator at the root of an [`FExpr`].
+#[derive(Clone, PartialEq)]
+pub enum FExprKind {
+    /// Floating literal.
+    Const(f32),
+    /// Read of element `index` (an integer [`Expr`]) from a float buffer.
+    Load(String, Expr),
+    /// Cast of an integer index expression to `f32`.
+    Cast(Expr),
+    /// `lhs + rhs`.
+    Add(FExpr, FExpr),
+    /// `lhs - rhs`.
+    Sub(FExpr, FExpr),
+    /// `lhs * rhs`.
+    Mul(FExpr, FExpr),
+    /// `lhs / rhs`.
+    Div(FExpr, FExpr),
+    /// Binary maximum.
+    Max(FExpr, FExpr),
+    /// Unary intrinsic call.
+    Unary(FUnaryOp, FExpr),
+    /// `if cond { then_ } else { else_ }` on an index condition.
+    Select(Cond, FExpr, FExpr),
+}
+
+/// Unary floating intrinsics needed by the paper's operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FUnaryOp {
+    /// Negation.
+    Neg,
+    /// `e^x` (softmax).
+    Exp,
+    /// `sqrt(x)` (layer norm).
+    Sqrt,
+    /// `1/x`.
+    Recip,
+    /// `tanh(x)` (GELU approximation).
+    Tanh,
+    /// `max(x, 0)` (ReLU).
+    Relu,
+}
+
+impl FExpr {
+    /// Floating literal.
+    pub fn constant(v: f32) -> Self {
+        FExpr(Rc::new(FExprKind::Const(v)))
+    }
+
+    /// Load `buffer[index]`.
+    pub fn load(buffer: impl Into<String>, index: Expr) -> Self {
+        FExpr(Rc::new(FExprKind::Load(buffer.into(), index)))
+    }
+
+    /// Cast an index expression to `f32`.
+    pub fn cast(index: Expr) -> Self {
+        FExpr(Rc::new(FExprKind::Cast(index)))
+    }
+
+    /// Binary maximum.
+    pub fn max(self, other: FExpr) -> Self {
+        FExpr(Rc::new(FExprKind::Max(self, other)))
+    }
+
+    /// Applies a unary intrinsic.
+    pub fn unary(self, op: FUnaryOp) -> Self {
+        FExpr(Rc::new(FExprKind::Unary(op, self)))
+    }
+
+    /// `e^self`.
+    pub fn exp(self) -> Self {
+        self.unary(FUnaryOp::Exp)
+    }
+
+    /// `sqrt(self)`.
+    pub fn sqrt(self) -> Self {
+        self.unary(FUnaryOp::Sqrt)
+    }
+
+    /// Conditional select on an index condition.
+    pub fn select(cond: Cond, then_: FExpr, else_: FExpr) -> Self {
+        FExpr(Rc::new(FExprKind::Select(cond, then_, else_)))
+    }
+
+    /// The root operator.
+    pub fn kind(&self) -> &FExprKind {
+        &self.0
+    }
+}
+
+impl From<f32> for FExpr {
+    fn from(v: f32) -> Self {
+        FExpr::constant(v)
+    }
+}
+
+macro_rules! impl_fbinop {
+    ($trait_:ident, $method:ident, $kind:ident) => {
+        impl std::ops::$trait_ for FExpr {
+            type Output = FExpr;
+            fn $method(self, rhs: FExpr) -> FExpr {
+                FExpr(Rc::new(FExprKind::$kind(self, rhs)))
+            }
+        }
+        impl std::ops::$trait_<f32> for FExpr {
+            type Output = FExpr;
+            fn $method(self, rhs: f32) -> FExpr {
+                FExpr(Rc::new(FExprKind::$kind(self, FExpr::constant(rhs))))
+            }
+        }
+    };
+}
+
+impl_fbinop!(Add, add, Add);
+impl_fbinop!(Sub, sub, Sub);
+impl_fbinop!(Mul, mul, Mul);
+impl_fbinop!(Div, div, Div);
+
+/// Applies `op` to a concrete value, matching interpreter semantics.
+pub fn apply_unary(op: FUnaryOp, x: f32) -> f32 {
+    match op {
+        FUnaryOp::Neg => -x,
+        FUnaryOp::Exp => x.exp(),
+        FUnaryOp::Sqrt => x.sqrt(),
+        FUnaryOp::Recip => 1.0 / x,
+        FUnaryOp::Tanh => x.tanh(),
+        FUnaryOp::Relu => x.max(0.0),
+    }
+}
+
+impl fmt::Debug for FExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for FExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            FExprKind::Const(v) => write!(f, "{v:?}f"),
+            FExprKind::Load(buf, idx) => write!(f, "{buf}[{idx}]"),
+            FExprKind::Cast(e) => write!(f, "(float){e}"),
+            FExprKind::Add(a, b) => write!(f, "({a} + {b})"),
+            FExprKind::Sub(a, b) => write!(f, "({a} - {b})"),
+            FExprKind::Mul(a, b) => write!(f, "({a}*{b})"),
+            FExprKind::Div(a, b) => write!(f, "({a}/{b})"),
+            FExprKind::Max(a, b) => write!(f, "fmaxf({a}, {b})"),
+            FExprKind::Unary(op, a) => match op {
+                FUnaryOp::Neg => write!(f, "(-{a})"),
+                FUnaryOp::Exp => write!(f, "expf({a})"),
+                FUnaryOp::Sqrt => write!(f, "sqrtf({a})"),
+                FUnaryOp::Recip => write!(f, "(1.0f/{a})"),
+                FUnaryOp::Tanh => write!(f, "tanhf({a})"),
+                FUnaryOp::Relu => write!(f, "fmaxf({a}, 0.0f)"),
+            },
+            FExprKind::Select(c, a, b) => write!(f, "({c} ? {a} : {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = FExpr::load("A", Expr::var("i")) * 2.0 + 1.0;
+        assert_eq!(format!("{e}"), "((A[i]*2.0f) + 1.0f)");
+        let s = FExpr::load("x", Expr::int(0)).exp();
+        assert_eq!(format!("{s}"), "expf(x[0])");
+    }
+
+    #[test]
+    fn unary_semantics() {
+        assert_eq!(apply_unary(FUnaryOp::Relu, -3.0), 0.0);
+        assert_eq!(apply_unary(FUnaryOp::Neg, 2.0), -2.0);
+        assert!((apply_unary(FUnaryOp::Recip, 4.0) - 0.25).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,354 @@
+//! Interval (value-range) analysis over index expressions.
+//!
+//! Used for bounds inference and for proving conditional checks redundant
+//! (so padded loop bodies can elide them, §4.1). Ranges of uninterpreted
+//! functions come from their registered [`UfProperties`]; variables get
+//! ranges from the loop nest enclosing the expression.
+//!
+//! [`UfProperties`]: crate::ufunc::UfProperties
+
+use std::collections::HashMap;
+
+use crate::expr::{floor_div_i64, Cond, CondKind, Expr, ExprKind};
+use crate::ufunc::UfRegistry;
+
+/// A (possibly half-open) inclusive integer interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interval {
+    /// Greatest known lower bound.
+    pub min: Option<i64>,
+    /// Least known upper bound.
+    pub max: Option<i64>,
+}
+
+impl Interval {
+    /// The unbounded interval.
+    pub fn unknown() -> Self {
+        Interval::default()
+    }
+
+    /// A single point.
+    pub fn point(v: i64) -> Self {
+        Interval {
+            min: Some(v),
+            max: Some(v),
+        }
+    }
+
+    /// A fully known interval `[lo, hi]`.
+    pub fn bounded(lo: i64, hi: i64) -> Self {
+        Interval {
+            min: Some(lo),
+            max: Some(hi),
+        }
+    }
+
+    /// True if both endpoints are known.
+    pub fn is_bounded(&self) -> bool {
+        self.min.is_some() && self.max.is_some()
+    }
+
+    fn add(self, o: Interval) -> Interval {
+        Interval {
+            min: opt2(self.min, o.min, i64::checked_add),
+            max: opt2(self.max, o.max, i64::checked_add),
+        }
+    }
+
+    fn sub(self, o: Interval) -> Interval {
+        Interval {
+            min: opt2(self.min, o.max, i64::checked_sub),
+            max: opt2(self.max, o.min, i64::checked_sub),
+        }
+    }
+
+    fn mul(self, o: Interval) -> Interval {
+        // Sound only with all four corner products; any unknown endpoint
+        // poisons the result.
+        match (self.min, self.max, o.min, o.max) {
+            (Some(a), Some(b), Some(c), Some(d)) => {
+                let cands = [
+                    a.checked_mul(c),
+                    a.checked_mul(d),
+                    b.checked_mul(c),
+                    b.checked_mul(d),
+                ];
+                if cands.iter().any(|c| c.is_none()) {
+                    Interval::unknown()
+                } else {
+                    let vals: Vec<i64> = cands.into_iter().map(Option::unwrap).collect();
+                    Interval::bounded(
+                        *vals.iter().min().unwrap(),
+                        *vals.iter().max().unwrap(),
+                    )
+                }
+            }
+            _ => Interval::unknown(),
+        }
+    }
+
+    fn floor_div(self, o: Interval) -> Interval {
+        match (self.min, self.max, o.min, o.max) {
+            // Only the common, well-behaved case: positive constant-range divisor.
+            (Some(a), Some(b), Some(c), Some(d)) if c > 0 => {
+                let vals = [
+                    floor_div_i64(a, c),
+                    floor_div_i64(a, d),
+                    floor_div_i64(b, c),
+                    floor_div_i64(b, d),
+                ];
+                Interval::bounded(
+                    *vals.iter().min().unwrap(),
+                    *vals.iter().max().unwrap(),
+                )
+            }
+            _ => Interval::unknown(),
+        }
+    }
+
+    fn floor_mod(self, o: Interval) -> Interval {
+        match (o.min, o.max) {
+            (Some(c), Some(d)) if c > 0 => Interval::bounded(0, d - 1),
+            _ => Interval::unknown(),
+        }
+    }
+
+    fn min_i(self, o: Interval) -> Interval {
+        Interval {
+            min: opt2(self.min, o.min, |a, b| Some(a.min(b))),
+            max: match (self.max, o.max) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (Some(a), None) | (None, Some(a)) => Some(a),
+                (None, None) => None,
+            },
+        }
+    }
+
+    fn max_i(self, o: Interval) -> Interval {
+        Interval {
+            min: match (self.min, o.min) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (Some(a), None) | (None, Some(a)) => Some(a),
+                (None, None) => None,
+            },
+            max: opt2(self.max, o.max, |a, b| Some(a.max(b))),
+        }
+    }
+
+    fn union(self, o: Interval) -> Interval {
+        Interval {
+            min: opt2(self.min, o.min, |a, b| Some(a.min(b))),
+            max: opt2(self.max, o.max, |a, b| Some(a.max(b))),
+        }
+    }
+}
+
+fn opt2(a: Option<i64>, b: Option<i64>, f: impl Fn(i64, i64) -> Option<i64>) -> Option<i64> {
+    match (a, b) {
+        (Some(a), Some(b)) => f(a, b),
+        _ => None,
+    }
+}
+
+/// Variable-range context for interval analysis.
+#[derive(Debug, Default, Clone)]
+pub struct RangeMap {
+    ranges: HashMap<String, Interval>,
+}
+
+impl RangeMap {
+    /// Creates an empty range map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares that `var` ranges over `interval`.
+    pub fn set(&mut self, var: impl Into<String>, interval: Interval) {
+        self.ranges.insert(var.into(), interval);
+    }
+
+    /// Declares the half-open loop range `var in [0, extent)`.
+    pub fn set_loop(&mut self, var: impl Into<String>, extent_hi: i64) {
+        self.set(var, Interval::bounded(0, extent_hi - 1));
+    }
+
+    /// Range of `var`, unbounded if undeclared.
+    pub fn get(&self, var: &str) -> Interval {
+        self.ranges.get(var).copied().unwrap_or_default()
+    }
+}
+
+/// Computes a sound interval for `e`.
+pub fn infer(e: &Expr, ranges: &RangeMap, reg: &UfRegistry) -> Interval {
+    match e.kind() {
+        ExprKind::Int(v) => Interval::point(*v),
+        ExprKind::Var(n) => ranges.get(n),
+        ExprKind::Add(a, b) => infer(a, ranges, reg).add(infer(b, ranges, reg)),
+        ExprKind::Sub(a, b) => infer(a, ranges, reg).sub(infer(b, ranges, reg)),
+        ExprKind::Mul(a, b) => infer(a, ranges, reg).mul(infer(b, ranges, reg)),
+        ExprKind::FloorDiv(a, b) => infer(a, ranges, reg).floor_div(infer(b, ranges, reg)),
+        ExprKind::FloorMod(a, b) => infer(a, ranges, reg).floor_mod(infer(b, ranges, reg)),
+        ExprKind::Min(a, b) => infer(a, ranges, reg).min_i(infer(b, ranges, reg)),
+        ExprKind::Max(a, b) => infer(a, ranges, reg).max_i(infer(b, ranges, reg)),
+        ExprKind::Select(_, a, b) => infer(a, ranges, reg).union(infer(b, ranges, reg)),
+        ExprKind::Uf(f, _) => match reg.properties(f.name()) {
+            Some(p) => Interval {
+                min: p.min_value,
+                max: p.max_value,
+            },
+            None => Interval::unknown(),
+        },
+        ExprKind::Load(_, _) => Interval::unknown(),
+    }
+}
+
+/// Tries to prove `c` always true (`Some(true)`), always false
+/// (`Some(false)`), or gives up (`None`).
+pub fn prove(c: &Cond, ranges: &RangeMap, reg: &UfRegistry) -> Option<bool> {
+    match c.kind() {
+        CondKind::Const(b) => Some(*b),
+        CondKind::Lt(a, b) => prove_lt(a, b, ranges, reg),
+        CondKind::Le(a, b) => {
+            // a <= b  <=>  a < b + 1
+            prove_lt(&(a.clone() + 1), &(b.clone() + 1 - 0), ranges, reg).or_else(|| {
+                prove_lt(a, &(b.clone() + 1), ranges, reg)
+            })
+        }
+        CondKind::Eq(a, b) => {
+            let ia = infer(a, ranges, reg);
+            let ib = infer(b, ranges, reg);
+            if let (Some(x), Some(y)) = (ia.min, ia.max) {
+                if x == y {
+                    if let (Some(u), Some(v)) = (ib.min, ib.max) {
+                        if u == v {
+                            return Some(x == u);
+                        }
+                    }
+                }
+            }
+            // Disjoint ranges prove inequality.
+            if disjoint(ia, ib) {
+                return Some(false);
+            }
+            None
+        }
+        CondKind::Ne(a, b) => prove(&a.clone().eq_expr(b.clone()), ranges, reg).map(|v| !v),
+        CondKind::And(a, b) => match (prove(a, ranges, reg), prove(b, ranges, reg)) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        CondKind::Or(a, b) => match (prove(a, ranges, reg), prove(b, ranges, reg)) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        CondKind::Not(a) => prove(a, ranges, reg).map(|v| !v),
+    }
+}
+
+fn prove_lt(a: &Expr, b: &Expr, ranges: &RangeMap, reg: &UfRegistry) -> Option<bool> {
+    let ia = infer(a, ranges, reg);
+    let ib = infer(b, ranges, reg);
+    if let (Some(amax), Some(bmin)) = (ia.max, ib.min) {
+        if amax < bmin {
+            return Some(true);
+        }
+    }
+    if let (Some(amin), Some(bmax)) = (ia.min, ib.max) {
+        if amin >= bmax {
+            return Some(false);
+        }
+    }
+    None
+}
+
+fn disjoint(a: Interval, b: Interval) -> bool {
+    matches!((a.max, b.min), (Some(x), Some(y)) if x < y)
+        || matches!((b.max, a.min), (Some(x), Some(y)) if x < y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ufunc::{UfProperties, UfRef, UfRegistry};
+
+    #[test]
+    fn arithmetic_ranges() {
+        let mut rm = RangeMap::new();
+        rm.set_loop("i", 8);
+        let reg = UfRegistry::new();
+        let e = Expr::var("i") * 4 + 3;
+        assert_eq!(infer(&e, &rm, &reg), Interval::bounded(3, 31));
+    }
+
+    #[test]
+    fn division_and_modulo_ranges() {
+        let mut rm = RangeMap::new();
+        rm.set_loop("i", 10);
+        let reg = UfRegistry::new();
+        assert_eq!(
+            infer(&Expr::var("i").floor_div(Expr::int(3)), &rm, &reg),
+            Interval::bounded(0, 3)
+        );
+        assert_eq!(
+            infer(&Expr::var("i").floor_mod(Expr::int(4)), &rm, &reg),
+            Interval::bounded(0, 3)
+        );
+    }
+
+    #[test]
+    fn uf_ranges_from_registry() {
+        let mut reg = UfRegistry::new();
+        let s = UfRef::new("s", 1);
+        reg.register(
+            &s,
+            UfProperties {
+                min_value: Some(1),
+                max_value: Some(128),
+                ..Default::default()
+            },
+        );
+        let rm = RangeMap::new();
+        let e = Expr::uf(s, vec![Expr::var("o")]);
+        assert_eq!(infer(&e, &rm, &reg), Interval::bounded(1, 128));
+    }
+
+    #[test]
+    fn proves_redundant_bound_check() {
+        // i in [0, 32), tile j in [0, 4): i*4 + j < 128 always holds...
+        let mut rm = RangeMap::new();
+        rm.set_loop("i", 32);
+        rm.set_loop("j", 4);
+        let reg = UfRegistry::new();
+        let c = (Expr::var("i") * 4 + Expr::var("j")).lt(Expr::int(128));
+        assert_eq!(prove(&c, &rm, &reg), Some(true));
+        // ...but i*4 + j < 100 does not.
+        let c2 = (Expr::var("i") * 4 + Expr::var("j")).lt(Expr::int(100));
+        assert_eq!(prove(&c2, &rm, &reg), None);
+    }
+
+    #[test]
+    fn proves_false_and_disjoint_eq() {
+        let mut rm = RangeMap::new();
+        rm.set("x", Interval::bounded(10, 20));
+        rm.set("y", Interval::bounded(0, 5));
+        let reg = UfRegistry::new();
+        assert_eq!(prove(&Expr::var("x").lt(Expr::var("y")), &rm, &reg), Some(false));
+        assert_eq!(
+            prove(&Expr::var("x").eq_expr(Expr::var("y")), &rm, &reg),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn le_via_lt_rewrite() {
+        let mut rm = RangeMap::new();
+        rm.set_loop("i", 4);
+        let reg = UfRegistry::new();
+        assert_eq!(
+            prove(&Expr::var("i").le(Expr::int(3)), &rm, &reg),
+            Some(true)
+        );
+    }
+}

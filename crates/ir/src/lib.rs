@@ -1,0 +1,32 @@
+//! # cora-ir
+//!
+//! The intermediate representation of the CoRa ragged-tensor compiler
+//! reproduction: integer index expressions with *uninterpreted functions*
+//! (variable loop bounds, fused-loop maps), float value expressions,
+//! a loop-nest statement IR, a rewriting simplifier with the paper's
+//! fused-loop axioms, interval analysis for bound-check elision, and C/CUDA
+//! pretty-printers.
+//!
+//! This crate is dependency-light and semantically self-contained: every
+//! transformation is checked against concrete evaluation ([`eval::Env`]).
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod expr;
+pub mod fexpr;
+pub mod interval;
+pub mod printer;
+pub mod simplify;
+pub mod solve;
+pub mod stmt;
+pub mod ufunc;
+pub mod visit;
+
+pub use eval::Env;
+pub use expr::{Cond, CondKind, Expr, ExprKind};
+pub use fexpr::{FExpr, FExprKind, FUnaryOp};
+pub use interval::{Interval, RangeMap};
+pub use solve::Solver;
+pub use stmt::{ForKind, Stmt, StoreKind};
+pub use ufunc::{FusedTriple, UfEval, UfProperties, UfRef, UfRegistry, UfTable};

@@ -1,0 +1,337 @@
+//! Algebraic simplification with uninterpreted-function axioms.
+//!
+//! Where the paper hands expressions to Z3 (§B.2), we apply a terminating
+//! bottom-up rewriter. It covers the query shapes CoRa's lowering produces:
+//! constant folding, neutral/absorbing elements, floor-division
+//! cancellation, min/max collapsing, and the three fused-loop axioms
+//! (`ffo(foif(o,i)) = o`, `ffi(foif(o,i)) = i`, `foif(ffo(f),ffi(f)) = f`).
+//!
+//! Every rule is semantics-preserving; `proptest` checks random expressions
+//! evaluate identically before and after simplification.
+
+use crate::expr::{floor_div_i64, floor_mod_i64, Cond, CondKind, Expr, ExprKind};
+use crate::ufunc::UfRegistry;
+
+/// Simplifies `e` bottom-up using the axioms in `reg`.
+pub fn simplify(e: &Expr, reg: &UfRegistry) -> Expr {
+    match e.kind() {
+        ExprKind::Int(_) | ExprKind::Var(_) => e.clone(),
+        ExprKind::Add(a, b) => simplify_add(simplify(a, reg), simplify(b, reg)),
+        ExprKind::Sub(a, b) => simplify_sub(simplify(a, reg), simplify(b, reg)),
+        ExprKind::Mul(a, b) => simplify_mul(simplify(a, reg), simplify(b, reg)),
+        ExprKind::FloorDiv(a, b) => simplify_div(simplify(a, reg), simplify(b, reg)),
+        ExprKind::FloorMod(a, b) => simplify_mod(simplify(a, reg), simplify(b, reg)),
+        ExprKind::Min(a, b) => {
+            let (a, b) = (simplify(a, reg), simplify(b, reg));
+            match (a.as_int(), b.as_int()) {
+                (Some(x), Some(y)) => Expr::int(x.min(y)),
+                _ if a == b => a,
+                _ => a.min(b),
+            }
+        }
+        ExprKind::Max(a, b) => {
+            let (a, b) = (simplify(a, reg), simplify(b, reg));
+            match (a.as_int(), b.as_int()) {
+                (Some(x), Some(y)) => Expr::int(x.max(y)),
+                _ if a == b => a,
+                _ => a.max(b),
+            }
+        }
+        ExprKind::Select(c, a, b) => {
+            let c = simplify_cond(c, reg);
+            let (a, b) = (simplify(a, reg), simplify(b, reg));
+            match c.as_bool() {
+                Some(true) => a,
+                Some(false) => b,
+                None if a == b => a,
+                None => Expr::select(c, a, b),
+            }
+        }
+        ExprKind::Uf(f, args) => {
+            let args: Vec<Expr> = args.iter().map(|a| simplify(a, reg)).collect();
+            apply_uf_axioms(f.name(), &args, reg)
+                .unwrap_or_else(|| Expr::uf(f.clone(), args))
+        }
+        ExprKind::Load(buf, idx) => Expr::load(buf.clone(), simplify(idx, reg)),
+    }
+}
+
+/// Simplifies a condition bottom-up.
+pub fn simplify_cond(c: &Cond, reg: &UfRegistry) -> Cond {
+    match c.kind() {
+        CondKind::Const(_) => c.clone(),
+        CondKind::Lt(a, b) => fold_cmp(simplify(a, reg), simplify(b, reg), |x, y| x < y, Expr::lt),
+        CondKind::Le(a, b) => fold_cmp(simplify(a, reg), simplify(b, reg), |x, y| x <= y, Expr::le),
+        CondKind::Eq(a, b) => {
+            let (a, b) = (simplify(a, reg), simplify(b, reg));
+            if a == b {
+                return Cond::const_bool(true);
+            }
+            fold_cmp(a, b, |x, y| x == y, Expr::eq_expr)
+        }
+        CondKind::Ne(a, b) => {
+            let (a, b) = (simplify(a, reg), simplify(b, reg));
+            if a == b {
+                return Cond::const_bool(false);
+            }
+            fold_cmp(a, b, |x, y| x != y, Expr::ne_expr)
+        }
+        CondKind::And(a, b) => {
+            let (a, b) = (simplify_cond(a, reg), simplify_cond(b, reg));
+            match (a.as_bool(), b.as_bool()) {
+                (Some(false), _) | (_, Some(false)) => Cond::const_bool(false),
+                (Some(true), _) => b,
+                (_, Some(true)) => a,
+                _ => a.and(b),
+            }
+        }
+        CondKind::Or(a, b) => {
+            let (a, b) = (simplify_cond(a, reg), simplify_cond(b, reg));
+            match (a.as_bool(), b.as_bool()) {
+                (Some(true), _) | (_, Some(true)) => Cond::const_bool(true),
+                (Some(false), _) => b,
+                (_, Some(false)) => a,
+                _ => a.or(b),
+            }
+        }
+        CondKind::Not(a) => {
+            let a = simplify_cond(a, reg);
+            match a.as_bool() {
+                Some(v) => Cond::const_bool(!v),
+                None => a.not(),
+            }
+        }
+    }
+}
+
+fn fold_cmp(
+    a: Expr,
+    b: Expr,
+    f: impl Fn(i64, i64) -> bool,
+    rebuild: impl Fn(Expr, Expr) -> Cond,
+) -> Cond {
+    match (a.as_int(), b.as_int()) {
+        (Some(x), Some(y)) => Cond::const_bool(f(x, y)),
+        _ => rebuild(a, b),
+    }
+}
+
+fn simplify_add(a: Expr, b: Expr) -> Expr {
+    match (a.as_int(), b.as_int()) {
+        (Some(x), Some(y)) => return Expr::int(x + y),
+        (Some(0), _) => return b,
+        (_, Some(0)) => return a,
+        _ => {}
+    }
+    // (x + c1) + c2 -> x + (c1+c2): keeps offset chains shallow.
+    if let (ExprKind::Add(x, c1), Some(c2)) = (a.kind(), b.as_int()) {
+        if let Some(c1v) = c1.as_int() {
+            return simplify_add(x.clone(), Expr::int(c1v + c2));
+        }
+    }
+    a + b
+}
+
+fn simplify_sub(a: Expr, b: Expr) -> Expr {
+    if a == b {
+        return Expr::int(0);
+    }
+    match (a.as_int(), b.as_int()) {
+        (Some(x), Some(y)) => Expr::int(x - y),
+        (_, Some(0)) => a,
+        _ => a - b,
+    }
+}
+
+fn simplify_mul(a: Expr, b: Expr) -> Expr {
+    match (a.as_int(), b.as_int()) {
+        (Some(x), Some(y)) => return Expr::int(x * y),
+        (Some(0), _) | (_, Some(0)) => return Expr::int(0),
+        (Some(1), _) => return b,
+        (_, Some(1)) => return a,
+        _ => {}
+    }
+    a * b
+}
+
+fn simplify_div(a: Expr, b: Expr) -> Expr {
+    if let (Some(x), Some(y)) = (a.as_int(), b.as_int()) {
+        if y != 0 {
+            return Expr::int(floor_div_i64(x, y));
+        }
+    }
+    if b.is_one() {
+        return a;
+    }
+    if a.is_zero() {
+        return Expr::int(0);
+    }
+    // (x * c) / c -> x for positive constant c.
+    if let (ExprKind::Mul(x, c1), Some(c)) = (a.kind(), b.as_int()) {
+        if c > 0 && c1.as_int() == Some(c) {
+            return x.clone();
+        }
+    }
+    // (x*c1 + r) / c2 where c2 | c1 and 0 <= r < c2 cannot be proven here;
+    // handled by the solver with interval context instead.
+    a.floor_div(b)
+}
+
+fn simplify_mod(a: Expr, b: Expr) -> Expr {
+    if let (Some(x), Some(y)) = (a.as_int(), b.as_int()) {
+        if y != 0 {
+            return Expr::int(floor_mod_i64(x, y));
+        }
+    }
+    if b.is_one() {
+        return Expr::int(0);
+    }
+    if a.is_zero() {
+        return Expr::int(0);
+    }
+    // (x * c) % c -> 0 for positive constant c.
+    if let (ExprKind::Mul(_, c1), Some(c)) = (a.kind(), b.as_int()) {
+        if c > 0 && c1.as_int() == Some(c) {
+            return Expr::int(0);
+        }
+    }
+    a.floor_mod(b)
+}
+
+/// Applies the fused-triple axioms to a UF call; returns `None` if no axiom
+/// matched.
+fn apply_uf_axioms(name: &str, args: &[Expr], reg: &UfRegistry) -> Option<Expr> {
+    // ffo(foif(o, i)) -> o and ffi(foif(o, i)) -> i.
+    if let Some(triple) = reg.triple_with_component(name) {
+        if args.len() == 1 {
+            if let ExprKind::Uf(inner, inner_args) = args[0].kind() {
+                if inner.name() == triple.foif.name() && inner_args.len() == 2 {
+                    if name == triple.ffo.name() {
+                        return Some(inner_args[0].clone());
+                    }
+                    if name == triple.ffi.name() {
+                        return Some(inner_args[1].clone());
+                    }
+                }
+            }
+        }
+    }
+    // foif(ffo(f), ffi(f)) -> f.
+    if let Some(triple) = reg.triple_with_foif(name) {
+        if args.len() == 2 {
+            if let (ExprKind::Uf(f0, a0), ExprKind::Uf(f1, a1)) = (args[0].kind(), args[1].kind())
+            {
+                if f0.name() == triple.ffo.name()
+                    && f1.name() == triple.ffi.name()
+                    && a0.len() == 1
+                    && a1.len() == 1
+                    && a0[0] == a1[0]
+                {
+                    return Some(a0[0].clone());
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ufunc::{FusedTriple, UfRef};
+
+    fn reg_with_triple() -> (UfRegistry, UfRef, UfRef, UfRef) {
+        let mut reg = UfRegistry::new();
+        let foif = UfRef::new("foif", 2);
+        let ffo = UfRef::new("ffo", 1);
+        let ffi = UfRef::new("ffi", 1);
+        reg.register_fused_triple(FusedTriple {
+            foif: foif.clone(),
+            ffo: ffo.clone(),
+            ffi: ffi.clone(),
+        });
+        (reg, foif, ffo, ffi)
+    }
+
+    #[test]
+    fn folds_constants() {
+        let reg = UfRegistry::new();
+        let e = (Expr::int(3) + 4) * 2 - 1;
+        assert_eq!(simplify(&e, &reg).as_int(), Some(13));
+    }
+
+    #[test]
+    fn neutral_elements() {
+        let reg = UfRegistry::new();
+        let x = Expr::var("x");
+        assert_eq!(simplify(&(x.clone() + 0), &reg), x);
+        assert_eq!(simplify(&(x.clone() * 1), &reg), x);
+        assert_eq!(simplify(&(x.clone() * 0), &reg).as_int(), Some(0));
+        assert_eq!(simplify(&(x.clone() - x.clone()), &reg).as_int(), Some(0));
+    }
+
+    #[test]
+    fn mul_div_cancellation() {
+        let reg = UfRegistry::new();
+        let x = Expr::var("x");
+        let e = (x.clone() * 8).floor_div(Expr::int(8));
+        assert_eq!(simplify(&e, &reg), x);
+        let m = (Expr::var("x") * 8).floor_mod(Expr::int(8));
+        assert_eq!(simplify(&m, &reg).as_int(), Some(0));
+    }
+
+    #[test]
+    fn add_chain_reassociation() {
+        let reg = UfRegistry::new();
+        let e = (Expr::var("x") + 3) + 4;
+        assert_eq!(format!("{}", simplify(&e, &reg)), "(x + 7)");
+    }
+
+    #[test]
+    fn fused_axioms_fire() {
+        let (reg, foif, ffo, ffi) = reg_with_triple();
+        let o = Expr::var("o");
+        let i = Expr::var("i");
+        let f = Expr::var("f");
+
+        let e1 = Expr::uf(ffo.clone(), vec![Expr::uf(foif.clone(), vec![o.clone(), i.clone()])]);
+        assert_eq!(simplify(&e1, &reg), o);
+
+        let e2 = Expr::uf(ffi.clone(), vec![Expr::uf(foif.clone(), vec![o.clone(), i.clone()])]);
+        assert_eq!(simplify(&e2, &reg), i);
+
+        let e3 = Expr::uf(
+            foif,
+            vec![
+                Expr::uf(ffo, vec![f.clone()]),
+                Expr::uf(ffi, vec![f.clone()]),
+            ],
+        );
+        assert_eq!(simplify(&e3, &reg), f);
+    }
+
+    #[test]
+    fn select_with_constant_condition() {
+        let reg = UfRegistry::new();
+        let e = Expr::select(
+            Expr::int(1).lt(Expr::int(2)),
+            Expr::var("a"),
+            Expr::var("b"),
+        );
+        assert_eq!(simplify(&e, &reg), Expr::var("a"));
+    }
+
+    #[test]
+    fn cond_simplification() {
+        let reg = UfRegistry::new();
+        let t = Expr::int(1).lt(Expr::int(2));
+        let u = Expr::var("x").lt(Expr::var("y"));
+        assert_eq!(
+            simplify_cond(&t.clone().and(u.clone()), &reg),
+            simplify_cond(&u, &reg)
+        );
+        assert_eq!(simplify_cond(&t.or(u), &reg).as_bool(), Some(true));
+        let same = Expr::var("x").eq_expr(Expr::var("x"));
+        assert_eq!(simplify_cond(&same, &reg).as_bool(), Some(true));
+    }
+}

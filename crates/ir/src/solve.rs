@@ -1,0 +1,139 @@
+//! The solver facade: simplification + interval reasoning + UF axioms.
+//!
+//! This stands in for the paper's use of the Z3 SMT solver (§B.2): it
+//! simplifies expressions containing uninterpreted-function calls and
+//! proves (or declines to prove) bound-check conditions so guards can be
+//! elided from padded loop bodies.
+
+use crate::expr::{Cond, Expr};
+use crate::interval::{infer, prove, Interval, RangeMap};
+use crate::simplify::{simplify, simplify_cond};
+use crate::ufunc::UfRegistry;
+
+/// A solving context owning the UF registry and variable ranges.
+#[derive(Debug, Default)]
+pub struct Solver {
+    registry: UfRegistry,
+    ranges: RangeMap,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shared access to the UF registry.
+    pub fn registry(&self) -> &UfRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the UF registry.
+    pub fn registry_mut(&mut self) -> &mut UfRegistry {
+        &mut self.registry
+    }
+
+    /// Shared access to the variable ranges.
+    pub fn ranges(&self) -> &RangeMap {
+        &self.ranges
+    }
+
+    /// Mutable access to the variable ranges.
+    pub fn ranges_mut(&mut self) -> &mut RangeMap {
+        &mut self.ranges
+    }
+
+    /// Simplifies an expression using the registered axioms.
+    pub fn simplify(&self, e: &Expr) -> Expr {
+        simplify(e, &self.registry)
+    }
+
+    /// Simplifies a condition.
+    pub fn simplify_cond(&self, c: &Cond) -> Cond {
+        simplify_cond(c, &self.registry)
+    }
+
+    /// Infers a sound interval for `e` under the current ranges.
+    pub fn interval(&self, e: &Expr) -> Interval {
+        infer(&self.simplify(e), &self.ranges, &self.registry)
+    }
+
+    /// Tries to decide `c`: `Some(true)` (valid), `Some(false)`
+    /// (unsatisfiable), or `None` (unknown).
+    pub fn decide(&self, c: &Cond) -> Option<bool> {
+        let c = self.simplify_cond(c);
+        if let Some(b) = c.as_bool() {
+            return Some(b);
+        }
+        prove(&c, &self.ranges, &self.registry)
+    }
+
+    /// Returns `c` unless it is provably always true, in which case the
+    /// guard is redundant and `None` is returned.
+    ///
+    /// This is the elision query CoRa issues when loop padding guarantees
+    /// a bound check can never fail (§4.1).
+    pub fn elide_guard(&self, c: &Cond) -> Option<Cond> {
+        match self.decide(c) {
+            Some(true) => None,
+            _ => Some(self.simplify_cond(c)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+    use crate::ufunc::{FusedTriple, UfProperties, UfRef};
+
+    #[test]
+    fn elides_guard_proved_by_padding() {
+        // Loop padded to a multiple of 4 with storage padded to a multiple
+        // of 4: access index i < padded_extent always holds.
+        let mut s = Solver::new();
+        s.ranges_mut().set("i", Interval::bounded(0, 127));
+        let c = Expr::var("i").lt(Expr::int(128));
+        assert!(s.elide_guard(&c).is_none());
+        let c2 = Expr::var("i").lt(Expr::int(100));
+        assert!(s.elide_guard(&c2).is_some());
+    }
+
+    #[test]
+    fn decides_with_uf_bounds() {
+        let mut s = Solver::new();
+        let len = UfRef::new("s", 1);
+        s.registry_mut().register(
+            &len,
+            UfProperties {
+                min_value: Some(1),
+                max_value: Some(512),
+                ..Default::default()
+            },
+        );
+        s.ranges_mut().set("i", Interval::bounded(0, 0));
+        // i < s(o) cannot be decided in general...
+        let c = Expr::var("i").lt(Expr::uf(len.clone(), vec![Expr::var("o")]));
+        assert_eq!(s.decide(&c), Some(true)); // i == 0 < s >= 1
+        // ...but i < s(o) with i up to 511 is unknown.
+        s.ranges_mut().set("i", Interval::bounded(0, 511));
+        assert_eq!(s.decide(&c), None);
+    }
+
+    #[test]
+    fn fused_axiom_reaches_decision() {
+        let mut s = Solver::new();
+        let foif = UfRef::new("foif", 2);
+        let ffo = UfRef::new("ffo", 1);
+        let ffi = UfRef::new("ffi", 1);
+        s.registry_mut().register_fused_triple(FusedTriple {
+            foif: foif.clone(),
+            ffo: ffo.clone(),
+            ffi: ffi.clone(),
+        });
+        // ffo(foif(o, i)) == o simplifies to true.
+        let lhs = Expr::uf(ffo, vec![Expr::uf(foif, vec![Expr::var("o"), Expr::var("i")])]);
+        let c = lhs.eq_expr(Expr::var("o"));
+        assert_eq!(s.decide(&c), Some(true));
+    }
+}

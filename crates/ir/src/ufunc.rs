@@ -1,0 +1,260 @@
+//! Uninterpreted functions and their registered properties.
+//!
+//! The paper (§5.1, §B.2) represents variable loop bounds and fused-loop
+//! variable relationships as *uninterpreted functions* and feeds Z3 a small
+//! set of axioms relating them. We keep the same architecture: a [`UfRef`]
+//! is an opaque symbol at compile time; a [`UfRegistry`] records the
+//! properties the solver may rely on (value bounds, monotonicity, and the
+//! fused-triple axioms); the prelude materialises each symbol as an array at
+//! run time.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A reference to an uninterpreted integer function.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct UfRef(Rc<UfData>);
+
+#[derive(PartialEq, Eq, Hash)]
+struct UfData {
+    name: String,
+    arity: usize,
+}
+
+impl UfRef {
+    /// Creates a new uninterpreted function symbol.
+    pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        UfRef(Rc::new(UfData {
+            name: name.into(),
+            arity,
+        }))
+    }
+
+    /// The symbol's name (unique within a lowering context).
+    pub fn name(&self) -> &str {
+        &self.0.name
+    }
+
+    /// Number of integer arguments.
+    pub fn arity(&self) -> usize {
+        self.0.arity
+    }
+}
+
+impl fmt::Debug for UfRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uf:{}/{}", self.name(), self.arity())
+    }
+}
+
+/// Compile-time properties of one uninterpreted function.
+#[derive(Debug, Clone, Default)]
+pub struct UfProperties {
+    /// Smallest value the function can return, if known.
+    pub min_value: Option<i64>,
+    /// Largest value the function can return, if known.
+    pub max_value: Option<i64>,
+    /// The function is non-decreasing in each argument.
+    ///
+    /// Holds for prefix-sum offset arrays (`A_d` in Algorithm 1) and for
+    /// `ffo` (the fused-to-outer map), which the paper's Fig. 7 range rules
+    /// rely on.
+    pub monotonic_nondecreasing: bool,
+}
+
+/// The axiom tying together the three maps created by fusing a vloop nest.
+///
+/// Fusing loops `o` (outer) and `i` (inner, with variable extent) into `f`
+/// creates maps satisfying (paper §B.2):
+///
+/// * `foif(ffo(f), ffi(f)) = f`
+/// * `ffo(foif(o, i)) = o`
+/// * `ffi(foif(o, i)) = i`
+#[derive(Debug, Clone)]
+pub struct FusedTriple {
+    /// `(o, i) -> f`.
+    pub foif: UfRef,
+    /// `f -> o`.
+    pub ffo: UfRef,
+    /// `f -> i`.
+    pub ffi: UfRef,
+}
+
+/// Registry of uninterpreted-function properties consulted by the solver.
+#[derive(Debug, Default)]
+pub struct UfRegistry {
+    properties: HashMap<String, UfProperties>,
+    triples: Vec<FusedTriple>,
+}
+
+impl UfRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the properties of `f`.
+    pub fn register(&mut self, f: &UfRef, props: UfProperties) {
+        self.properties.insert(f.name().to_string(), props);
+    }
+
+    /// Registers a fused-loop triple axiom.
+    ///
+    /// Also marks `ffo` as monotonic non-decreasing, which holds by
+    /// construction of the fusion maps.
+    pub fn register_fused_triple(&mut self, triple: FusedTriple) {
+        self.properties
+            .entry(triple.ffo.name().to_string())
+            .or_default()
+            .monotonic_nondecreasing = true;
+        self.triples.push(triple);
+    }
+
+    /// Looks up properties for a function name.
+    pub fn properties(&self, name: &str) -> Option<&UfProperties> {
+        self.properties.get(name)
+    }
+
+    /// All registered fused triples.
+    pub fn triples(&self) -> &[FusedTriple] {
+        &self.triples
+    }
+
+    /// Finds the triple in which `name` plays the `foif` role.
+    pub fn triple_with_foif(&self, name: &str) -> Option<&FusedTriple> {
+        self.triples.iter().find(|t| t.foif.name() == name)
+    }
+
+    /// Finds the triple in which `name` plays the `ffo` or `ffi` role.
+    pub fn triple_with_component(&self, name: &str) -> Option<&FusedTriple> {
+        self.triples
+            .iter()
+            .find(|t| t.ffo.name() == name || t.ffi.name() == name)
+    }
+}
+
+/// Runtime implementations of uninterpreted functions.
+///
+/// The prelude produces tables (plain arrays); the evaluator and interpreter
+/// resolve [`UfRef`] calls through this trait.
+pub trait UfEval {
+    /// Evaluates function `name` on `args`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `name` is unknown or `args` are out of
+    /// the tabulated domain; both indicate a compiler bug.
+    fn eval_uf(&self, name: &str, args: &[i64]) -> i64;
+}
+
+/// A table-backed implementation of [`UfEval`] for tests and the prelude.
+#[derive(Debug, Default, Clone)]
+pub struct UfTable {
+    funcs: HashMap<String, Rc<dyn UfFn>>,
+}
+
+trait UfFn: fmt::Debug {
+    fn call(&self, args: &[i64]) -> i64;
+}
+
+#[derive(Debug)]
+struct Table1D(Vec<i64>);
+
+impl UfFn for Table1D {
+    fn call(&self, args: &[i64]) -> i64 {
+        self.0[usize::try_from(args[0]).expect("negative index into 1-D uf table")]
+    }
+}
+
+#[derive(Debug)]
+struct Rows2D(Vec<Vec<i64>>);
+
+impl UfFn for Rows2D {
+    fn call(&self, args: &[i64]) -> i64 {
+        let r = usize::try_from(args[0]).expect("negative row into 2-D uf table");
+        let c = usize::try_from(args[1]).expect("negative col into 2-D uf table");
+        self.0[r][c]
+    }
+}
+
+impl UfTable {
+    /// Creates an empty table set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a unary function backed by `values` (domain `0..len`).
+    pub fn insert_table1d(&mut self, name: impl Into<String>, values: Vec<i64>) {
+        self.funcs.insert(name.into(), Rc::new(Table1D(values)));
+    }
+
+    /// Registers a binary function backed by ragged rows.
+    pub fn insert_rows2d(&mut self, name: impl Into<String>, rows: Vec<Vec<i64>>) {
+        self.funcs.insert(name.into(), Rc::new(Rows2D(rows)));
+    }
+
+    /// True if `name` has an implementation.
+    pub fn contains(&self, name: &str) -> bool {
+        self.funcs.contains_key(name)
+    }
+}
+
+impl UfEval for UfTable {
+    fn eval_uf(&self, name: &str, args: &[i64]) -> i64 {
+        self.funcs
+            .get(name)
+            .unwrap_or_else(|| panic!("no runtime table for uninterpreted function `{name}`"))
+            .call(args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_round_trip() {
+        let mut reg = UfRegistry::new();
+        let s = UfRef::new("s", 1);
+        reg.register(
+            &s,
+            UfProperties {
+                min_value: Some(0),
+                max_value: Some(128),
+                monotonic_nondecreasing: false,
+            },
+        );
+        let p = reg.properties("s").unwrap();
+        assert_eq!(p.max_value, Some(128));
+    }
+
+    #[test]
+    fn fused_triple_marks_ffo_monotonic() {
+        let mut reg = UfRegistry::new();
+        reg.register_fused_triple(FusedTriple {
+            foif: UfRef::new("foif", 2),
+            ffo: UfRef::new("ffo", 1),
+            ffi: UfRef::new("ffi", 1),
+        });
+        assert!(reg.properties("ffo").unwrap().monotonic_nondecreasing);
+        assert!(reg.triple_with_foif("foif").is_some());
+        assert!(reg.triple_with_component("ffi").is_some());
+    }
+
+    #[test]
+    fn table_eval() {
+        let mut t = UfTable::new();
+        t.insert_table1d("s", vec![5, 2, 3]);
+        t.insert_rows2d("foif", vec![vec![0, 1], vec![2]]);
+        assert_eq!(t.eval_uf("s", &[1]), 2);
+        assert_eq!(t.eval_uf("foif", &[1, 0]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no runtime table")]
+    fn missing_table_panics() {
+        let t = UfTable::new();
+        t.eval_uf("nope", &[0]);
+    }
+}

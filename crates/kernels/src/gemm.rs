@@ -1,0 +1,249 @@
+//! Dense single-precision matrix multiplication.
+//!
+//! These are the workhorse kernels: the fully padded baselines call them on
+//! rectangular tensors, and CoRa-compiled operators call the
+//! leading-dimension variants on the dense inner tiles of ragged iteration
+//! spaces — mirroring the paper's CPU backend, which "offloads the
+//! computation of inner gemm tiles to MKL".
+//!
+//! All matrices are row-major `f32`.
+
+/// `C[m,n] += A[m,k] · B[k,n]` (row-major, contiguous).
+pub fn sgemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    sgemm_ld(m, k, n, a, k, b, n, c, n);
+}
+
+/// `C += A · B` with explicit leading dimensions, so callers can address
+/// tiles inside larger (possibly ragged) buffers.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if any slice is too short for the given
+/// dimensions and leading dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_ld(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    debug_assert!(m == 0 || k == 0 || a.len() >= (m - 1) * lda + k);
+    debug_assert!(k == 0 || n == 0 || b.len() >= (k - 1) * ldb + n);
+    debug_assert!(m == 0 || n == 0 || c.len() >= (m - 1) * ldc + n);
+    // i-k-j ordering: the innermost loop streams B and C rows and
+    // auto-vectorizes.
+    for i in 0..m {
+        let c_row = &mut c[i * ldc..i * ldc + n];
+        for p in 0..k {
+            let a_ip = a[i * lda + p];
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * ldb..p * ldb + n];
+            for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += a_ip * *bv;
+            }
+        }
+    }
+}
+
+/// `C[m,n] += A[m,k] · B[n,k]ᵀ` (B stored row-major as `[n,k]`).
+///
+/// The form attention's `QKᵀ` takes with row-major Q and K.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_nt_ld(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    debug_assert!(m == 0 || k == 0 || a.len() >= (m - 1) * lda + k);
+    debug_assert!(n == 0 || k == 0 || b.len() >= (n - 1) * ldb + k);
+    debug_assert!(m == 0 || n == 0 || c.len() >= (m - 1) * ldc + n);
+    for i in 0..m {
+        let a_row = &a[i * lda..i * lda + k];
+        for j in 0..n {
+            let b_row = &b[j * ldb..j * ldb + k];
+            let mut acc = 0.0f32;
+            for (av, bv) in a_row.iter().zip(b_row.iter()) {
+                acc += *av * *bv;
+            }
+            c[i * ldc + j] += acc;
+        }
+    }
+}
+
+/// Contiguous convenience wrapper for [`sgemm_nt_ld`].
+pub fn sgemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    sgemm_nt_ld(m, k, n, a, k, b, k, c, n);
+}
+
+/// Batched gemm on equal-shaped (fully padded) operands:
+/// `C[b] += A[b] · B[b]` for each of `batch` problems.
+pub fn batched_sgemm(
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    for bi in 0..batch {
+        sgemm(
+            m,
+            k,
+            n,
+            &a[bi * m * k..(bi + 1) * m * k],
+            &b[bi * k * n..(bi + 1) * k * n],
+            &mut c[bi * m * n..(bi + 1) * m * n],
+        );
+    }
+}
+
+/// Reference triangular matrix multiply: `C[n,n] += L[n,n] · B[n,n]` where
+/// `L` is lower-triangular (entries above the diagonal ignored).
+///
+/// Row `i` of `L` has `i+1` meaningful entries, which is what makes trmm a
+/// ragged problem (§7.1).
+pub fn trmm_lower(n: usize, l: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..n {
+        let row = &l[i * n..i * n + i + 1];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &l_ip) in row.iter().enumerate() {
+            if l_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += l_ip * *bv;
+            }
+        }
+    }
+}
+
+/// FLOP count of a dense `m×k×n` gemm (multiply-adds counted as 2).
+pub fn gemm_flops(m: usize, k: usize, n: usize) -> f64 {
+    2.0 * m as f64 * k as f64 * n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn seq(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 7 + 3) % 11) as f32 - 5.0).collect()
+    }
+
+    #[test]
+    fn sgemm_matches_naive() {
+        let (m, k, n) = (5, 7, 4);
+        let a = seq(m * k);
+        let b = seq(k * n);
+        let mut c = vec![0.0; m * n];
+        sgemm(m, k, n, &a, &b, &mut c);
+        assert_eq!(c, naive(m, k, n, &a, &b));
+    }
+
+    #[test]
+    fn sgemm_accumulates() {
+        let (m, k, n) = (2, 2, 2);
+        let a = vec![1.0; 4];
+        let b = vec![1.0; 4];
+        let mut c = vec![10.0; 4];
+        sgemm(m, k, n, &a, &b, &mut c);
+        assert_eq!(c, vec![12.0; 4]);
+    }
+
+    #[test]
+    fn ld_variant_addresses_tiles() {
+        // Multiply the top-left 2x2 tiles of 4x4 matrices.
+        let a = seq(16);
+        let b = seq(16);
+        let mut c = vec![0.0; 16];
+        sgemm_ld(2, 2, 2, &a, 4, &b, 4, &mut c, 4);
+        for i in 0..2 {
+            for j in 0..2 {
+                let want: f32 = (0..2).map(|p| a[i * 4 + p] * b[p * 4 + j]).sum();
+                assert_eq!(c[i * 4 + j], want);
+            }
+        }
+        // Untouched region stays zero.
+        assert_eq!(c[15], 0.0);
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let (m, k, n) = (3, 5, 4);
+        let a = seq(m * k);
+        let bt = seq(n * k); // stored as [n, k]
+        let mut b = vec![0.0; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = bt[j * k + p];
+            }
+        }
+        let mut c1 = vec![0.0; m * n];
+        sgemm_nt(m, k, n, &a, &bt, &mut c1);
+        assert_eq!(c1, naive(m, k, n, &a, &b));
+    }
+
+    #[test]
+    fn batched_processes_each_problem() {
+        let (batch, m, k, n) = (3, 2, 3, 2);
+        let a = seq(batch * m * k);
+        let b = seq(batch * k * n);
+        let mut c = vec![0.0; batch * m * n];
+        batched_sgemm(batch, m, k, n, &a, &b, &mut c);
+        for bi in 0..batch {
+            let want = naive(m, k, n, &a[bi * m * k..(bi + 1) * m * k], &b[bi * k * n..(bi + 1) * k * n]);
+            assert_eq!(&c[bi * m * n..(bi + 1) * m * n], want.as_slice());
+        }
+    }
+
+    #[test]
+    fn trmm_ignores_upper_triangle() {
+        let n = 4;
+        let mut l = seq(n * n);
+        // Poison the upper triangle; trmm_lower must not read it.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                l[i * n + j] = f32::NAN;
+            }
+        }
+        let b = seq(n * n);
+        let mut c = vec![0.0; n * n];
+        trmm_lower(n, &l, &b, &mut c);
+        assert!(c.iter().all(|v| v.is_finite()));
+        // Check one entry: c[2][1] = sum_{p<=2} l[2][p] * b[p][1].
+        let want: f32 = (0..=2).map(|p| l[2 * n + p] * b[p * n + 1]).sum();
+        assert_eq!(c[2 * n + 1], want);
+    }
+
+    #[test]
+    fn flop_count() {
+        assert_eq!(gemm_flops(2, 3, 4), 48.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # cora-kernels
+//!
+//! Dense baseline kernels and microkernels for the CoRa reproduction:
+//! blocked row-major gemm (plain, transposed-B, batched, triangular),
+//! softmax, layer norm, elementwise/padding-change operators, and the
+//! vendor-library cost model that prices cuBLAS/MKL-style kernels on the
+//! simulated GPU.
+//!
+//! CoRa-compiled operators dispatch their dense inner tiles to the
+//! leading-dimension gemm variants here, mirroring the paper's CPU backend
+//! offloading inner tiles to MKL.
+
+#![warn(missing_docs)]
+
+pub mod elementwise;
+pub mod gemm;
+pub mod layernorm;
+pub mod softmax;
+pub mod vendor;
+
+pub use gemm::{batched_sgemm, gemm_flops, sgemm, sgemm_ld, sgemm_nt, sgemm_nt_ld, trmm_lower};
+pub use layernorm::{layernorm_row, layernorm_rows};
+pub use softmax::{softmax_row, softmax_rows};

@@ -1,0 +1,93 @@
+//! Named dimensions (§4, §5.2).
+//!
+//! CoRa uses *named dimensions* to tie loops to tensor dimensions and to
+//! express raggedness dependences ("the extent of `len_dim` is a function
+//! of the index along `batch_dim`"). They also let bounds inference match
+//! iteration variables across producers and consumers.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_DIM_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A named dimension identity.
+///
+/// Two `Dim`s are equal iff they were created by the same call to
+/// [`Dim::new`]; the name is for diagnostics only.
+#[derive(Clone)]
+pub struct Dim(Arc<DimData>);
+
+struct DimData {
+    id: u64,
+    name: String,
+}
+
+impl Dim {
+    /// Creates a fresh dimension named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Dim(Arc::new(DimData {
+            id: NEXT_DIM_ID.fetch_add(1, Ordering::Relaxed),
+            name: name.into(),
+        }))
+    }
+
+    /// The diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.0.name
+    }
+
+    /// The unique id.
+    pub fn id(&self) -> u64 {
+        self.0.id
+    }
+}
+
+impl PartialEq for Dim {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.id == other.0.id
+    }
+}
+
+impl Eq for Dim {}
+
+impl std::hash::Hash for Dim {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.id.hash(state);
+    }
+}
+
+impl fmt::Debug for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dim({}#{})", self.0.name, self.0.id)
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_not_name_equality() {
+        let a = Dim::new("batch");
+        let b = Dim::new("batch");
+        assert_ne!(a, b);
+        assert_eq!(a, a.clone());
+        assert_eq!(a.name(), "batch");
+    }
+
+    #[test]
+    fn usable_in_hash_maps() {
+        use std::collections::HashMap;
+        let a = Dim::new("x");
+        let mut m = HashMap::new();
+        m.insert(a.clone(), 1);
+        assert_eq!(m[&a], 1);
+    }
+}

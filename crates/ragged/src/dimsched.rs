@@ -1,0 +1,376 @@
+//! Tensor dimension scheduling (§4.1): split, fuse and reorder the
+//! *storage* dimensions of ragged tensors.
+//!
+//! The headline transform is Fig. 6's `fuse_dims(T, 0, 1)`: when a
+//! tensor's storage mirrors a fused loop nest (outer cdim + inner vdim
+//! that depends on it), fusing the two dimensions yields a 1-D layout of
+//! extent `Σ s(i)` whose access expression is simply the fused loop
+//! variable — "fusing tensor dimensions in a way that mirrors the
+//! surrounding loop nest can allow for simpler memory accesses".
+//!
+//! All transforms preserve the flat element order, so they are free at
+//! run time; tests verify offset equivalence element-by-element.
+
+use crate::dgraph::DgraphError;
+use crate::dim::Dim;
+use crate::layout::RaggedLayout;
+
+/// Errors from dimension scheduling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimSchedError {
+    /// Dimension index out of range.
+    OutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Number of dimensions.
+        ndim: usize,
+    },
+    /// `fuse_dims` requires the inner dimension to depend on the outer one
+    /// (or both to be cdims) and to be adjacent.
+    NotFusable {
+        /// Outer dimension index.
+        outer: usize,
+        /// Inner dimension index.
+        inner: usize,
+        /// Why the pair cannot fuse.
+        reason: &'static str,
+    },
+    /// `split_dim` requires the (constant) extent to be divisible by the
+    /// factor.
+    NotDivisible {
+        /// Dimension index.
+        index: usize,
+        /// Extent found.
+        extent: usize,
+        /// Requested factor.
+        factor: usize,
+    },
+    /// Reordering would move a vdim outside the dimension its extent
+    /// depends on — the analogue of §4.1's vloop reordering restriction.
+    ReorderPastDependence {
+        /// The vdim that would escape its dependence.
+        vdim: usize,
+    },
+    /// The transformed dimension list failed validation.
+    Invalid(DgraphError),
+}
+
+impl std::fmt::Display for DimSchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DimSchedError::OutOfRange { index, ndim } => {
+                write!(f, "dimension {index} out of range for a {ndim}-D layout")
+            }
+            DimSchedError::NotFusable {
+                outer,
+                inner,
+                reason,
+            } => write!(f, "cannot fuse dims {outer} and {inner}: {reason}"),
+            DimSchedError::NotDivisible {
+                index,
+                extent,
+                factor,
+            } => write!(
+                f,
+                "dimension {index} extent {extent} is not divisible by split factor {factor}"
+            ),
+            DimSchedError::ReorderPastDependence { vdim } => write!(
+                f,
+                "reorder would move vdim {vdim} outside the dimension its extent depends on"
+            ),
+            DimSchedError::Invalid(e) => write!(f, "transformed layout invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DimSchedError {}
+
+impl From<DgraphError> for DimSchedError {
+    fn from(e: DgraphError) -> Self {
+        DimSchedError::Invalid(e)
+    }
+}
+
+/// Fuses adjacent dimensions `d` and `d+1` (Fig. 6's `fuse_dims`).
+///
+/// Supported pairs, both preserving flat element order:
+///
+/// * cdim + dependent vdim → one vdim-free dimension of extent
+///   `Σ padded_len(i)` (a cdim, since the fused extent is a constant for
+///   a known raggedness pattern — insight I1);
+/// * cdim + cdim → one cdim of extent `e_outer · e_inner`.
+///
+/// # Errors
+///
+/// Rejects non-adjacent/uncovered pairs and inner vdims that depend on a
+/// dimension other than `d`, or when `d`'s slices are themselves
+/// variable.
+pub fn fuse_dims(layout: &RaggedLayout, d: usize) -> Result<RaggedLayout, DimSchedError> {
+    let n = layout.ndim();
+    if d + 1 >= n {
+        return Err(DimSchedError::OutOfRange { index: d + 1, ndim: n });
+    }
+    let g = layout.graph();
+    if g.incoming(d).is_some() {
+        return Err(DimSchedError::NotFusable {
+            outer: d,
+            inner: d + 1,
+            reason: "outer dimension must be constant in the prototype",
+        });
+    }
+    // Any *other* dimension depending on d would lose its dependence
+    // target.
+    if g.outgoing(d).iter().any(|&j| j != d + 1) {
+        return Err(DimSchedError::NotFusable {
+            outer: d,
+            inner: d + 1,
+            reason: "another dimension depends on the outer dimension",
+        });
+    }
+    let fused_extent = match g.incoming(d + 1) {
+        None => layout.fixed_extent(d).unwrap() * layout.fixed_extent(d + 1).unwrap(),
+        Some(k) if k == d => layout
+            .padded_lens(d + 1)
+            .expect("vdim has padded lens")
+            .total(),
+        Some(_) => {
+            return Err(DimSchedError::NotFusable {
+                outer: d,
+                inner: d + 1,
+                reason: "inner vdim depends on a different outer dimension",
+            })
+        }
+    };
+    rebuild_without(layout, d, fused_extent)
+}
+
+fn rebuild_without(
+    layout: &RaggedLayout,
+    d: usize,
+    fused_extent: usize,
+) -> Result<RaggedLayout, DimSchedError> {
+    let mut b = RaggedLayout::builder();
+    for (i, ld) in layout.dims().iter().enumerate() {
+        if i == d {
+            b = b
+                .cdim(Dim::new(format!("{}_{}_f", ld.dim.name(), layout.dims()[d + 1].dim.name())), fused_extent);
+        } else if i == d + 1 {
+            continue;
+        } else {
+            match layout.graph().incoming(i) {
+                None => {
+                    b = b.cdim(ld.dim.clone(), layout.fixed_extent(i).unwrap());
+                    b = b.pad(ld.pad);
+                }
+                Some(k) => {
+                    let dep = layout.dims()[k].dim.clone();
+                    let lens = match &ld.extent {
+                        crate::extent::DimExtent::Variable { lens, .. } => lens.clone(),
+                        crate::extent::DimExtent::Fixed(_) => unreachable!("vdim is variable"),
+                    };
+                    b = b.vdim(ld.dim.clone(), &dep, lens);
+                    b = b.pad(ld.pad);
+                }
+            }
+        }
+    }
+    Ok(b.build()?)
+}
+
+/// Splits cdim `d` by `factor` into `(outer, inner=factor)`, preserving
+/// element order.
+///
+/// # Errors
+///
+/// Rejects vdims (splitting a vdim requires loop-style padding first),
+/// non-divisible extents, and dimensions that other dimensions depend on
+/// (their length tables would need reindexing).
+pub fn split_dim(
+    layout: &RaggedLayout,
+    d: usize,
+    factor: usize,
+) -> Result<RaggedLayout, DimSchedError> {
+    let n = layout.ndim();
+    if d >= n {
+        return Err(DimSchedError::OutOfRange { index: d, ndim: n });
+    }
+    assert!(factor > 0, "split factor must be positive");
+    let g = layout.graph();
+    if g.incoming(d).is_some() || g.has_dependents(d) {
+        return Err(DimSchedError::NotFusable {
+            outer: d,
+            inner: d,
+            reason: "only independent cdims can be split",
+        });
+    }
+    let extent = layout.fixed_extent(d).unwrap();
+    if extent % factor != 0 {
+        return Err(DimSchedError::NotDivisible {
+            index: d,
+            extent,
+            factor,
+        });
+    }
+    let mut b = RaggedLayout::builder();
+    for (i, ld) in layout.dims().iter().enumerate() {
+        if i == d {
+            b = b.cdim(Dim::new(format!("{}_o", ld.dim.name())), extent / factor);
+            b = b.cdim(Dim::new(format!("{}_i", ld.dim.name())), factor);
+        } else {
+            match layout.graph().incoming(i) {
+                None => {
+                    b = b.cdim(ld.dim.clone(), layout.fixed_extent(i).unwrap());
+                    b = b.pad(ld.pad);
+                }
+                Some(k) => {
+                    let dep = layout.dims()[k].dim.clone();
+                    let lens = match &ld.extent {
+                        crate::extent::DimExtent::Variable { lens, .. } => lens.clone(),
+                        crate::extent::DimExtent::Fixed(_) => unreachable!("vdim is variable"),
+                    };
+                    b = b.vdim(ld.dim.clone(), &dep, lens);
+                    b = b.pad(ld.pad);
+                }
+            }
+        }
+    }
+    Ok(b.build()?)
+}
+
+/// Checks whether swapping adjacent dimensions `d` and `d+1` is legal:
+/// a vdim may never move outside the dimension its extent depends on.
+pub fn can_swap_dims(layout: &RaggedLayout, d: usize) -> Result<(), DimSchedError> {
+    let n = layout.ndim();
+    if d + 1 >= n {
+        return Err(DimSchedError::OutOfRange { index: d + 1, ndim: n });
+    }
+    let g = layout.graph();
+    // Inner depends on outer: swapping would put the vdim before its
+    // dependence.
+    if g.incoming(d + 1) == Some(d) {
+        return Err(DimSchedError::ReorderPastDependence { vdim: d + 1 });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{offset, valid_indices};
+    use crate::aux::AuxOffsets;
+
+    fn ragged(lens: &[usize], pad: usize) -> RaggedLayout {
+        let b = Dim::new("batch");
+        let l = Dim::new("len");
+        RaggedLayout::builder()
+            .cdim(b.clone(), lens.len())
+            .vdim(l, &b, lens.to_vec())
+            .pad(pad)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fig6_fuse_cdim_vdim_preserves_order() {
+        // T[batch, len] fused -> T[f]: the k-th valid element of the
+        // original layout is element k of the fused one.
+        let layout = ragged(&[5, 2, 3], 1);
+        let fused = fuse_dims(&layout, 0).unwrap();
+        assert_eq!(fused.ndim(), 1);
+        assert_eq!(fused.size(), layout.size());
+        let aux = AuxOffsets::build(&layout);
+        for (k, ix) in valid_indices(&layout).iter().enumerate() {
+            assert_eq!(offset(&layout, &aux, ix), k, "original layout packs densely");
+        }
+        // Fused access is the identity: offset([f]) == f.
+        let faux = AuxOffsets::build(&fused);
+        assert_eq!(offset(&fused, &faux, &[7]), 7);
+    }
+
+    #[test]
+    fn fuse_with_storage_padding_counts_padded_elements() {
+        let layout = ragged(&[5, 2, 3], 4);
+        let fused = fuse_dims(&layout, 0).unwrap();
+        assert_eq!(fused.size(), 8 + 4 + 4);
+    }
+
+    #[test]
+    fn fuse_two_cdims() {
+        let layout = RaggedLayout::dense(&[3, 4, 5]);
+        let fused = fuse_dims(&layout, 0).unwrap();
+        assert_eq!(fused.ndim(), 2);
+        assert_eq!(fused.size(), 60);
+        let aux = AuxOffsets::build(&fused);
+        // Row-major order preserved: (i*4+j, k) lands where (i, j, k) did.
+        assert_eq!(offset(&fused, &aux, &[5, 2]), 5 * 5 + 2);
+    }
+
+    #[test]
+    fn fuse_rejects_vdim_with_foreign_dependence() {
+        // X[batch, len1, heads, len2]: fusing (heads, len2) must fail
+        // because len2 depends on batch, not heads.
+        let batch = Dim::new("batch");
+        let l1 = Dim::new("l1");
+        let h = Dim::new("heads");
+        let l2 = Dim::new("l2");
+        let lens = vec![2usize, 3];
+        let x = RaggedLayout::builder()
+            .cdim(batch.clone(), 2)
+            .vdim(l1, &batch, lens.clone())
+            .cdim(h, 4)
+            .vdim(l2, &batch, lens)
+            .build()
+            .unwrap();
+        let err = fuse_dims(&x, 2).unwrap_err();
+        assert!(matches!(err, DimSchedError::NotFusable { .. }));
+        // Fusing (batch, len1) must also fail: len2 still depends on batch.
+        let err2 = fuse_dims(&x, 0).unwrap_err();
+        assert!(matches!(err2, DimSchedError::NotFusable { .. }));
+    }
+
+    #[test]
+    fn split_dim_preserves_order() {
+        let layout = RaggedLayout::dense(&[6, 5]);
+        let split = split_dim(&layout, 0, 3).unwrap();
+        assert_eq!(split.ndim(), 3);
+        let aux = AuxOffsets::build(&split);
+        // (i, j) at original offset i*5+j = (i/3, i%3, j) in the split.
+        for i in 0..6 {
+            for j in 0..5 {
+                assert_eq!(offset(&split, &aux, &[i / 3, i % 3, j]), i * 5 + j);
+            }
+        }
+    }
+
+    #[test]
+    fn split_rejections() {
+        let layout = RaggedLayout::dense(&[6, 5]);
+        assert!(matches!(
+            split_dim(&layout, 1, 4),
+            Err(DimSchedError::NotDivisible { .. })
+        ));
+        let r = ragged(&[2, 3], 1);
+        assert!(matches!(
+            split_dim(&r, 1, 1),
+            Err(DimSchedError::NotFusable { .. })
+        ));
+        // Batch has a dependent vdim: splitting it would orphan the
+        // length table.
+        assert!(matches!(
+            split_dim(&r, 0, 1),
+            Err(DimSchedError::NotFusable { .. })
+        ));
+    }
+
+    #[test]
+    fn swap_legality_matches_vloop_rule() {
+        let r = ragged(&[2, 3], 1);
+        assert!(matches!(
+            can_swap_dims(&r, 0),
+            Err(DimSchedError::ReorderPastDependence { vdim: 1 })
+        ));
+        let d = RaggedLayout::dense(&[2, 3, 4]);
+        assert!(can_swap_dims(&d, 1).is_ok());
+        assert!(can_swap_dims(&d, 5).is_err());
+    }
+}

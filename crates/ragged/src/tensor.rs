@@ -1,0 +1,199 @@
+//! Ragged tensor values: a flat `f32` buffer addressed through a
+//! [`RaggedLayout`] and its prelude-built [`AuxOffsets`].
+//!
+//! Provides O(1) element access, row-slice views (the contiguous innermost
+//! vdim slices kernels operate on), and conversions to/from fully padded
+//! dense tensors (the representation the baselines compute on).
+
+use std::sync::Arc;
+
+use crate::access::{offset, valid_indices};
+use crate::aux::AuxOffsets;
+use crate::layout::RaggedLayout;
+
+/// A ragged tensor: values + layout + auxiliary offset structures.
+#[derive(Debug, Clone)]
+pub struct RaggedTensor {
+    layout: Arc<RaggedLayout>,
+    aux: Arc<AuxOffsets>,
+    data: Vec<f32>,
+}
+
+impl RaggedTensor {
+    /// Allocates a zero-filled tensor for `layout`.
+    pub fn zeros(layout: RaggedLayout) -> RaggedTensor {
+        let aux = AuxOffsets::build(&layout);
+        let size = layout.size();
+        RaggedTensor {
+            layout: Arc::new(layout),
+            aux: Arc::new(aux),
+            data: vec![0.0; size],
+        }
+    }
+
+    /// Allocates a tensor sharing an existing layout and aux (avoids
+    /// rebuilding the prelude structures — the sharing Tables 7/8 measure).
+    pub fn zeros_shared(layout: Arc<RaggedLayout>, aux: Arc<AuxOffsets>) -> RaggedTensor {
+        let size = layout.size();
+        RaggedTensor {
+            layout,
+            aux,
+            data: vec![0.0; size],
+        }
+    }
+
+    /// Builds a tensor from a function of the multi-index.
+    pub fn from_fn(layout: RaggedLayout, f: impl Fn(&[usize]) -> f32) -> RaggedTensor {
+        let mut t = RaggedTensor::zeros(layout);
+        for ix in valid_indices(&t.layout) {
+            let o = offset(&t.layout, &t.aux, &ix);
+            t.data[o] = f(&ix);
+        }
+        t
+    }
+
+    /// The layout.
+    pub fn layout(&self) -> &RaggedLayout {
+        &self.layout
+    }
+
+    /// Shared handle to the layout.
+    pub fn layout_arc(&self) -> Arc<RaggedLayout> {
+        Arc::clone(&self.layout)
+    }
+
+    /// The auxiliary offset structures.
+    pub fn aux(&self) -> &AuxOffsets {
+        &self.aux
+    }
+
+    /// Shared handle to the aux structures.
+    pub fn aux_arc(&self) -> Arc<AuxOffsets> {
+        Arc::clone(&self.aux)
+    }
+
+    /// The flat storage.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat storage.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// O(1) element read.
+    pub fn get(&self, index: &[usize]) -> f32 {
+        self.data[offset(&self.layout, &self.aux, index)]
+    }
+
+    /// O(1) element write.
+    pub fn set(&mut self, index: &[usize], v: f32) {
+        let o = offset(&self.layout, &self.aux, index);
+        self.data[o] = v;
+    }
+
+    /// Flat offset of `index` (exposed for kernels that walk rows).
+    pub fn offset_of(&self, index: &[usize]) -> usize {
+        offset(&self.layout, &self.aux, index)
+    }
+
+    /// Converts to a fully padded dense tensor (row-major over
+    /// [`RaggedLayout::padded_shape`]), zero-filling the padding.
+    pub fn to_dense(&self) -> (Vec<usize>, Vec<f32>) {
+        let shape = self.layout.padded_shape();
+        let total: usize = shape.iter().product();
+        let mut out = vec![0.0f32; total];
+        for ix in valid_indices(&self.layout) {
+            let mut o = 0usize;
+            for (d, &i) in ix.iter().enumerate() {
+                o = o * shape[d] + i;
+            }
+            out[o] = self.get(&ix);
+        }
+        (shape, out)
+    }
+
+    /// Builds a ragged tensor from a fully padded dense tensor, discarding
+    /// padding values.
+    pub fn from_dense(layout: RaggedLayout, shape: &[usize], dense: &[f32]) -> RaggedTensor {
+        assert_eq!(
+            shape,
+            layout.padded_shape().as_slice(),
+            "dense shape must equal the layout's fully padded shape"
+        );
+        RaggedTensor::from_fn(layout, |ix| {
+            let mut o = 0usize;
+            for (d, &i) in ix.iter().enumerate() {
+                o = o * shape[d] + i;
+            }
+            dense[o]
+        })
+    }
+
+    /// Sum of squared differences against another tensor with the same
+    /// valid index set (convergence/equivalence checks in tests).
+    pub fn l2_diff(&self, other: &RaggedTensor) -> f64 {
+        let mut acc = 0.0f64;
+        for ix in valid_indices(&self.layout) {
+            let d = (self.get(&ix) - other.get(&ix)) as f64;
+            acc += d * d;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::Dim;
+
+    fn ragged_2d(lens: &[usize], pad: usize) -> RaggedLayout {
+        let batch = Dim::new("batch");
+        let len = Dim::new("len");
+        RaggedLayout::builder()
+            .cdim(batch.clone(), lens.len())
+            .vdim(len, &batch, lens.to_vec())
+            .pad(pad)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t = RaggedTensor::zeros(ragged_2d(&[5, 2, 3], 1));
+        t.set(&[0, 4], 1.5);
+        t.set(&[2, 0], -2.0);
+        assert_eq!(t.get(&[0, 4]), 1.5);
+        assert_eq!(t.get(&[2, 0]), -2.0);
+        assert_eq!(t.get(&[1, 1]), 0.0);
+    }
+
+    #[test]
+    fn dense_round_trip_discards_padding() {
+        let layout = ragged_2d(&[3, 1, 2], 2);
+        let t = RaggedTensor::from_fn(layout.clone(), |ix| (ix[0] * 10 + ix[1]) as f32);
+        let (shape, dense) = t.to_dense();
+        assert_eq!(shape, vec![3, 4]);
+        assert_eq!(dense[0], 0.0);
+        assert_eq!(dense[4], 10.0); // row 1 col 0
+        assert_eq!(dense[3], 0.0); // padding
+        let t2 = RaggedTensor::from_dense(layout, &shape, &dense);
+        assert_eq!(t.l2_diff(&t2), 0.0);
+    }
+
+    #[test]
+    fn shared_layout_reuses_aux() {
+        let t = RaggedTensor::zeros(ragged_2d(&[4, 4], 1));
+        let t2 = RaggedTensor::zeros_shared(t.layout_arc(), t.aux_arc());
+        assert_eq!(t2.data().len(), t.data().len());
+        assert!(Arc::ptr_eq(&t.layout, &t2.layout));
+    }
+
+    #[test]
+    fn from_fn_covers_all_valid_indices() {
+        let t = RaggedTensor::from_fn(ragged_2d(&[2, 0, 3], 1), |_| 1.0);
+        let sum: f32 = t.data().iter().sum();
+        assert_eq!(sum, 5.0);
+    }
+}

@@ -1,0 +1,15 @@
+//! # cora-sparse
+//!
+//! A Taco-like sparse-tensor baseline for the CoRa reproduction: CSR and
+//! blocked-CSR formats plus triangular-matrix kernels (trmm, tradd,
+//! trmul) with the union/intersection coordinate iteration a general
+//! sparse compiler must emit. Used by the Table 6 / §7.5 comparison.
+
+#![warn(missing_docs)]
+
+pub mod bcsr;
+pub mod csr;
+pub mod ops;
+
+pub use bcsr::BcsrMatrix;
+pub use csr::CsrMatrix;

@@ -1,0 +1,249 @@
+//! Taco-style triangular-matrix kernels on CSR and BCSR (Table 6, §D.4).
+//!
+//! * `trmm` — sparse-times-dense matmul.
+//! * `tradd` — elementwise add of two triangular matrices via *union*
+//!   iteration (Taco must merge the two coordinate streams because it
+//!   cannot assume the patterns coincide — the very property CoRa's
+//!   insight I1 provides).
+//! * `trmul` — elementwise multiply via *intersection* iteration.
+//!
+//! Outputs are dense, matching the paper's setup ("the output matrices are
+//! stored in a dense manner because using the compressed formats prevents
+//! parallelization in some cases"). `tradd` on BCSR is not provided,
+//! mirroring the "-" entries in Table 6.
+
+use crate::bcsr::BcsrMatrix;
+use crate::csr::CsrMatrix;
+
+/// `C[n,n] += A_csr · B_dense` (`B` and `C` row-major `n×n`).
+pub fn trmm_csr(a: &CsrMatrix, b: &[f32], c: &mut [f32]) {
+    let n = a.ncols;
+    assert_eq!(a.nrows, a.ncols, "trmm expects square A");
+    assert!(b.len() >= n * n && c.len() >= n * n, "buffer too small");
+    for i in 0..a.nrows {
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for p in a.row_ptr[i]..a.row_ptr[i + 1] {
+            let col = a.col_idx[p];
+            let v = a.vals[p];
+            let b_row = &b[col * n..(col + 1) * n];
+            for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += v * *bv;
+            }
+        }
+    }
+}
+
+/// `C[n,n] += A_bcsr · B_dense`: one small dense gemm per stored block.
+pub fn trmm_bcsr(a: &BcsrMatrix, b: &[f32], c: &mut [f32]) {
+    let n = a.ncols;
+    let bs = a.block;
+    assert_eq!(a.nrows, a.ncols, "trmm expects square A");
+    assert!(b.len() >= n * n && c.len() >= n * n, "buffer too small");
+    let brows = a.nrows / bs;
+    for bi in 0..brows {
+        for p in a.row_ptr[bi]..a.row_ptr[bi + 1] {
+            let bj = a.col_idx[p];
+            let blk = &a.vals[p * bs * bs..(p + 1) * bs * bs];
+            // C[bi*bs.., :] += blk · B[bj*bs.., :]
+            for r in 0..bs {
+                let c_row = &mut c[(bi * bs + r) * n..(bi * bs + r + 1) * n];
+                for q in 0..bs {
+                    let v = blk[r * bs + q];
+                    if v == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[(bj * bs + q) * n..(bj * bs + q + 1) * n];
+                    for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += v * *bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C = A + B` (dense output) via union iteration over the sorted
+/// coordinate streams of each row.
+pub fn tradd_csr(a: &CsrMatrix, b: &CsrMatrix, c: &mut [f32]) {
+    assert_eq!((a.nrows, a.ncols), (b.nrows, b.ncols), "shape mismatch");
+    let n = a.ncols;
+    assert!(c.len() >= a.nrows * n, "output too small");
+    for i in 0..a.nrows {
+        let (mut pa, ea) = (a.row_ptr[i], a.row_ptr[i + 1]);
+        let (mut pb, eb) = (b.row_ptr[i], b.row_ptr[i + 1]);
+        let c_row = &mut c[i * n..(i + 1) * n];
+        // Merge the two sorted column streams.
+        while pa < ea && pb < eb {
+            let (ja, jb) = (a.col_idx[pa], b.col_idx[pb]);
+            match ja.cmp(&jb) {
+                std::cmp::Ordering::Less => {
+                    c_row[ja] = a.vals[pa];
+                    pa += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    c_row[jb] = b.vals[pb];
+                    pb += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    c_row[ja] = a.vals[pa] + b.vals[pb];
+                    pa += 1;
+                    pb += 1;
+                }
+            }
+        }
+        while pa < ea {
+            c_row[a.col_idx[pa]] = a.vals[pa];
+            pa += 1;
+        }
+        while pb < eb {
+            c_row[b.col_idx[pb]] = b.vals[pb];
+            pb += 1;
+        }
+    }
+}
+
+/// `C = A ⊙ B` (dense output) via intersection iteration.
+pub fn trmul_csr(a: &CsrMatrix, b: &CsrMatrix, c: &mut [f32]) {
+    assert_eq!((a.nrows, a.ncols), (b.nrows, b.ncols), "shape mismatch");
+    let n = a.ncols;
+    assert!(c.len() >= a.nrows * n, "output too small");
+    for i in 0..a.nrows {
+        let (mut pa, ea) = (a.row_ptr[i], a.row_ptr[i + 1]);
+        let (mut pb, eb) = (b.row_ptr[i], b.row_ptr[i + 1]);
+        let c_row = &mut c[i * n..(i + 1) * n];
+        while pa < ea && pb < eb {
+            let (ja, jb) = (a.col_idx[pa], b.col_idx[pb]);
+            match ja.cmp(&jb) {
+                std::cmp::Ordering::Less => pa += 1,
+                std::cmp::Ordering::Greater => pb += 1,
+                std::cmp::Ordering::Equal => {
+                    c_row[ja] = a.vals[pa] * b.vals[pb];
+                    pa += 1;
+                    pb += 1;
+                }
+            }
+        }
+    }
+}
+
+/// `C = A ⊙ B` on BCSR: intersection over block streams, dense multiply
+/// within matched blocks.
+pub fn trmul_bcsr(a: &BcsrMatrix, b: &BcsrMatrix, c: &mut [f32]) {
+    assert_eq!((a.nrows, a.ncols, a.block), (b.nrows, b.ncols, b.block));
+    let n = a.ncols;
+    let bs = a.block;
+    assert!(c.len() >= a.nrows * n, "output too small");
+    let brows = a.nrows / bs;
+    for bi in 0..brows {
+        let (mut pa, ea) = (a.row_ptr[bi], a.row_ptr[bi + 1]);
+        let (mut pb, eb) = (b.row_ptr[bi], b.row_ptr[bi + 1]);
+        while pa < ea && pb < eb {
+            let (ja, jb) = (a.col_idx[pa], b.col_idx[pb]);
+            match ja.cmp(&jb) {
+                std::cmp::Ordering::Less => pa += 1,
+                std::cmp::Ordering::Greater => pb += 1,
+                std::cmp::Ordering::Equal => {
+                    let blk_a = &a.vals[pa * bs * bs..(pa + 1) * bs * bs];
+                    let blk_b = &b.vals[pb * bs * bs..(pb + 1) * bs * bs];
+                    for r in 0..bs {
+                        for q in 0..bs {
+                            c[(bi * bs + r) * n + ja * bs + q] =
+                                blk_a[r * bs + q] * blk_b[r * bs + q];
+                        }
+                    }
+                    pa += 1;
+                    pb += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri(n: usize, f: impl Fn(usize, usize) -> f32) -> (CsrMatrix, Vec<f32>) {
+        let m = CsrMatrix::lower_triangular(n, &f);
+        (m.clone(), m.to_dense())
+    }
+
+    fn dense_matmul(n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; n * n];
+        for i in 0..n {
+            for p in 0..n {
+                for j in 0..n {
+                    c[i * n + j] += a[i * n + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn trmm_csr_matches_dense() {
+        let n = 6;
+        let (a, ad) = tri(n, |i, j| (i + 2 * j + 1) as f32);
+        let b: Vec<f32> = (0..n * n).map(|x| (x % 5) as f32 - 2.0).collect();
+        let mut c = vec![0.0; n * n];
+        trmm_csr(&a, &b, &mut c);
+        assert_eq!(c, dense_matmul(n, &ad, &b));
+    }
+
+    #[test]
+    fn trmm_bcsr_matches_dense() {
+        let n = 8;
+        let (_, ad) = tri(n, |i, j| (i * 3 + j) as f32 + 1.0);
+        let a = BcsrMatrix::from_dense(n, n, 4, &ad);
+        let b: Vec<f32> = (0..n * n).map(|x| ((x * 7) % 9) as f32 - 4.0).collect();
+        let mut c = vec![0.0; n * n];
+        trmm_bcsr(&a, &b, &mut c);
+        assert_eq!(c, dense_matmul(n, &ad, &b));
+    }
+
+    #[test]
+    fn tradd_union_semantics() {
+        let n = 5;
+        let (a, ad) = tri(n, |i, j| (i + j) as f32 + 1.0);
+        let (b, bd) = tri(n, |i, j| (i * j) as f32 + 2.0);
+        let mut c = vec![0.0; n * n];
+        tradd_csr(&a, &b, &mut c);
+        let want: Vec<f32> = ad.iter().zip(&bd).map(|(x, y)| x + y).collect();
+        assert_eq!(c, want);
+    }
+
+    #[test]
+    fn tradd_handles_disjoint_patterns() {
+        // A has only column 0 entries, B only the diagonal.
+        let a = CsrMatrix::from_dense(3, 3, &[1.0, 0.0, 0.0, 2.0, 0.0, 0.0, 3.0, 0.0, 0.0]);
+        let b = CsrMatrix::from_dense(3, 3, &[5.0, 0.0, 0.0, 0.0, 6.0, 0.0, 0.0, 0.0, 7.0]);
+        let mut c = vec![0.0; 9];
+        tradd_csr(&a, &b, &mut c);
+        assert_eq!(c, vec![6.0, 0.0, 0.0, 2.0, 6.0, 0.0, 3.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn trmul_intersection_semantics() {
+        let n = 5;
+        let (a, ad) = tri(n, |i, j| (i + j) as f32 + 1.0);
+        let (b, bd) = tri(n, |i, j| (2 * i + j) as f32 + 1.0);
+        let mut c = vec![0.0; n * n];
+        trmul_csr(&a, &b, &mut c);
+        let want: Vec<f32> = ad.iter().zip(&bd).map(|(x, y)| x * y).collect();
+        assert_eq!(c, want);
+    }
+
+    #[test]
+    fn trmul_bcsr_matches_csr() {
+        let n = 8;
+        let (ca, da) = tri(n, |i, j| (i + j + 1) as f32);
+        let (cb, db) = tri(n, |i, j| (i * 2 + j + 1) as f32);
+        let ba = BcsrMatrix::from_dense(n, n, 4, &da);
+        let bb = BcsrMatrix::from_dense(n, n, 4, &db);
+        let mut c1 = vec![0.0; n * n];
+        let mut c2 = vec![0.0; n * n];
+        trmul_csr(&ca, &cb, &mut c1);
+        trmul_bcsr(&ba, &bb, &mut c2);
+        assert_eq!(c1, c2);
+    }
+}

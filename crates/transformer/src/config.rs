@@ -1,0 +1,93 @@
+//! Transformer encoder hyperparameters (§7.2).
+//!
+//! The paper's base model: 6 layers, hidden 512, 8 heads × 64, FF inner
+//! 2048 — the hyperparameters of Vaswani et al.'s base transformer.
+
+/// Encoder-layer hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncoderConfig {
+    /// Model (hidden) dimension.
+    pub hidden: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Per-head dimension.
+    pub head_dim: usize,
+    /// Feed-forward inner dimension.
+    pub ff: usize,
+    /// Number of encoder layers (prelude structures are shared across
+    /// layers; Table 4 charges prelude cost assuming this many).
+    pub layers: usize,
+}
+
+impl EncoderConfig {
+    /// The paper's base configuration.
+    pub fn base() -> Self {
+        EncoderConfig {
+            hidden: 512,
+            heads: 8,
+            head_dim: 64,
+            ff: 2048,
+            layers: 6,
+        }
+    }
+
+    /// A proportionally scaled-down configuration for wall-clock CPU
+    /// experiments (the *shape* of the padding-waste comparison depends on
+    /// the length distribution, not the absolute model size).
+    pub fn scaled(divisor: usize) -> Self {
+        assert!(divisor > 0, "divisor must be positive");
+        let base = Self::base();
+        EncoderConfig {
+            hidden: (base.hidden / divisor).max(base.heads),
+            heads: base.heads,
+            head_dim: (base.hidden / divisor).max(base.heads) / base.heads,
+            ff: (base.ff / divisor).max(4 * base.heads),
+            layers: base.layers,
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.heads * self.head_dim != self.hidden {
+            return Err(format!(
+                "heads ({}) × head_dim ({}) must equal hidden ({})",
+                self.heads, self.head_dim, self.hidden
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        Self::base()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_is_consistent() {
+        let c = EncoderConfig::base();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.hidden, 512);
+        assert_eq!(c.heads * c.head_dim, c.hidden);
+    }
+
+    #[test]
+    fn scaled_stays_consistent() {
+        for d in [1, 2, 4, 8] {
+            let c = EncoderConfig::scaled(d);
+            assert!(c.validate().is_ok(), "divisor {d}: {c:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_config_detected() {
+        let mut c = EncoderConfig::base();
+        c.head_dim = 63;
+        assert!(c.validate().is_err());
+    }
+}

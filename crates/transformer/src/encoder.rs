@@ -1,0 +1,312 @@
+//! Numeric encoder-layer implementations: CoRa-style ragged and fully
+//! padded reference.
+//!
+//! The ragged implementation mirrors Fig. 3's CoRa pipeline: hidden-vector
+//! operators run over the *fused* row space (`Σ lens` rows, no per-sequence
+//! padding), and the SDPA operators run per sequence on exactly `l×l`
+//! attention matrices. The padded reference computes every operator on
+//! `batch × max_len` rows with masked softmax — what PyTorch/TF do.
+//!
+//! Equivalence of the two on the valid region is the core correctness
+//! test of the whole stack.
+
+use cora_exec::CpuPool;
+use cora_kernels::elementwise::{bias_add_rows, gelu, residual_add};
+use cora_kernels::layernorm::layernorm_rows;
+use cora_kernels::softmax::softmax_row;
+use cora_kernels::{sgemm, sgemm_ld, sgemm_nt_ld};
+
+use crate::config::EncoderConfig;
+use crate::weights::EncoderWeights;
+
+/// A ragged mini-batch of hidden vectors: `Σ lens` rows of `hidden`
+/// floats, sequences stored back-to-back (sorted or not).
+#[derive(Debug, Clone)]
+pub struct RaggedBatch {
+    /// Per-sequence lengths.
+    pub lens: Vec<usize>,
+    /// Row data, `sum(lens) × hidden`.
+    pub data: Vec<f32>,
+    /// Hidden dimension.
+    pub hidden: usize,
+}
+
+impl RaggedBatch {
+    /// Builds a deterministic random batch.
+    pub fn random(lens: &[usize], hidden: usize, seed: u64) -> RaggedBatch {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: usize = lens.iter().sum();
+        RaggedBatch {
+            lens: lens.to_vec(),
+            data: (0..rows * hidden).map(|_| rng.gen::<f32>() - 0.5).collect(),
+            hidden,
+        }
+    }
+
+    /// Total rows.
+    pub fn rows(&self) -> usize {
+        self.lens.iter().sum()
+    }
+
+    /// Start row of sequence `s`.
+    pub fn row_offset(&self, s: usize) -> usize {
+        self.lens[..s].iter().sum()
+    }
+
+    /// Converts to a fully padded `[batch, max_len, hidden]` buffer.
+    pub fn to_padded(&self, max_len: usize) -> Vec<f32> {
+        let h = self.hidden;
+        let mut out = vec![0.0; self.lens.len() * max_len * h];
+        let mut row = 0usize;
+        for (s, &l) in self.lens.iter().enumerate() {
+            for i in 0..l {
+                let src = (row + i) * h;
+                let dst = (s * max_len + i) * h;
+                out[dst..dst + h].copy_from_slice(&self.data[src..src + h]);
+            }
+            row += l;
+        }
+        out
+    }
+}
+
+/// Multithreaded gemm: `C[m,n] += A[m,k]·B[k,n]`, rows split over the
+/// pool.
+pub fn parallel_sgemm(pool: &CpuPool, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let workers = pool.threads().min(m.max(1));
+    if workers <= 1 || m < 64 {
+        sgemm(m, k, n, a, b, c);
+        return;
+    }
+    let chunk = m.div_ceil(workers);
+    crossbeam::scope(|scope| {
+        for (w, c_chunk) in c[..m * n].chunks_mut(chunk * n).enumerate() {
+            let rows = c_chunk.len() / n;
+            let a = &a[w * chunk * k..];
+            scope.spawn(move |_| {
+                sgemm(rows, k, n, &a[..rows * k], b, c_chunk);
+            });
+        }
+    })
+    .expect("gemm worker panicked");
+}
+
+/// Scaled dot-product attention for one sequence (all heads), reading
+/// interleaved QKV rows and writing `out` (`l × hidden`).
+///
+/// `qkv` holds `l` rows of `3·hidden` starting at `qkv_row0`; `valid`
+/// limits softmax mass (for padded execution `l ≥ valid`).
+#[allow(clippy::too_many_arguments)]
+pub fn sdpa_sequence(
+    cfg: &EncoderConfig,
+    l: usize,
+    valid: usize,
+    qkv: &[f32],
+    qkv_row0: usize,
+    out: &mut [f32],
+    scores: &mut Vec<f32>,
+) {
+    let h = cfg.hidden;
+    let hd = cfg.head_dim;
+    let ld = 3 * h;
+    let scale = 1.0 / (hd as f32).sqrt();
+    scores.clear();
+    scores.resize(l * l, 0.0);
+    for head in 0..cfg.heads {
+        let q0 = qkv_row0 * ld + head * hd;
+        let k0 = qkv_row0 * ld + h + head * hd;
+        let v0 = qkv_row0 * ld + 2 * h + head * hd;
+        scores.iter_mut().for_each(|v| *v = 0.0);
+        // scores[l,l] = Q · K^T over head_dim.
+        sgemm_nt_ld(l, hd, l, &qkv[q0..], ld, &qkv[k0..], ld, scores, l);
+        for row in scores.chunks_mut(l) {
+            for v in row.iter_mut() {
+                *v *= scale;
+            }
+            softmax_row(row, valid);
+        }
+        // out[l, hd] (strided into the full hidden row) = scores · V.
+        sgemm_ld(
+            l,
+            l,
+            hd,
+            scores,
+            l,
+            &qkv[v0..],
+            ld,
+            &mut out[head * hd..],
+            h,
+        );
+    }
+}
+
+/// One CoRa-style (ragged) encoder layer forward pass.
+pub fn encoder_layer_ragged(
+    pool: &CpuPool,
+    cfg: &EncoderConfig,
+    w: &EncoderWeights,
+    x: &RaggedBatch,
+) -> RaggedBatch {
+    let h = cfg.hidden;
+    let rows = x.rows();
+    // QKV projection over the fused row space (Proj1 of Fig. 3).
+    let mut qkv = vec![0.0f32; rows * 3 * h];
+    parallel_sgemm(pool, rows, h, 3 * h, &x.data, &w.wqkv, &mut qkv);
+    bias_add_rows(&mut qkv, 3 * h, &w.bqkv);
+
+    // SDPA per sequence: exactly l×l attention, no padding.
+    let mut attn = vec![0.0f32; rows * h];
+    let row_lens: Vec<usize> = x.lens.iter().map(|&l| l * h).collect();
+    pool.parallel_rows(&mut attn, &row_lens, |s, out| {
+        let l = x.lens[s];
+        let row0 = x.row_offset(s);
+        let mut scores = Vec::new();
+        sdpa_sequence(cfg, l, l, &qkv, row0, out, &mut scores);
+    });
+
+    // Output projection + bias + residual + LN (fused in CoRa's pipeline).
+    let mut y = vec![0.0f32; rows * h];
+    parallel_sgemm(pool, rows, h, h, &attn, &w.wo, &mut y);
+    bias_add_rows(&mut y, h, &w.bo);
+    residual_add(&mut y, &x.data);
+    layernorm_rows(&mut y, h, &w.ln1_g, &w.ln1_b, 1e-5);
+
+    // Feed-forward.
+    let mut f1 = vec![0.0f32; rows * cfg.ff];
+    parallel_sgemm(pool, rows, h, cfg.ff, &y, &w.w1, &mut f1);
+    bias_add_rows(&mut f1, cfg.ff, &w.b1);
+    gelu(&mut f1);
+    let mut out = vec![0.0f32; rows * h];
+    parallel_sgemm(pool, rows, cfg.ff, h, &f1, &w.w2, &mut out);
+    bias_add_rows(&mut out, h, &w.b2);
+    residual_add(&mut out, &y);
+    layernorm_rows(&mut out, h, &w.ln2_g, &w.ln2_b, 1e-5);
+
+    RaggedBatch {
+        lens: x.lens.clone(),
+        data: out,
+        hidden: h,
+    }
+}
+
+/// One fully padded encoder layer forward pass (the PyTorch/TF baseline):
+/// all operators run over `batch × max_len` rows; softmax masks invalid
+/// columns. Returns the padded `[batch, max_len, hidden]` output.
+pub fn encoder_layer_padded(
+    pool: &CpuPool,
+    cfg: &EncoderConfig,
+    w: &EncoderWeights,
+    lens: &[usize],
+    max_len: usize,
+    x_padded: &[f32],
+) -> Vec<f32> {
+    let h = cfg.hidden;
+    let rows = lens.len() * max_len;
+    let mut qkv = vec![0.0f32; rows * 3 * h];
+    parallel_sgemm(pool, rows, h, 3 * h, x_padded, &w.wqkv, &mut qkv);
+    bias_add_rows(&mut qkv, 3 * h, &w.bqkv);
+
+    let mut attn = vec![0.0f32; rows * h];
+    let row_lens: Vec<usize> = vec![max_len * h; lens.len()];
+    pool.parallel_rows(&mut attn, &row_lens, |s, out| {
+        let mut scores = Vec::new();
+        // Full max_len×max_len attention with masked softmax: the padded
+        // baseline's wasted computation.
+        sdpa_sequence(cfg, max_len, lens[s], &qkv, s * max_len, out, &mut scores);
+    });
+
+    let mut y = vec![0.0f32; rows * h];
+    parallel_sgemm(pool, rows, h, h, &attn, &w.wo, &mut y);
+    bias_add_rows(&mut y, h, &w.bo);
+    residual_add(&mut y, x_padded);
+    layernorm_rows(&mut y, h, &w.ln1_g, &w.ln1_b, 1e-5);
+
+    let mut f1 = vec![0.0f32; rows * cfg.ff];
+    parallel_sgemm(pool, rows, h, cfg.ff, &y, &w.w1, &mut f1);
+    bias_add_rows(&mut f1, cfg.ff, &w.b1);
+    gelu(&mut f1);
+    let mut out = vec![0.0f32; rows * h];
+    parallel_sgemm(pool, rows, cfg.ff, h, &f1, &w.w2, &mut out);
+    bias_add_rows(&mut out, h, &w.b2);
+    residual_add(&mut out, &y);
+    layernorm_rows(&mut out, h, &w.ln2_g, &w.ln2_b, 1e-5);
+    out
+}
+
+/// Maximum absolute difference between a ragged output and the valid
+/// region of a padded output.
+pub fn max_divergence(ragged: &RaggedBatch, padded: &[f32], max_len: usize) -> f32 {
+    let h = ragged.hidden;
+    let mut worst = 0.0f32;
+    let mut row = 0usize;
+    for (s, &l) in ragged.lens.iter().enumerate() {
+        for i in 0..l {
+            for d in 0..h {
+                let a = ragged.data[(row + i) * h + d];
+                let b = padded[(s * max_len + i) * h + d];
+                worst = worst.max((a - b).abs());
+            }
+        }
+        row += l;
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ragged_matches_padded_reference() {
+        let cfg = EncoderConfig::scaled(8); // hidden 64, ff 256
+        let w = EncoderWeights::random(&cfg, 3);
+        let lens = vec![7usize, 3, 12, 1];
+        let x = RaggedBatch::random(&lens, cfg.hidden, 4);
+        let pool = CpuPool::new(4);
+        let ragged = encoder_layer_ragged(&pool, &cfg, &w, &x);
+        let max_len = 16;
+        let padded_in = x.to_padded(max_len);
+        let padded = encoder_layer_padded(&pool, &cfg, &w, &lens, max_len, &padded_in);
+        let d = max_divergence(&ragged, &padded, max_len);
+        assert!(d < 1e-4, "ragged and padded diverge by {d}");
+    }
+
+    #[test]
+    fn single_sequence_no_padding_identical() {
+        let cfg = EncoderConfig::scaled(8);
+        let w = EncoderWeights::random(&cfg, 5);
+        let lens = vec![9usize];
+        let x = RaggedBatch::random(&lens, cfg.hidden, 6);
+        let pool = CpuPool::new(1);
+        let ragged = encoder_layer_ragged(&pool, &cfg, &w, &x);
+        let padded = encoder_layer_padded(&pool, &cfg, &w, &lens, 9, &x.to_padded(9));
+        assert!(max_divergence(&ragged, &padded, 9) < 1e-5);
+    }
+
+    #[test]
+    fn parallel_gemm_matches_serial() {
+        let (m, k, n) = (100, 33, 17);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i % 13) as f32) - 6.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i % 7) as f32) - 3.0).collect();
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        sgemm(m, k, n, &a, &b, &mut c1);
+        parallel_sgemm(&CpuPool::new(4), m, k, n, &a, &b, &mut c2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn padded_batch_round_trip() {
+        let lens = vec![2usize, 4];
+        let x = RaggedBatch::random(&lens, 8, 1);
+        let p = x.to_padded(4);
+        assert_eq!(p.len(), 2 * 4 * 8);
+        // Row 0 of seq 1 lands at padded row 4.
+        let src = x.row_offset(1) * 8;
+        assert_eq!(&p[4 * 8..4 * 8 + 8], &x.data[src..src + 8]);
+        // Padding rows are zero.
+        assert!(p[2 * 8..4 * 8].iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,182 @@
+//! Analytic FLOP and memory accounting for the encoder layer.
+//!
+//! Powers Fig. 2 (wasted computation vs batch size), Fig. 19 (activation
+//! memory), and Fig. 22 (partial-padding overhead). The paper computes
+//! these quantities "analytically"; we count multiply-adds as 2 FLOPs.
+
+use crate::config::EncoderConfig;
+
+/// How sequence lengths are padded before counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Padding {
+    /// No padding at all (the ideal).
+    None,
+    /// CoRa's partial padding: per-sequence lengths rounded up to
+    /// `seq_multiple` for the SDPA operators, and the *sum* of lengths
+    /// rounded up to `bulk_multiple` for the fused linear operators.
+    Partial {
+        /// Per-sequence padding multiple (SDPA ops).
+        seq_multiple: usize,
+        /// Bulk padding multiple (fused linear ops).
+        bulk_multiple: usize,
+    },
+    /// Full padding to the longest sequence in the batch.
+    Full,
+}
+
+fn padded_lens(lens: &[usize], padding: Padding) -> (Vec<usize>, usize) {
+    match padding {
+        Padding::None => (lens.to_vec(), lens.iter().sum()),
+        Padding::Partial {
+            seq_multiple,
+            bulk_multiple,
+        } => {
+            let per: Vec<usize> = lens
+                .iter()
+                .map(|&l| l.div_ceil(seq_multiple) * seq_multiple)
+                .collect();
+            let total: usize = lens.iter().sum();
+            (per, total.div_ceil(bulk_multiple) * bulk_multiple)
+        }
+        Padding::Full => {
+            let max = lens.iter().copied().max().unwrap_or(0);
+            (vec![max; lens.len()], max * lens.len())
+        }
+    }
+}
+
+/// FLOPs of one encoder-layer forward pass over a batch of sequences.
+pub fn encoder_flops(cfg: &EncoderConfig, lens: &[usize], padding: Padding) -> f64 {
+    let (per_seq, linear_rows) = padded_lens(lens, padding);
+    let h = cfg.hidden as f64;
+    let ff = cfg.ff as f64;
+    let rows = linear_rows as f64;
+    // Linear (per-token) operators: QKV projection (h -> 3h), output
+    // projection (h -> h), FF1 (h -> ff), FF2 (ff -> h), plus biases,
+    // residuals and layer norms.
+    let linear = rows * (2.0 * h * 3.0 * h)   // QKV proj
+        + rows * (2.0 * h * h)                // Proj2
+        + rows * (2.0 * h * ff)               // FF1
+        + rows * (2.0 * ff * h)               // FF2
+        + rows * (3.0 * h + ff)               // biases
+        + rows * (2.0 * h)                    // residual adds
+        + rows * (2.0 * 8.0 * h);             // two layer norms
+    // SDPA (per-sequence, quadratic) operators.
+    let mut sdpa = 0.0;
+    for &l in &per_seq {
+        let lf = l as f64;
+        sdpa += 2.0 * lf * lf * h; // QK^T across all heads
+        sdpa += 4.0 * lf * lf * cfg.heads as f64; // softmax
+        sdpa += 2.0 * lf * lf * h; // AttnV
+    }
+    linear + sdpa
+}
+
+/// Bytes of forward activations of one encoder layer (f32), the quantity
+/// Fig. 19 compares between dense and ragged storage.
+pub fn encoder_activation_bytes(cfg: &EncoderConfig, lens: &[usize], padding: Padding) -> f64 {
+    let (per_seq, linear_rows) = padded_lens(lens, padding);
+    let h = cfg.hidden as f64;
+    let ff = cfg.ff as f64;
+    let rows = linear_rows as f64;
+    // Row-shaped activations: QKV (3h), attention output (h), proj2 out
+    // (h), LN out (h), FF1 out (ff), FF2 out (h), LN out (h).
+    let linear = rows * (3.0 * h + h + h + h + ff + h + h);
+    // Attention matrices: heads × l × l, twice (scores + probabilities).
+    let mut attn = 0.0;
+    for &l in &per_seq {
+        attn += 2.0 * cfg.heads as f64 * (l * l) as f64;
+    }
+    4.0 * (linear + attn)
+}
+
+/// The relative wasted computation of Fig. 2: FLOPs with full padding
+/// divided by FLOPs without padding.
+pub fn wasted_computation_ratio(cfg: &EncoderConfig, lens: &[usize]) -> f64 {
+    encoder_flops(cfg, lens, Padding::Full) / encoder_flops(cfg, lens, Padding::None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cora_datasets::Dataset;
+
+    #[test]
+    fn full_padding_never_cheaper() {
+        let cfg = EncoderConfig::base();
+        for ds in cora_datasets::ALL_DATASETS {
+            let lens = ds.sample_lengths(32, 11);
+            let ideal = encoder_flops(&cfg, &lens, Padding::None);
+            let partial = encoder_flops(
+                &cfg,
+                &lens,
+                Padding::Partial {
+                    seq_multiple: 32,
+                    bulk_multiple: 64,
+                },
+            );
+            let full = encoder_flops(&cfg, &lens, Padding::Full);
+            assert!(ideal <= partial && partial <= full, "{ds:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_lengths_waste_nothing() {
+        let cfg = EncoderConfig::base();
+        let lens = vec![128; 32];
+        assert!((wasted_computation_ratio(&cfg, &lens) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waste_grows_with_batch_size() {
+        // Fig. 2's core observation: larger batches waste more.
+        let cfg = EncoderConfig::base();
+        let small = Dataset::Mnli.sample_lengths(2, 5);
+        let large = Dataset::Mnli.sample_lengths(128, 5);
+        assert!(
+            wasted_computation_ratio(&cfg, &large) > wasted_computation_ratio(&cfg, &small),
+            "batch 128 should waste more than batch 2"
+        );
+    }
+
+    #[test]
+    fn partial_padding_overhead_is_small() {
+        // §7.4: ~3.5% at batch 32, ~2.3% at batch 128 across datasets.
+        let cfg = EncoderConfig::base();
+        let mut total_overhead = 0.0;
+        let mut n = 0;
+        for ds in cora_datasets::ALL_DATASETS {
+            let lens = ds.sample_batch_sorted(128, 9);
+            let ideal = encoder_flops(&cfg, &lens, Padding::None);
+            let partial = encoder_flops(
+                &cfg,
+                &lens,
+                Padding::Partial {
+                    seq_multiple: 32,
+                    bulk_multiple: 64,
+                },
+            );
+            total_overhead += partial / ideal - 1.0;
+            n += 1;
+        }
+        let avg = total_overhead / n as f64;
+        assert!(avg < 0.15, "avg partial-padding overhead {avg} too large");
+        assert!(avg > 0.0, "partial padding must cost something");
+    }
+
+    #[test]
+    fn ragged_memory_smaller_for_skewed_datasets() {
+        let cfg = EncoderConfig::base();
+        let lens = Dataset::Cola.sample_lengths(64, 3);
+        let dense = encoder_activation_bytes(&cfg, &lens, Padding::Full);
+        let ragged = encoder_activation_bytes(
+            &cfg,
+            &lens,
+            Padding::Partial {
+                seq_multiple: 32,
+                bulk_multiple: 64,
+            },
+        );
+        assert!(ragged < dense);
+    }
+}

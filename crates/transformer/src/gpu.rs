@@ -1,0 +1,484 @@
+//! Simulated-GPU implementations of the encoder layer (Fig. 3) and its
+//! ablations.
+//!
+//! Each implementation is expressed as the kernel list it launches, with
+//! per-thread-block costs from the shared cost model:
+//!
+//! * **PyTorch** — fully padded, eager: vendor MMs plus many unfused
+//!   elementwise kernels (each a full memory pass).
+//! * **FT** — FasterTransformer: fully padded, vendor MMs + fused
+//!   hand-written kernels (12 launches, Fig. 3 left).
+//! * **FT-Eff** — FT with the EffectiveTransformer optimisation: linear
+//!   operators run on the packed `Σ lens` rows; SDPA stays fully padded;
+//!   explicit AddPad/RemovePad kernels convert between the two.
+//! * **CoRa** — 9 compiler-generated kernels: fused-row linear operators
+//!   (bulk-padded to 64), SDPA partially padded to 32, padding-change
+//!   operators fused away, sequences sorted so heavy blocks schedule
+//!   first.
+//!
+//! Memory-bound kernels are priced by bytes moved (converted to
+//! FLOP-equivalents), compute-bound kernels by FLOPs — both through the
+//! same [`GpuModel`].
+
+use cora_exec::cost::{GpuModel, KernelTraits};
+use cora_exec::gpu::{GpuSim, SimKernel};
+use cora_ragged::FusedLoopMaps;
+
+use crate::config::EncoderConfig;
+
+/// Bytes-per-element conventions for the memory-bound kernels.
+mod bytes {
+    /// Plain copy (read + write).
+    pub const COPY: f64 = 8.0;
+    /// Bias add / residual / activation (read ×1.5 + write).
+    pub const BIAS: f64 = 12.0;
+    /// Layer norm (two passes + write).
+    pub const LAYERNORM: f64 = 12.0;
+    /// CoRa's softmax: warp-level reductions, no bound checks (§D.8).
+    pub const SOFTMAX_CORA: f64 = 12.0;
+    /// FT's softmax: block-level reductions with barriers and masking
+    /// checks (§D.8 explains why it is slower).
+    pub const SOFTMAX_FT: f64 = 14.0;
+    /// Eager-mode softmax with separate max/exp/sum/div passes.
+    pub const SOFTMAX_EAGER: f64 = 18.0;
+}
+
+/// Converts a byte count per element to FLOP-equivalents under `model`
+/// (compute-throughput / memory-bandwidth balance).
+fn membound_ops(model: &GpuModel, bytes_per_elem: f64) -> f64 {
+    let peak_flops_per_us = model.flops_per_sm_per_us * model.sm_count as f64;
+    // V100-like: ~900 GB/s = 900e3 bytes/us.
+    let bandwidth_bytes_per_us = 900_000.0;
+    bytes_per_elem * peak_flops_per_us / bandwidth_bytes_per_us
+}
+
+/// The four encoder implementations of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncoderImpl {
+    /// Fully padded eager framework.
+    PyTorch,
+    /// FasterTransformer, fully padded.
+    Ft,
+    /// FasterTransformer with packed linear operators.
+    FtEff,
+    /// CoRa compiler-generated.
+    Cora,
+}
+
+impl EncoderImpl {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EncoderImpl::PyTorch => "PyTorch",
+            EncoderImpl::Ft => "FT",
+            EncoderImpl::FtEff => "FT-Eff",
+            EncoderImpl::Cora => "CoRa",
+        }
+    }
+}
+
+/// Simulated encoder-layer builder.
+#[derive(Debug, Clone)]
+pub struct EncoderSim {
+    /// Model hyperparameters.
+    pub cfg: EncoderConfig,
+    /// Device model.
+    pub model: GpuModel,
+    /// SDPA per-sequence padding multiple for CoRa (Fig. 3: 32).
+    pub seq_pad: usize,
+    /// Bulk padding multiple for CoRa's fused linear rows (Fig. 3: 64).
+    pub bulk_pad: usize,
+    /// Whether CoRa fuses the padding-change operators (Fig. 12 ablation).
+    pub fuse_pad_change: bool,
+    /// Whether CoRa hoists auxiliary loads in QKT (Fig. 23 ablation).
+    pub hoist_loads: bool,
+}
+
+impl EncoderSim {
+    /// Default simulator for a config.
+    pub fn new(cfg: EncoderConfig) -> EncoderSim {
+        EncoderSim {
+            cfg,
+            model: GpuModel::default(),
+            seq_pad: 32,
+            bulk_pad: 64,
+            fuse_pad_change: true,
+            hoist_loads: true,
+        }
+    }
+
+    fn pad_to(&self, l: usize, m: usize) -> usize {
+        l.div_ceil(m) * m
+    }
+
+    /// Tiled gemm blocks for one matrix of `rows×cols` with reduction
+    /// depth `k`, tile `t`, appended per head/sequence.
+    fn gemm_blocks(
+        &self,
+        blocks: &mut Vec<f64>,
+        traits: KernelTraits,
+        rows: usize,
+        k: usize,
+        cols: usize,
+        t: usize,
+    ) {
+        for bi in 0..rows.div_ceil(t).max(1) {
+            let r = (rows - bi * t).min(t);
+            for bj in 0..cols.div_ceil(t).max(1) {
+                let c = (cols - bj * t).min(t);
+                blocks.push(
+                    self.model
+                        .block_time_us(2.0 * r as f64 * k as f64 * c as f64, traits),
+                );
+            }
+        }
+    }
+
+    fn elementwise(&self, name: &str, traits: KernelTraits, elems: usize, bpe: f64) -> SimKernel {
+        cora_kernels::vendor::elementwise_kernel(
+            name,
+            &self.model,
+            traits,
+            elems,
+            membound_ops(&self.model, bpe),
+            32 * 1024,
+        )
+    }
+
+    fn mm(&self, name: &str, traits: KernelTraits, m: usize, k: usize, n: usize) -> SimKernel {
+        cora_kernels::vendor::gemm_kernel(
+            name,
+            &self.model,
+            traits,
+            cora_kernels::vendor::GemmTiling::default(),
+            m,
+            k,
+            n,
+        )
+    }
+
+    /// The kernel list one layer launches under `imp` for batch `lens`.
+    pub fn kernels(&self, imp: EncoderImpl, lens: &[usize]) -> Vec<SimKernel> {
+        let h = self.cfg.hidden;
+        let ff = self.cfg.ff;
+        let heads = self.cfg.heads;
+        let hd = self.cfg.head_dim;
+        let b = lens.len();
+        let maxlen = lens.iter().copied().max().unwrap_or(0);
+        let s_rows: usize = lens.iter().sum();
+        let rows_full = b * maxlen;
+        let vendor = KernelTraits::vendor();
+        let gener = KernelTraits::generated();
+        match imp {
+            EncoderImpl::PyTorch => {
+                // Eager fully padded: vendor MMs, every elementwise its
+                // own kernel (and an explicit mask-apply in SDPA).
+                let mut ks = vec![
+                    self.mm("qkv_mm", vendor, rows_full, h, 3 * h),
+                    self.elementwise("qkv_bias", gener, rows_full * 3 * h, bytes::BIAS),
+                ];
+                let mut qkt = Vec::new();
+                let mut attnv = Vec::new();
+                for _ in 0..b {
+                    for _ in 0..heads {
+                        self.gemm_blocks(&mut qkt, vendor, maxlen, hd, maxlen, 32);
+                        self.gemm_blocks(&mut attnv, vendor, maxlen, maxlen, hd, 32);
+                    }
+                }
+                ks.push(SimKernel::new("qkt", qkt));
+                ks.push(self.elementwise(
+                    "mask_add",
+                    gener,
+                    b * heads * maxlen * maxlen,
+                    bytes::BIAS,
+                ));
+                ks.push(self.elementwise(
+                    "softmax",
+                    gener,
+                    b * heads * maxlen * maxlen,
+                    bytes::SOFTMAX_EAGER,
+                ));
+                ks.push(SimKernel::new("attnv", attnv));
+                ks.push(self.elementwise("transpose", gener, rows_full * h, bytes::COPY));
+                ks.push(self.mm("proj2_mm", vendor, rows_full, h, h));
+                ks.push(self.elementwise("proj2_bias", gener, rows_full * h, bytes::BIAS));
+                ks.push(self.elementwise("residual1", gener, rows_full * h, bytes::BIAS));
+                ks.push(self.elementwise("layernorm1", gener, rows_full * h, bytes::LAYERNORM));
+                ks.push(self.mm("ff1_mm", vendor, rows_full, h, ff));
+                ks.push(self.elementwise("ff1_bias_act", gener, rows_full * ff, bytes::BIAS));
+                ks.push(self.mm("ff2_mm", vendor, rows_full, ff, h));
+                ks.push(self.elementwise("ff2_bias", gener, rows_full * h, bytes::BIAS));
+                ks.push(self.elementwise("residual2", gener, rows_full * h, bytes::BIAS));
+                ks.push(self.elementwise("layernorm2", gener, rows_full * h, bytes::LAYERNORM));
+                ks
+            }
+            EncoderImpl::Ft => {
+                // Fig. 3 left, with full padding everywhere: 12 kernels.
+                let mut qkt = Vec::new();
+                let mut attnv = Vec::new();
+                for _ in 0..b {
+                    for _ in 0..heads {
+                        self.gemm_blocks(&mut qkt, vendor, maxlen, hd, maxlen, 32);
+                        self.gemm_blocks(&mut attnv, vendor, maxlen, maxlen, hd, 32);
+                    }
+                }
+                vec![
+                    self.mm("qkv_proj_mm", vendor, rows_full, h, 3 * h),
+                    self.elementwise("qkv_bias_addpad", vendor, rows_full * 3 * h, bytes::BIAS),
+                    SimKernel::new("qkt", qkt),
+                    self.elementwise(
+                        "softmax",
+                        vendor,
+                        b * heads * maxlen * maxlen,
+                        bytes::SOFTMAX_FT,
+                    ),
+                    SimKernel::new("attnv", attnv),
+                    self.elementwise("transpose_removepad", vendor, rows_full * h, bytes::COPY),
+                    self.mm("linproj_mm", vendor, rows_full, h, h),
+                    self.elementwise(
+                        "bias_residual_layernorm1",
+                        vendor,
+                        rows_full * h,
+                        bytes::BIAS + bytes::LAYERNORM,
+                    ),
+                    self.mm("ff1_mm", vendor, rows_full, h, ff),
+                    self.elementwise("ff1_bias_act", vendor, rows_full * ff, bytes::BIAS),
+                    self.mm("ff2_mm", vendor, rows_full, ff, h),
+                    self.elementwise(
+                        "ff2_bias_residual_layernorm2",
+                        vendor,
+                        rows_full * h,
+                        bytes::BIAS + bytes::LAYERNORM,
+                    ),
+                ]
+            }
+            EncoderImpl::FtEff => {
+                // Linear ops on packed rows; SDPA fully padded; explicit
+                // padding-change kernels (Fig. 3's AddPad/RemovePad).
+                let mut qkt = Vec::new();
+                let mut attnv = Vec::new();
+                for _ in 0..b {
+                    for _ in 0..heads {
+                        self.gemm_blocks(&mut qkt, vendor, maxlen, hd, maxlen, 32);
+                        self.gemm_blocks(&mut attnv, vendor, maxlen, maxlen, hd, 32);
+                    }
+                }
+                vec![
+                    self.mm("qkv_proj_mm", vendor, s_rows, h, 3 * h),
+                    self.elementwise("qkv_bias_addpad", vendor, rows_full * 3 * h, bytes::BIAS),
+                    SimKernel::new("qkt", qkt),
+                    self.elementwise(
+                        "softmax",
+                        vendor,
+                        b * heads * maxlen * maxlen,
+                        bytes::SOFTMAX_FT,
+                    ),
+                    SimKernel::new("attnv", attnv),
+                    self.elementwise("transpose_removepad", vendor, rows_full * h, bytes::COPY),
+                    self.mm("linproj_mm", vendor, s_rows, h, h),
+                    self.elementwise(
+                        "bias_residual_layernorm1",
+                        vendor,
+                        s_rows * h,
+                        bytes::BIAS + bytes::LAYERNORM,
+                    ),
+                    self.mm("ff1_mm", vendor, s_rows, h, ff),
+                    self.elementwise("ff1_bias_act", vendor, s_rows * ff, bytes::BIAS),
+                    self.mm("ff2_mm", vendor, s_rows, ff, h),
+                    self.elementwise(
+                        "ff2_bias_residual_layernorm2",
+                        vendor,
+                        s_rows * h,
+                        bytes::BIAS + bytes::LAYERNORM,
+                    ),
+                ]
+            }
+            EncoderImpl::Cora => self.cora_kernels(lens),
+        }
+    }
+
+    fn cora_kernels(&self, lens: &[usize]) -> Vec<SimKernel> {
+        let h = self.cfg.hidden;
+        let ff = self.cfg.ff;
+        let heads = self.cfg.heads;
+        let hd = self.cfg.head_dim;
+        let s_rows: usize = lens.iter().sum();
+        let s_bulk = self.pad_to(s_rows, self.bulk_pad);
+        let gener = KernelTraits::generated();
+        let qkt_traits = if self.hoist_loads {
+            KernelTraits::generated().with_hoisted_indirect()
+        } else {
+            KernelTraits::generated().with_indirect()
+        };
+        // Sorted descending = the longest-first block schedule of §D.2.
+        let mut sorted: Vec<usize> = lens.to_vec();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+
+        let mut qkt = Vec::new();
+        let mut softmax_elems = 0usize;
+        let mut attnv = Vec::new();
+        for &l in &sorted {
+            let lp = self.pad_to(l, self.seq_pad);
+            for _ in 0..heads {
+                // QKT on the partially padded lp×lp matrix.
+                self.gemm_blocks(&mut qkt, qkt_traits, lp, hd, lp, 32);
+                // AttnV via op-split + hfusion: exact rows, tile 64 plus
+                // ragged tail in the same launch (§7.3).
+                let full_tiles = l / 64;
+                for _ in 0..full_tiles {
+                    attnv.push(
+                        self.model
+                            .block_time_us(2.0 * 64.0 * l as f64 * hd as f64, gener),
+                    );
+                }
+                let tail = l % 64;
+                if tail > 0 {
+                    attnv.push(
+                        self.model
+                            .block_time_us(2.0 * tail as f64 * l as f64 * hd as f64, gener),
+                    );
+                }
+            }
+            softmax_elems += heads * lp * lp;
+        }
+        let mut ks = vec![
+            // 1: fused QKV projection + bias over bulk-padded rows.
+            self.mm("qkv_proj_bias", gener, s_bulk, h, 3 * h),
+            // 2-4: SDPA.
+            SimKernel::new("qkt", qkt),
+            self.elementwise("softmax", gener, softmax_elems, bytes::SOFTMAX_CORA),
+            SimKernel::new("attnv", attnv),
+            // 5: output projection + bias + residual (+ fused pad change).
+            self.mm("proj2_bias_residual", gener, s_bulk, h, h),
+            // 6: layer norm.
+            self.elementwise("layernorm1", gener, s_rows * h, bytes::LAYERNORM),
+            // 7-8: feed-forward.
+            self.mm("ff1_bias_act", gener, s_bulk, h, ff),
+            self.mm("ff2_bias_residual", gener, s_bulk, ff, h),
+            // 9: layer norm.
+            self.elementwise("layernorm2", gener, s_rows * h, bytes::LAYERNORM),
+        ];
+        if !self.fuse_pad_change {
+            // Fig. 12 ablation: unfused padding-change operators become
+            // standalone memory passes around the SDPA ops.
+            let attn_elems: usize = sorted
+                .iter()
+                .map(|&l| heads * self.pad_to(l, self.seq_pad) * self.pad_to(l, self.seq_pad))
+                .sum();
+            ks.insert(1, self.elementwise("change_pad_q", gener, s_rows * h, bytes::COPY));
+            ks.insert(3, self.elementwise("change_pad_s", gener, attn_elems, bytes::COPY));
+            ks.insert(6, self.elementwise("remove_pad", gener, s_rows * h, bytes::COPY));
+        }
+        ks
+    }
+
+    /// CoRa's prelude cost for one mini-batch: auxiliary bytes (fusion
+    /// maps + row offsets), host build time, and the copy.
+    ///
+    /// Returns `(bytes, build_us)`.
+    pub fn cora_prelude(&self, lens: &[usize]) -> (usize, f64) {
+        let t0 = std::time::Instant::now();
+        let maps = FusedLoopMaps::build(lens);
+        let bytes = maps.memory_bytes()
+            // Row-offset arrays (A_d) for the ragged tensors of the layer:
+            // qkv/attn/hidden rows + per-(seq) attention offsets.
+            + 4 * (lens.len() + 1) * 8
+            // Per-dimension padded length tables.
+            + 2 * lens.len() * 8;
+        let build_us = t0.elapsed().as_secs_f64() * 1e6;
+        (bytes, build_us)
+    }
+
+    /// End-to-end per-layer latency in milliseconds, charging CoRa its
+    /// per-layer share of the prelude (built once per mini-batch, shared
+    /// across [`EncoderConfig::layers`] layers, as in Table 4).
+    pub fn layer_latency_ms(&self, imp: EncoderImpl, lens: &[usize]) -> f64 {
+        let sim = GpuSim::with_model(self.model);
+        let ks = self.kernels(imp, lens);
+        let mut total_us = sim.run(&ks, 0).total_us;
+        if imp == EncoderImpl::Cora {
+            let (bytes, build_us) = self.cora_prelude(lens);
+            let copy_us = self.model.copy_time_us(bytes);
+            total_us += (build_us + copy_us) / self.cfg.layers as f64;
+        }
+        total_us / 1e3
+    }
+
+    /// Per-kernel breakdown (name, milliseconds) including launch
+    /// overheads — the Fig. 13 view.
+    pub fn breakdown_ms(&self, imp: EncoderImpl, lens: &[usize]) -> Vec<(String, f64)> {
+        let sim = GpuSim::with_model(self.model);
+        self.kernels(imp, lens)
+            .iter()
+            .map(|k| {
+                let r = sim.run_kernel(k);
+                (k.name.clone(), (r.makespan_us + r.launch_us) / 1e3)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cora_datasets::Dataset;
+
+    fn sim() -> EncoderSim {
+        EncoderSim::new(EncoderConfig::base())
+    }
+
+    #[test]
+    fn cora_launches_nine_kernels_ft_twelve() {
+        let s = sim();
+        let lens = Dataset::Race.sample_batch_sorted(32, 1);
+        assert_eq!(s.kernels(EncoderImpl::Cora, &lens).len(), 9);
+        assert_eq!(s.kernels(EncoderImpl::Ft, &lens).len(), 12);
+        assert_eq!(s.kernels(EncoderImpl::FtEff, &lens).len(), 12);
+        assert!(s.kernels(EncoderImpl::PyTorch, &lens).len() > 12);
+    }
+
+    #[test]
+    fn cora_beats_fully_padded_on_skewed_batches() {
+        let s = sim();
+        for ds in [Dataset::Mnli, Dataset::Squad, Dataset::Race] {
+            let lens = ds.sample_batch_sorted(128, 2);
+            let cora = s.layer_latency_ms(EncoderImpl::Cora, &lens);
+            let pt = s.layer_latency_ms(EncoderImpl::PyTorch, &lens);
+            let ft = s.layer_latency_ms(EncoderImpl::Ft, &lens);
+            assert!(cora < pt, "{ds:?}: CoRa {cora:.2} vs PyTorch {pt:.2}");
+            assert!(cora < ft, "{ds:?}: CoRa {cora:.2} vs FT {ft:.2}");
+        }
+    }
+
+    #[test]
+    fn ft_eff_between_ft_and_cora_for_long_sequences() {
+        let s = sim();
+        let lens = Dataset::Race.sample_batch_sorted(128, 3);
+        let ft = s.layer_latency_ms(EncoderImpl::Ft, &lens);
+        let eff = s.layer_latency_ms(EncoderImpl::FtEff, &lens);
+        assert!(eff < ft, "FT-Eff {eff:.2} should beat FT {ft:.2}");
+    }
+
+    #[test]
+    fn pad_change_fusion_helps() {
+        let mut s = sim();
+        let lens = Dataset::Race.sample_batch_sorted(64, 4);
+        let fused = s.layer_latency_ms(EncoderImpl::Cora, &lens);
+        s.fuse_pad_change = false;
+        let unfused = s.layer_latency_ms(EncoderImpl::Cora, &lens);
+        assert!(fused < unfused, "fused {fused:.3} vs unfused {unfused:.3}");
+    }
+
+    #[test]
+    fn prelude_cost_is_small_fraction() {
+        let s = sim();
+        let lens = Dataset::Race.sample_batch_sorted(128, 5);
+        let (bytes, _) = s.cora_prelude(&lens);
+        let copy_ms = s.model.copy_time_us(bytes) / 1e3;
+        let layer_ms = s.layer_latency_ms(EncoderImpl::Cora, &lens);
+        assert!(
+            copy_ms / s.cfg.layers as f64 / layer_ms < 0.1,
+            "prelude share too large: {copy_ms} vs {layer_ms}"
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # cora-transformer
+//!
+//! The transformer encoder application of the CoRa paper (§7.2–§7.3,
+//! §D.3–§D.8): hyperparameters, analytic FLOP/memory accounting, numeric
+//! ragged and padded encoder layers (real CPU execution), CPU MHA with
+//! micro-batching baselines, simulated-GPU encoder implementations
+//! (PyTorch / FT / FT-Eff / CoRa), masked SDPA, operation-splitting and
+//! hfusion ablations, and prelude-overhead measurement.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod encoder;
+pub mod flops;
+pub mod gpu;
+pub mod masked;
+pub mod masked_mha;
+pub mod mha;
+pub mod prelude_costs;
+pub mod variants;
+pub mod weights;
+
+pub use config::EncoderConfig;
+pub use encoder::{encoder_layer_padded, encoder_layer_ragged, RaggedBatch};
+pub use gpu::{EncoderImpl, EncoderSim};
+pub use weights::EncoderWeights;

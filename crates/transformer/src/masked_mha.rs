@@ -1,0 +1,228 @@
+//! Batched masked multi-head attention — the decoder-side workload of
+//! §D.3, executed numerically on the CPU.
+//!
+//! Under causal masking, every sequence's attention matrix is lower
+//! triangular, so masked SDPA is a batch of triangular ragged operations:
+//! the CoRa implementation computes row `i` against keys `0..=i` only,
+//! while the padded baseline computes the full `max_len × max_len` score
+//! matrix and masks afterwards. Both paths share `Proj1`/`Proj2` with the
+//! unmasked module.
+
+use cora_exec::CpuPool;
+use cora_kernels::elementwise::bias_add_rows;
+use cora_kernels::softmax::softmax_row;
+
+use crate::config::EncoderConfig;
+use crate::encoder::{parallel_sgemm, RaggedBatch};
+use crate::weights::EncoderWeights;
+
+/// Masked SDPA over one sequence (all heads), ragged (triangular) form:
+/// row `i` attends to keys `0..=i`.
+fn masked_sdpa_seq_ragged(
+    cfg: &EncoderConfig,
+    l: usize,
+    qkv: &[f32],
+    qkv_row0: usize,
+    out: &mut [f32],
+) {
+    let h = cfg.hidden;
+    let hd = cfg.head_dim;
+    let ld = 3 * h;
+    let scale = 1.0 / (hd as f32).sqrt();
+    let mut row = vec![0.0f32; l];
+    for head in 0..cfg.heads {
+        let q0 = qkv_row0 * ld + head * hd;
+        let k0 = qkv_row0 * ld + h + head * hd;
+        let v0 = qkv_row0 * ld + 2 * h + head * hd;
+        for i in 0..l {
+            let valid = i + 1;
+            // Triangular QKᵀ row: only `valid` dot products.
+            for (j, r) in row.iter_mut().enumerate().take(valid) {
+                let mut acc = 0.0f32;
+                for d in 0..hd {
+                    acc += qkv[q0 + i * ld + d] * qkv[k0 + j * ld + d];
+                }
+                *r = acc * scale;
+            }
+            softmax_row(&mut row[..valid], valid);
+            // Triangular AttnV row.
+            let o = i * h + head * hd;
+            for d in 0..hd {
+                out[o + d] = 0.0;
+            }
+            for (j, &p) in row.iter().enumerate().take(valid) {
+                for d in 0..hd {
+                    out[o + d] += p * qkv[v0 + j * ld + d];
+                }
+            }
+        }
+    }
+}
+
+/// Masked SDPA over one sequence, fully padded form: full `lp × lp`
+/// scores with an additive causal mask — the wasted computation the
+/// paper's PyTorch baseline performs.
+fn masked_sdpa_seq_padded(
+    cfg: &EncoderConfig,
+    lp: usize,
+    valid_len: usize,
+    qkv: &[f32],
+    qkv_row0: usize,
+    out: &mut [f32],
+) {
+    let h = cfg.hidden;
+    let hd = cfg.head_dim;
+    let ld = 3 * h;
+    let scale = 1.0 / (hd as f32).sqrt();
+    let mut row = vec![0.0f32; lp];
+    for head in 0..cfg.heads {
+        let q0 = qkv_row0 * ld + head * hd;
+        let k0 = qkv_row0 * ld + h + head * hd;
+        let v0 = qkv_row0 * ld + 2 * h + head * hd;
+        for i in 0..lp {
+            // Full-width dot products (the padding waste), then mask.
+            for (j, r) in row.iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for d in 0..hd {
+                    acc += qkv[q0 + i * ld + d] * qkv[k0 + j * ld + d];
+                }
+                *r = if j <= i && j < valid_len {
+                    acc * scale
+                } else {
+                    f32::NEG_INFINITY
+                };
+            }
+            let valid = (i + 1).min(valid_len.max(1));
+            softmax_row(&mut row, valid.min(lp));
+            let o = i * h + head * hd;
+            for d in 0..hd {
+                out[o + d] = 0.0;
+            }
+            for (j, &p) in row.iter().enumerate().take(valid) {
+                for d in 0..hd {
+                    out[o + d] += p * qkv[v0 + j * ld + d];
+                }
+            }
+        }
+    }
+}
+
+/// Masked MHA forward over ragged storage (CoRa-NoPad). Returns
+/// `Σ lens × hidden`.
+pub fn masked_mha_ragged(
+    pool: &CpuPool,
+    cfg: &EncoderConfig,
+    w: &EncoderWeights,
+    x: &RaggedBatch,
+) -> Vec<f32> {
+    let h = cfg.hidden;
+    let rows = x.rows();
+    let mut qkv = vec![0.0f32; rows * 3 * h];
+    parallel_sgemm(pool, rows, h, 3 * h, &x.data, &w.wqkv, &mut qkv);
+    bias_add_rows(&mut qkv, 3 * h, &w.bqkv);
+    let mut attn = vec![0.0f32; rows * h];
+    let row_lens: Vec<usize> = x.lens.iter().map(|&l| l * h).collect();
+    pool.parallel_rows(&mut attn, &row_lens, |s, out| {
+        masked_sdpa_seq_ragged(cfg, x.lens[s], &qkv, x.row_offset(s), out);
+    });
+    let mut out = vec![0.0f32; rows * h];
+    parallel_sgemm(pool, rows, h, h, &attn, &w.wo, &mut out);
+    bias_add_rows(&mut out, h, &w.bo);
+    out
+}
+
+/// Masked MHA over fully padded storage (`batch × max_len` rows).
+pub fn masked_mha_padded(
+    pool: &CpuPool,
+    cfg: &EncoderConfig,
+    w: &EncoderWeights,
+    lens: &[usize],
+    max_len: usize,
+    x_padded: &[f32],
+) -> Vec<f32> {
+    let h = cfg.hidden;
+    let rows = lens.len() * max_len;
+    let mut qkv = vec![0.0f32; rows * 3 * h];
+    parallel_sgemm(pool, rows, h, 3 * h, x_padded, &w.wqkv, &mut qkv);
+    bias_add_rows(&mut qkv, 3 * h, &w.bqkv);
+    let mut attn = vec![0.0f32; rows * h];
+    let row_lens: Vec<usize> = vec![max_len * h; lens.len()];
+    pool.parallel_rows(&mut attn, &row_lens, |s, out| {
+        masked_sdpa_seq_padded(cfg, max_len, lens[s], &qkv, s * max_len, out);
+    });
+    let mut out = vec![0.0f32; rows * h];
+    parallel_sgemm(pool, rows, h, h, &attn, &w.wo, &mut out);
+    bias_add_rows(&mut out, h, &w.bo);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unpad(out: &[f32], lens: &[usize], max_len: usize, h: usize) -> Vec<f32> {
+        let mut v = Vec::new();
+        for (s, &l) in lens.iter().enumerate() {
+            let base = s * max_len * h;
+            v.extend_from_slice(&out[base..base + l * h]);
+        }
+        v
+    }
+
+    #[test]
+    fn ragged_masked_mha_matches_padded() {
+        let cfg = EncoderConfig::scaled(8);
+        let w = EncoderWeights::random(&cfg, 13);
+        let lens = vec![9usize, 5, 2];
+        let x = RaggedBatch::random(&lens, cfg.hidden, 14);
+        let pool = CpuPool::new(2);
+        let r = masked_mha_ragged(&pool, &cfg, &w, &x);
+        let max_len = 9;
+        let p = masked_mha_padded(&pool, &cfg, &w, &lens, max_len, &x.to_padded(max_len));
+        let pv = unpad(&p, &lens, max_len, cfg.hidden);
+        let worst = r
+            .iter()
+            .zip(&pv)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(worst < 1e-3, "masked MHA divergence {worst}");
+    }
+
+    #[test]
+    fn causality_holds() {
+        // Changing a later token must not affect earlier outputs.
+        let cfg = EncoderConfig::scaled(8);
+        let w = EncoderWeights::random(&cfg, 15);
+        let lens = vec![6usize];
+        let pool = CpuPool::new(1);
+        let x1 = RaggedBatch::random(&lens, cfg.hidden, 16);
+        let mut x2 = x1.clone();
+        // Perturb the last token's hidden vector.
+        let h = cfg.hidden;
+        for d in 0..h {
+            x2.data[5 * h + d] += 1.0;
+        }
+        let y1 = masked_mha_ragged(&pool, &cfg, &w, &x1);
+        let y2 = masked_mha_ragged(&pool, &cfg, &w, &x2);
+        // Rows 0..5 identical; row 5 differs.
+        assert_eq!(&y1[..5 * h], &y2[..5 * h], "earlier rows must not see the future");
+        assert_ne!(&y1[5 * h..], &y2[5 * h..], "last row must change");
+    }
+
+    #[test]
+    fn first_row_attends_only_to_itself() {
+        let cfg = EncoderConfig::scaled(8);
+        let w = EncoderWeights::random(&cfg, 17);
+        let pool = CpuPool::new(1);
+        let a = RaggedBatch::random(&[4], cfg.hidden, 18);
+        // A second batch sharing only token 0.
+        let mut b = a.clone();
+        let h = cfg.hidden;
+        for v in b.data[h..].iter_mut() {
+            *v += 0.5;
+        }
+        let ya = masked_mha_ragged(&pool, &cfg, &w, &a);
+        let yb = masked_mha_ragged(&pool, &cfg, &w, &b);
+        assert_eq!(&ya[..h], &yb[..h], "row 0 depends only on token 0");
+    }
+}

@@ -1,0 +1,137 @@
+//! Prelude overhead accounting (§7.4 table, Tables 7/8).
+//!
+//! Builds — for a given dataset batch — the actual auxiliary structures
+//! each scheme needs and reports construction time and memory:
+//!
+//! * **Sparse storage** — the CSF-style scheme of past work, one offset
+//!   entry per slice of every variable dimension (built on the
+//!   4-dimensional attention tensor).
+//! * **CoRa storage** — the precise-dgraph prefix sums.
+//! * **CoRa loop fusion** — the `ffo`/`ffi` maps of the fused linear
+//!   operators.
+//! * **Copy** — host-to-device transfer of whatever the scheme built.
+//!
+//! Tables 7/8's "redundant" vs "optimized" variants rebuild the
+//! structures once per operator per tensor (the prototype's behaviour)
+//! versus once per mini-batch with sharing.
+
+use cora_exec::cost::GpuModel;
+use cora_ragged::aux::{AuxOffsets, FusedLoopMaps};
+use cora_ragged::csf::CsfStorage;
+use cora_ragged::{Dim, RaggedLayout};
+
+use crate::config::EncoderConfig;
+
+/// One row of the §7.4 overhead table.
+#[derive(Debug, Clone)]
+pub struct PreludeCosts {
+    /// CSF-style build time (ms).
+    pub sparse_time_ms: f64,
+    /// CSF-style memory (kB).
+    pub sparse_mem_kb: f64,
+    /// CoRa storage build time (ms).
+    pub cora_storage_time_ms: f64,
+    /// CoRa storage memory (kB).
+    pub cora_storage_mem_kb: f64,
+    /// CoRa loop-fusion build time (ms).
+    pub cora_fusion_time_ms: f64,
+    /// CoRa loop-fusion memory (kB).
+    pub cora_fusion_mem_kb: f64,
+    /// Host-to-device copy time for CoRa's structures (ms).
+    pub cora_copy_ms: f64,
+}
+
+/// The attention-score layout `X[batch, len, heads, len]` of §5.3.
+pub fn attention_layout(cfg: &EncoderConfig, lens: &[usize]) -> RaggedLayout {
+    let batch = Dim::new("batch");
+    let l1 = Dim::new("len1");
+    let h = Dim::new("heads");
+    let l2 = Dim::new("len2");
+    RaggedLayout::builder()
+        .cdim(batch.clone(), lens.len())
+        .vdim(l1, &batch, lens.to_vec())
+        .cdim(h, cfg.heads)
+        .vdim(l2, &batch, lens.to_vec())
+        .build()
+        .expect("attention layout is valid")
+}
+
+/// Measures prelude costs for one mini-batch.
+///
+/// `redundancy` is how many times each structure is (re)built — the
+/// prototype builds per operator (§D.7's CoRa-Redundant); `1` is the
+/// optimized, fully shared build.
+pub fn measure_prelude(
+    cfg: &EncoderConfig,
+    model: &GpuModel,
+    lens: &[usize],
+    redundancy: usize,
+) -> PreludeCosts {
+    assert!(redundancy >= 1, "redundancy counts builds, at least one");
+    let layout = attention_layout(cfg, lens);
+
+    let mut sparse_time = 0.0;
+    let mut sparse_mem = 0usize;
+    let mut storage_time = 0.0;
+    let mut storage_mem = 0usize;
+    let mut fusion_time = 0.0;
+    let mut fusion_mem = 0usize;
+    for _ in 0..redundancy {
+        let csf = CsfStorage::build(&layout);
+        sparse_time += csf.build_time.as_secs_f64() * 1e3;
+        sparse_mem = csf.memory_bytes();
+
+        let aux = AuxOffsets::build(&layout);
+        storage_time += aux.build_time.as_secs_f64() * 1e3;
+        storage_mem = aux.memory_bytes();
+
+        let maps = FusedLoopMaps::build(lens);
+        fusion_time += maps.build_time.as_secs_f64() * 1e3;
+        fusion_mem = maps.memory_bytes();
+    }
+    // Copy cost: CoRa's structures, sized by what was (re)built.
+    let copy_bytes = (storage_mem + fusion_mem) * redundancy;
+    PreludeCosts {
+        sparse_time_ms: sparse_time,
+        sparse_mem_kb: (sparse_mem * redundancy) as f64 / 1024.0,
+        cora_storage_time_ms: storage_time,
+        cora_storage_mem_kb: (storage_mem * redundancy) as f64 / 1024.0,
+        cora_fusion_time_ms: fusion_time,
+        cora_fusion_mem_kb: (fusion_mem * redundancy) as f64 / 1024.0,
+        cora_copy_ms: model.copy_time_us(copy_bytes) / 1e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cora_datasets::Dataset;
+
+    #[test]
+    fn cora_storage_much_cheaper_than_sparse() {
+        let cfg = EncoderConfig::base();
+        let model = GpuModel::default();
+        let lens = Dataset::Race.sample_batch_sorted(128, 1);
+        let c = measure_prelude(&cfg, &model, &lens, 1);
+        // §7.4: CoRa's storage aux data is orders of magnitude smaller.
+        assert!(
+            c.sparse_mem_kb > 50.0 * c.cora_storage_mem_kb,
+            "sparse {} kB vs cora {} kB",
+            c.sparse_mem_kb,
+            c.cora_storage_mem_kb
+        );
+        // Loop fusion dominates CoRa's own aux memory.
+        assert!(c.cora_fusion_mem_kb > c.cora_storage_mem_kb);
+    }
+
+    #[test]
+    fn redundancy_scales_costs() {
+        let cfg = EncoderConfig::base();
+        let model = GpuModel::default();
+        let lens = Dataset::Cola.sample_batch_sorted(32, 2);
+        let opt = measure_prelude(&cfg, &model, &lens, 1);
+        let red = measure_prelude(&cfg, &model, &lens, 4);
+        assert!(red.cora_fusion_mem_kb > 3.0 * opt.cora_fusion_mem_kb);
+        assert!(red.cora_copy_ms > opt.cora_copy_ms);
+    }
+}

@@ -1,0 +1,290 @@
+//! Operation-splitting and horizontal-fusion ablations on the AttnV and
+//! QKT operators (§7.3, §D.6; Figs. 14, 20, 21).
+//!
+//! All variants compute the same useful work; they differ in padding,
+//! launch count and code complexity:
+//!
+//! * **NoSplit** — the non-reduction vloop is padded up to the tile size
+//!   (64), wasting FLOPs but using one launch.
+//! * **Split** — operation splitting removes the padding (full tiles
+//!   guard-free, exact tail) but launches *two* kernels, halving the work
+//!   available per launch.
+//! * **Split-HFused** — the two kernels share one launch; the tail blocks
+//!   fill the scheduling bubbles of the main kernel.
+//! * **Split2-HFused** (QKT only) — both vloops split; the extra index
+//!   arithmetic shows up as an indirect-access penalty the CUDA compiler
+//!   cannot hoist (§D.6's observed instruction growth).
+
+use cora_exec::cost::{GpuModel, KernelTraits};
+use cora_exec::gpu::{GpuSim, SimKernel};
+
+use crate::config::EncoderConfig;
+
+/// Ablation variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitVariant {
+    /// Pad the vloop to the tile size; single kernel.
+    NoSplit,
+    /// Operation splitting; two kernels.
+    Split,
+    /// Operation splitting + horizontal fusion; one kernel.
+    SplitHFused,
+    /// Both vloops split + hfused (QKT only).
+    Split2HFused,
+}
+
+impl SplitVariant {
+    /// Display name matching the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SplitVariant::NoSplit => "NoSplit",
+            SplitVariant::Split => "Split",
+            SplitVariant::SplitHFused => "Split-HFused",
+            SplitVariant::Split2HFused => "Split2-HFused",
+        }
+    }
+}
+
+const TILE: usize = 64;
+
+fn pad_to(l: usize, m: usize) -> usize {
+    l.div_ceil(m) * m
+}
+
+/// AttnV kernels for one variant: per (sequence, head), `out[l, hd] =
+/// scores[l, l] · V[l, hd]` where the non-reduction row vloop is the
+/// transform target.
+pub fn attnv_kernels(
+    cfg: &EncoderConfig,
+    model: &GpuModel,
+    variant: SplitVariant,
+    lens: &[usize],
+) -> Vec<SimKernel> {
+    let hd = cfg.head_dim;
+    let traits = KernelTraits::generated();
+    let mut main = Vec::new();
+    let mut tail = Vec::new();
+    for &l in lens {
+        for _ in 0..cfg.heads {
+            match variant {
+                SplitVariant::NoSplit => {
+                    // Rows padded to the tile: ceil(l/64) full 64-row
+                    // blocks, every block doing full-tile work.
+                    let lp = pad_to(l, TILE);
+                    for _ in 0..lp / TILE {
+                        main.push(model.block_time_us(
+                            2.0 * TILE as f64 * l as f64 * hd as f64,
+                            traits,
+                        ));
+                    }
+                }
+                _ => {
+                    // Split: full tiles guard-free + exact ragged tail.
+                    for _ in 0..l / TILE {
+                        main.push(model.block_time_us(
+                            2.0 * TILE as f64 * l as f64 * hd as f64,
+                            traits,
+                        ));
+                    }
+                    let t = l % TILE;
+                    if t > 0 {
+                        tail.push(model.block_time_us(
+                            2.0 * t as f64 * l as f64 * hd as f64,
+                            traits,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    match variant {
+        SplitVariant::NoSplit => vec![SimKernel::new("attnv", main)],
+        SplitVariant::Split => vec![
+            SimKernel::new("attnv_main", main),
+            SimKernel::new("attnv_tail", tail),
+        ],
+        SplitVariant::SplitHFused | SplitVariant::Split2HFused => {
+            vec![SimKernel::new("attnv_main", main).hfuse(SimKernel::new("attnv_tail", tail))]
+        }
+    }
+}
+
+/// QKT kernels for one variant: per (sequence, head), `scores[l, l] =
+/// Q[l, hd] · K[l, hd]ᵀ` — two non-reduction vloops.
+pub fn qkt_kernels(
+    cfg: &EncoderConfig,
+    model: &GpuModel,
+    variant: SplitVariant,
+    lens: &[usize],
+) -> Vec<SimKernel> {
+    let hd = cfg.head_dim;
+    // QKT fuses vloops with the batch loop, so its accesses go through
+    // the fusion maps: hoisted-indirect traits for the 1-vloop cases, the
+    // full (unhoistable) penalty for the 2-vloop case (§D.6).
+    // §D.6: splitting both vloops grows the executed instruction count —
+    // the fused offset chains stop being hoistable and the tile tails
+    // need guards, so the double-split variant pays both penalties.
+    let traits = match variant {
+        SplitVariant::Split2HFused => KernelTraits::generated().with_indirect().with_guards(),
+        _ => KernelTraits::generated().with_hoisted_indirect(),
+    };
+    let mut main = Vec::new();
+    let mut tail = Vec::new();
+    for &l in lens {
+        for _ in 0..cfg.heads {
+            match variant {
+                SplitVariant::NoSplit => {
+                    let lp = pad_to(l, TILE);
+                    for _ in 0..(lp / TILE) * (lp / TILE) {
+                        main.push(model.block_time_us(
+                            2.0 * TILE as f64 * hd as f64 * TILE as f64,
+                            traits,
+                        ));
+                    }
+                }
+                SplitVariant::Split | SplitVariant::SplitHFused => {
+                    // Outer vloop split: full row tiles × padded cols,
+                    // plus a ragged row tail.
+                    let lp = pad_to(l, TILE);
+                    for _ in 0..(l / TILE) * (lp / TILE) {
+                        main.push(model.block_time_us(
+                            2.0 * TILE as f64 * hd as f64 * TILE as f64,
+                            traits,
+                        ));
+                    }
+                    let t = l % TILE;
+                    if t > 0 {
+                        for _ in 0..lp / TILE {
+                            tail.push(model.block_time_us(
+                                2.0 * t as f64 * hd as f64 * TILE as f64,
+                                traits,
+                            ));
+                        }
+                    }
+                }
+                SplitVariant::Split2HFused => {
+                    // Both vloops split: exact tiles everywhere.
+                    let full = l / TILE;
+                    let t = l % TILE;
+                    for _ in 0..full * full {
+                        main.push(model.block_time_us(
+                            2.0 * TILE as f64 * hd as f64 * TILE as f64,
+                            traits,
+                        ));
+                    }
+                    for _ in 0..2 * full {
+                        tail.push(model.block_time_us(
+                            2.0 * t as f64 * hd as f64 * TILE as f64,
+                            traits,
+                        ));
+                    }
+                    if t > 0 {
+                        tail.push(model.block_time_us(
+                            2.0 * t as f64 * hd as f64 * t as f64,
+                            traits,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    match variant {
+        SplitVariant::NoSplit => vec![SimKernel::new("qkt", main)],
+        SplitVariant::Split => vec![
+            SimKernel::new("qkt_main", main),
+            SimKernel::new("qkt_tail", tail),
+        ],
+        SplitVariant::SplitHFused | SplitVariant::Split2HFused => {
+            vec![SimKernel::new("qkt_main", main).hfuse(SimKernel::new("qkt_tail", tail))]
+        }
+    }
+}
+
+/// Simulated latency (ms) of a variant on a device model.
+pub fn variant_latency_ms(kernels: &[SimKernel], model: &GpuModel) -> f64 {
+    GpuSim::with_model(*model).run(kernels, 0).total_us / 1e3
+}
+
+/// A CPU-like device model for the 64-core ARM comparison: few execution
+/// units, cheap "launches" (fork/join).
+pub fn cpu_device_model(cores: usize) -> GpuModel {
+    GpuModel {
+        sm_count: cores,
+        flops_per_sm_per_us: 16_000.0,
+        kernel_launch_us: 8.0,
+        h2d_bytes_per_us: f64::INFINITY,
+        h2d_latency_us: 0.0,
+        min_block_us: 0.05,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cora_datasets::Dataset;
+
+    #[test]
+    fn gpu_shapes_match_fig14() {
+        // MNLI (lengths comparable to the tile size) at moderate batch:
+        // split alone hurts (parallelism), hfusion restores it and beats
+        // NoSplit.
+        let cfg = EncoderConfig::base();
+        let model = GpuModel::default();
+        let lens = Dataset::Mnli.sample_batch_sorted(64, 1);
+        let t = |v| variant_latency_ms(&attnv_kernels(&cfg, &model, v, &lens), &model);
+        let nosplit = t(SplitVariant::NoSplit);
+        let split = t(SplitVariant::Split);
+        let hfused = t(SplitVariant::SplitHFused);
+        assert!(hfused < nosplit, "hfused {hfused:.3} vs nosplit {nosplit:.3}");
+        assert!(hfused <= split, "hfused {hfused:.3} vs split {split:.3}");
+    }
+
+    #[test]
+    fn cpu_shapes_match_fig14() {
+        // On the CPU, splitting helps (less waste) and hfusion adds
+        // nothing significant (low parallelism).
+        let cfg = EncoderConfig::base();
+        let model = cpu_device_model(64);
+        let lens = Dataset::Mnli.sample_batch_sorted(512, 2);
+        let t = |v| variant_latency_ms(&attnv_kernels(&cfg, &model, v, &lens), &model);
+        let nosplit = t(SplitVariant::NoSplit);
+        let split = t(SplitVariant::Split);
+        let hfused = t(SplitVariant::SplitHFused);
+        assert!(split < nosplit, "split {split:.3} vs nosplit {nosplit:.3}");
+        let gain = (split - hfused) / split;
+        assert!(gain < 0.05, "hfusion gain on CPU should be small: {gain}");
+    }
+
+    #[test]
+    fn qkt_double_split_not_better() {
+        // §D.6: splitting both vloops is never better than one.
+        let cfg = EncoderConfig::base();
+        let model = GpuModel::default();
+        let lens = Dataset::Mnli.sample_batch_sorted(256, 3);
+        let one = variant_latency_ms(
+            &qkt_kernels(&cfg, &model, SplitVariant::SplitHFused, &lens),
+            &model,
+        );
+        let two = variant_latency_ms(
+            &qkt_kernels(&cfg, &model, SplitVariant::Split2HFused, &lens),
+            &model,
+        );
+        assert!(two >= one, "two-vloop split {two:.3} vs one {one:.3}");
+    }
+
+    #[test]
+    fn split_conserves_useful_blocks() {
+        let cfg = EncoderConfig::base();
+        let model = GpuModel::default();
+        let lens = vec![100usize, 64, 65];
+        let split = attnv_kernels(&cfg, &model, SplitVariant::Split, &lens);
+        let fused = attnv_kernels(&cfg, &model, SplitVariant::SplitHFused, &lens);
+        let split_blocks: usize = split.iter().map(|k| k.block_costs_us.len()).sum();
+        let fused_blocks: usize = fused.iter().map(|k| k.block_costs_us.len()).sum();
+        assert_eq!(split_blocks, fused_blocks);
+        // Work conserved between split and hfused forms.
+        let w1: f64 = split.iter().map(|k| k.total_work_us()).sum();
+        let w2: f64 = fused.iter().map(|k| k.total_work_us()).sum();
+        assert!((w1 - w2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,77 @@
+//! Encoder-layer weights and deterministic initialisation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::EncoderConfig;
+
+/// All learned parameters of one encoder layer.
+#[derive(Debug, Clone)]
+pub struct EncoderWeights {
+    /// QKV projection `[hidden, 3·hidden]`.
+    pub wqkv: Vec<f32>,
+    /// QKV bias `[3·hidden]`.
+    pub bqkv: Vec<f32>,
+    /// Output projection `[hidden, hidden]`.
+    pub wo: Vec<f32>,
+    /// Output projection bias `[hidden]`.
+    pub bo: Vec<f32>,
+    /// FF1 `[hidden, ff]`.
+    pub w1: Vec<f32>,
+    /// FF1 bias `[ff]`.
+    pub b1: Vec<f32>,
+    /// FF2 `[ff, hidden]`.
+    pub w2: Vec<f32>,
+    /// FF2 bias `[hidden]`.
+    pub b2: Vec<f32>,
+    /// First layer-norm gamma `[hidden]`.
+    pub ln1_g: Vec<f32>,
+    /// First layer-norm beta `[hidden]`.
+    pub ln1_b: Vec<f32>,
+    /// Second layer-norm gamma `[hidden]`.
+    pub ln2_g: Vec<f32>,
+    /// Second layer-norm beta `[hidden]`.
+    pub ln2_b: Vec<f32>,
+}
+
+impl EncoderWeights {
+    /// Deterministic random initialisation (small values keep softmax and
+    /// layer norm numerically tame in tests).
+    pub fn random(cfg: &EncoderConfig, seed: u64) -> EncoderWeights {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gen = |n: usize, scale: f32| -> Vec<f32> {
+            (0..n).map(|_| (rng.gen::<f32>() - 0.5) * scale).collect()
+        };
+        let h = cfg.hidden;
+        let ff = cfg.ff;
+        EncoderWeights {
+            wqkv: gen(h * 3 * h, 0.05),
+            bqkv: gen(3 * h, 0.02),
+            wo: gen(h * h, 0.05),
+            bo: gen(h, 0.02),
+            w1: gen(h * ff, 0.05),
+            b1: gen(ff, 0.02),
+            w2: gen(ff * h, 0.05),
+            b2: gen(h, 0.02),
+            ln1_g: vec![1.0; h],
+            ln1_b: vec![0.0; h],
+            ln2_g: vec![1.0; h],
+            ln2_b: vec![0.0; h],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let cfg = EncoderConfig::scaled(8);
+        let a = EncoderWeights::random(&cfg, 1);
+        let b = EncoderWeights::random(&cfg, 1);
+        assert_eq!(a.wqkv, b.wqkv);
+        assert_eq!(a.wqkv.len(), cfg.hidden * 3 * cfg.hidden);
+        assert_eq!(a.w1.len(), cfg.hidden * cfg.ff);
+    }
+}

@@ -1,0 +1,130 @@
+//! Triangular matrix multiplication through the full compiler pipeline
+//! (§7.1): the reduction loop of `C = L · B` (L lower-triangular) is a
+//! vloop whose extent is the row index — a ragged tensor in disguise.
+//!
+//! Demonstrates: a reduction vloop, operation splitting on it, thread
+//! remapping for load balance, the generated source, numeric validation
+//! against a dense reference, and simulated-GPU cost comparison.
+//!
+//! Run with `cargo run --release --example triangular_matmul`.
+
+use std::rc::Rc;
+
+use cora::core::prelude::*;
+use cora::exec::cost::{GpuModel, KernelTraits};
+use cora::exec::gpu::GpuSim;
+use cora::ragged::{Dim, RaggedLayout};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 24usize;
+
+    // L stored ragged: row i has i+1 meaningful entries.
+    let row = Dim::new("row");
+    let col = Dim::new("col");
+    let tri_lens: Vec<usize> = (1..=n).collect();
+    let l_layout = RaggedLayout::builder()
+        .cdim(row.clone(), n)
+        .vdim(col, &row, tri_lens.clone())
+        .build()?;
+    let l_tensor = TensorRef::new("L", l_layout);
+    let b_tensor = TensorRef::new("B", RaggedLayout::dense(&[n, n]));
+    let c_tensor = TensorRef::new("C", RaggedLayout::dense(&[n, n]));
+
+    // C[i,j] = sum_{k <= i} L[i,k] * B[k,j]: the k loop is a vloop with
+    // extent i+1.
+    let (lt, bt) = (l_tensor.clone(), b_tensor.clone());
+    let body: BodyFn = Rc::new(move |args| {
+        let (i, j, k) = (args[0].clone(), args[1].clone(), args[2].clone());
+        lt.at(&[i, k.clone()]) * bt.at(&[k, j])
+    });
+    let mut op = Operator::new(
+        "trmm",
+        vec![LoopSpec::fixed("i", n), LoopSpec::fixed("j", n)],
+        vec![LoopSpec::variable("k", 0, tri_lens)],
+        c_tensor,
+        vec![l_tensor, b_tensor],
+        body,
+    );
+    op.schedule_mut()
+        .bind("i", ForKind::GpuBlockX)
+        .thread_remap(RemapPolicy::LongestFirst);
+
+    let program = lower(&op)?;
+    println!("=== generated source (first lines) ===");
+    for line in program.cuda_source().lines().take(8) {
+        println!("{line}");
+    }
+
+    // Numeric validation against a dense reference.
+    let l_data: Vec<f32> = (0..program.prelude_spec().tensors()[0].1.size())
+        .map(|x| (x % 7) as f32 - 3.0)
+        .collect();
+    let b_data: Vec<f32> = (0..n * n).map(|x| (x % 5) as f32 - 2.0).collect();
+    let result = program.run(&[("L", l_data.clone()), ("B", b_data.clone())]);
+
+    // Dense reference: expand L and multiply.
+    let mut l_dense = vec![0.0f32; n * n];
+    let mut off = 0usize;
+    for i in 0..n {
+        for k in 0..=i {
+            l_dense[i * n + k] = l_data[off];
+            off += 1;
+        }
+    }
+    let mut want = vec![0.0f32; n * n];
+    cora::kernels::sgemm(n, n, n, &l_dense, &b_data, &mut want);
+    assert_eq!(result.output, want, "compiled trmm disagrees with reference");
+    println!("\nOK: compiled trmm matches the dense reference ({n}x{n}).");
+
+    // Simulated-GPU cost at a realistic size (2048 rows spans many waves
+    // over 80 SMs): thread remapping shortens the makespan because later
+    // (heavier) rows schedule first.
+    let big_n = 2048usize;
+    let make_big = |remap: bool| -> Result<Program, ScheduleError> {
+        let row = Dim::new("row");
+        let col = Dim::new("col");
+        let lens: Vec<usize> = (1..=big_n).collect();
+        let l_layout = RaggedLayout::builder()
+            .cdim(row.clone(), big_n)
+            .vdim(col, &row, lens.clone())
+            .build()
+            .expect("triangular layout is valid");
+        let l = TensorRef::new("L", l_layout);
+        let b = TensorRef::new("B", RaggedLayout::dense(&[big_n, big_n]));
+        let c = TensorRef::new("C", RaggedLayout::dense(&[big_n, big_n]));
+        let (lt, bt) = (l.clone(), b.clone());
+        let body: BodyFn = Rc::new(move |args| {
+            lt.at(&[args[0].clone(), args[2].clone()]) * bt.at(&[args[2].clone(), args[1].clone()])
+        });
+        let mut op = Operator::new(
+            "trmm_big",
+            vec![LoopSpec::fixed("i", big_n), LoopSpec::fixed("j", big_n)],
+            vec![LoopSpec::variable("k", 0, lens)],
+            c,
+            vec![l, b],
+            body,
+        );
+        op.schedule_mut().bind("i", ForKind::GpuBlockX);
+        if remap {
+            op.schedule_mut().thread_remap(RemapPolicy::LongestFirst);
+        }
+        lower(&op)
+    };
+    let model = GpuModel::default();
+    let sim = GpuSim::with_model(model);
+    let balanced_prog = make_big(true)?;
+    let unbalanced_prog = make_big(false)?;
+    let balanced = sim
+        .run(&[balanced_prog.sim_kernel(&model, KernelTraits::generated())], 0)
+        .total_us;
+    let unbalanced = sim
+        .run(
+            &[unbalanced_prog.sim_kernel(&model, KernelTraits::generated())],
+            0,
+        )
+        .total_us;
+    println!(
+        "simulated GPU ({big_n}x{big_n}): in-order {unbalanced:.1} us vs longest-first {balanced:.1} us"
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Full-application correctness: the ragged (CoRa-style) encoder layer
+//! must agree with the fully padded reference on every dataset's length
+//! distribution.
+
+use cora::datasets::{Dataset, ALL_DATASETS};
+use cora::exec::CpuPool;
+use cora::transformer::config::EncoderConfig;
+use cora::transformer::encoder::{
+    encoder_layer_padded, encoder_layer_ragged, max_divergence, RaggedBatch,
+};
+use cora::transformer::weights::EncoderWeights;
+
+#[test]
+fn ragged_equals_padded_across_datasets() {
+    let cfg = EncoderConfig::scaled(8);
+    let w = EncoderWeights::random(&cfg, 11);
+    let pool = CpuPool::new(4);
+    for ds in ALL_DATASETS {
+        // Shrink lengths so the quadratic SDPA stays fast in tests.
+        let lens: Vec<usize> = ds
+            .sample_batch_sorted(6, 1)
+            .into_iter()
+            .map(|l| (l / 8).max(1))
+            .collect();
+        let x = RaggedBatch::random(&lens, cfg.hidden, 2);
+        let ragged = encoder_layer_ragged(&pool, &cfg, &w, &x);
+        let max_len = *lens.first().unwrap();
+        let padded = encoder_layer_padded(&pool, &cfg, &w, &lens, max_len, &x.to_padded(max_len));
+        let d = max_divergence(&ragged, &padded, max_len);
+        assert!(d < 1e-3, "{ds:?}: divergence {d}");
+    }
+}
+
+#[test]
+fn two_layers_compose() {
+    // Stacking layers (the 6-layer model of §7.2) stays consistent: the
+    // ragged pipeline's output feeds the next layer without re-padding.
+    let cfg = EncoderConfig::scaled(8);
+    let pool = CpuPool::new(2);
+    let w1 = EncoderWeights::random(&cfg, 21);
+    let w2 = EncoderWeights::random(&cfg, 22);
+    let lens = vec![10usize, 7, 3];
+    let x = RaggedBatch::random(&lens, cfg.hidden, 5);
+    let y_ragged = encoder_layer_ragged(&pool, &cfg, &w2, &encoder_layer_ragged(&pool, &cfg, &w1, &x));
+    let max_len = 10;
+    let p1 = encoder_layer_padded(&pool, &cfg, &w1, &lens, max_len, &x.to_padded(max_len));
+    let p2 = encoder_layer_padded(&pool, &cfg, &w2, &lens, max_len, &p1);
+    let d = max_divergence(&y_ragged, &p2, max_len);
+    assert!(d < 1e-3, "stacked divergence {d}");
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let cfg = EncoderConfig::scaled(8);
+    let w = EncoderWeights::random(&cfg, 31);
+    let lens = Dataset::Cola.sample_batch_sorted(8, 2);
+    let x = RaggedBatch::random(&lens, cfg.hidden, 3);
+    let r1 = encoder_layer_ragged(&CpuPool::new(1), &cfg, &w, &x);
+    let r8 = encoder_layer_ragged(&CpuPool::new(8), &cfg, &w, &x);
+    assert_eq!(r1.data, r8.data, "parallel execution must be deterministic");
+}

@@ -1,0 +1,207 @@
+//! End-to-end compiler pipeline tests: Ragged API → schedule → lowering →
+//! prelude → interpretation, validated against plain dense references.
+
+use std::rc::Rc;
+
+use cora::core::prelude::*;
+use cora::ragged::{Dim, RaggedLayout};
+
+fn ragged_2d(name: &str, lens: &[usize], pad: usize) -> TensorRef {
+    let b = Dim::new("batch");
+    let l = Dim::new("len");
+    TensorRef::new(
+        name,
+        RaggedLayout::builder()
+            .cdim(b.clone(), lens.len())
+            .vdim(l, &b, lens.to_vec())
+            .pad(pad)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn doubling_op(lens: &[usize]) -> Operator {
+    let a = ragged_2d("A", lens, 1);
+    let out = ragged_2d("B", lens, 1);
+    let a2 = a.clone();
+    let body: BodyFn = Rc::new(move |args| a2.at(args) * 2.0);
+    Operator::new(
+        "double",
+        vec![
+            LoopSpec::fixed("o", lens.len()),
+            LoopSpec::variable("i", 0, lens.to_vec()),
+        ],
+        vec![],
+        out,
+        vec![a],
+        body,
+    )
+}
+
+#[test]
+fn elementwise_identity_schedule() {
+    let lens = [5usize, 0, 3, 8];
+    let p = lower(&doubling_op(&lens)).unwrap();
+    let n: usize = lens.iter().sum();
+    let input: Vec<f32> = (0..n).map(|x| x as f32 - 4.0).collect();
+    let r = p.run(&[("A", input.clone())]);
+    let expect: Vec<f32> = input.iter().map(|x| 2.0 * x).collect();
+    assert_eq!(r.output, expect);
+}
+
+#[test]
+fn fused_loops_with_bulk_padding_execute() {
+    let lens = [5usize, 2, 3];
+    let mut op = doubling_op(&lens);
+    op.schedule_mut()
+        .fuse_loops("o", "i")
+        .bulk_pad("o_i_f", 8)
+        .bind("o_i_f", ForKind::GpuBlockX);
+    // §6 contract: the user allocates storage covering the bulk padding.
+    // Our output layout has exactly sum(lens) elements, so the virtual
+    // padding row would write out of bounds — allocate covering buffers
+    // through prepare() and a padded input instead.
+    let p = lower(&op).unwrap();
+    let total: usize = lens.iter().sum();
+    let padded_total = total.div_ceil(8) * 8;
+    let input: Vec<f32> = (0..padded_total).map(|x| x as f32).collect();
+    let (mut m, _prelude) = p.prepare(&[("A", input.clone())]);
+    // Re-size the output to cover bulk padding (user-side allocation).
+    m.set_fbuffer("B", vec![0.0f32; padded_total]);
+    m.run(p.stmt());
+    let out = m.take_fbuffer("B").unwrap();
+    for i in 0..total {
+        assert_eq!(out[i], 2.0 * input[i], "valid element {i}");
+    }
+    // The generated source must use the fused maps.
+    let src = p.cuda_source();
+    assert!(src.contains("__ffo["), "fused outer map missing:\n{src}");
+    assert!(src.contains("__ffi["), "fused inner map missing:\n{src}");
+}
+
+#[test]
+fn split_and_bind_produce_gpu_source() {
+    let lens = [8usize, 4, 8];
+    let mut op = doubling_op(&lens);
+    op.schedule_mut()
+        .pad_loop("i", 4)
+        .split("i", 4)
+        .bind("o", ForKind::GpuBlockX)
+        .bind("i_i", ForKind::GpuThreadX);
+    // Loop padding of 4 needs storage padding of 4.
+    let out = ragged_2d("B", &lens, 4);
+    let a = ragged_2d("A", &lens, 4);
+    let a2 = a.clone();
+    op.output = out;
+    op.inputs = vec![a];
+    op.body = Rc::new(move |args| a2.at(args) * 2.0);
+    let p = lower(&op).unwrap();
+    let src = p.cuda_source();
+    assert!(src.contains("blockIdx.x"), "missing block binding:\n{src}");
+    assert!(src.contains("threadIdx.x"), "missing thread binding:\n{src}");
+    // Padded storage + padded loop: execution must still double valid
+    // entries.
+    let size = p.output_size();
+    let input: Vec<f32> = (0..size).map(|x| x as f32).collect();
+    let r = p.run(&[("A", input.clone())]);
+    // With pad 4 everywhere, all stored elements are loop-covered.
+    let expect: Vec<f32> = input.iter().map(|x| 2.0 * x).collect();
+    assert_eq!(r.output, expect);
+}
+
+#[test]
+fn splitting_unpadded_vloop_is_rejected() {
+    let lens = [5usize, 2, 3];
+    let mut op = doubling_op(&lens);
+    op.schedule_mut().split("i", 4);
+    match lower(&op) {
+        Err(ScheduleError::SplitUnpaddedVloop { loop_name, factor }) => {
+            assert_eq!(loop_name, "i");
+            assert_eq!(factor, 4);
+        }
+        other => panic!("expected SplitUnpaddedVloop, got {other:?}"),
+    }
+}
+
+#[test]
+fn reduction_vloop_matches_reference() {
+    // Ragged row-sum: out[o] = sum_i A[o, i].
+    let lens = [4usize, 1, 6];
+    let a = ragged_2d("A", &lens, 1);
+    let out = TensorRef::new("S", RaggedLayout::dense(&[lens.len()]));
+    let a2 = a.clone();
+    let body: BodyFn = Rc::new(move |args| a2.at(args));
+    let op = Operator::new(
+        "rowsum",
+        vec![LoopSpec::fixed("o", lens.len())],
+        vec![LoopSpec::variable("i", 0, lens.to_vec())],
+        out,
+        vec![a],
+        body,
+    );
+    let p = lower(&op).unwrap();
+    let n: usize = lens.iter().sum();
+    let input: Vec<f32> = (0..n).map(|x| x as f32).collect();
+    let r = p.run(&[("A", input.clone())]);
+    let mut expect = vec![0.0f32; lens.len()];
+    let mut off = 0;
+    for (o, &l) in lens.iter().enumerate() {
+        for _ in 0..l {
+            expect[o] += input[off];
+            off += 1;
+        }
+    }
+    assert_eq!(r.output, expect);
+}
+
+#[test]
+fn operation_splitting_plus_schedules() {
+    // Split the vloop, tile the head's (now uniform multiple) part, keep
+    // the tail simple — the Fig. 5 pattern.
+    let lens = [70usize, 65, 128, 3];
+    let op = doubling_op(&lens);
+    let (mut head, tail) = split_operation(&op, "i", &|_| 64).unwrap();
+    head.schedule_mut().bind("o", ForKind::GpuBlockX);
+    let ph = lower(&head).unwrap();
+    let pt = lower(&tail).unwrap();
+    let n: usize = lens.iter().sum();
+    let input: Vec<f32> = (0..n).map(|x| x as f32).collect();
+    let rh = ph.run(&[("A", input.clone())]);
+    let (mut m, _) = pt.prepare(&[("A", input.clone())]);
+    m.set_fbuffer("B", rh.output);
+    m.run(pt.stmt());
+    let out = m.take_fbuffer("B").unwrap();
+    let expect: Vec<f32> = input.iter().map(|x| 2.0 * x).collect();
+    assert_eq!(out, expect);
+}
+
+#[test]
+fn hoisting_reduces_aux_loads() {
+    let lens = [32usize, 16, 48];
+    let mut plain = doubling_op(&lens);
+    plain.schedule_mut().bind("o", ForKind::GpuBlockX);
+    let mut hoisted = doubling_op(&lens);
+    hoisted.schedule_mut().bind("o", ForKind::GpuBlockX).hoist_loads();
+    let n: usize = lens.iter().sum();
+    let input: Vec<f32> = (0..n).map(|x| x as f32).collect();
+    let r1 = lower(&plain).unwrap().run(&[("A", input.clone())]);
+    let r2 = lower(&hoisted).unwrap().run(&[("A", input.clone())]);
+    assert_eq!(r1.output, r2.output, "hoisting must not change semantics");
+    assert!(
+        r2.stats.aux_loads < r1.stats.aux_loads,
+        "hoisting should cut aux loads: {} vs {}",
+        r2.stats.aux_loads,
+        r1.stats.aux_loads
+    );
+}
+
+#[test]
+fn prelude_data_is_shared_across_identical_programs() {
+    let lens = [4usize, 8, 2];
+    let p1 = lower(&doubling_op(&lens)).unwrap();
+    let p2 = lower(&doubling_op(&lens)).unwrap();
+    let d1 = p1.prelude_spec().build();
+    let d2 = p2.prelude_spec().build();
+    assert_eq!(d1.int_buffers.len(), d2.int_buffers.len());
+    assert_eq!(d1.total_bytes(), d2.total_bytes());
+}

@@ -1,0 +1,182 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use cora::ir::{Env, Expr, Solver};
+use cora::ragged::access::{offset, valid_indices};
+use cora::ragged::aux::{AuxOffsets, FusedLoopMaps};
+use cora::ragged::csf::CsfStorage;
+use cora::ragged::{Dim, RaggedLayout};
+use cora::sparse::CsrMatrix;
+
+/// A random small integer expression over variables x, y with bounded
+/// constants; division/modulo only by positive constants so evaluation is
+/// total.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(Expr::int),
+        Just(Expr::var("x")),
+        Just(Expr::var("y")),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            (inner.clone(), 1i64..8).prop_map(|(a, c)| a.floor_div(Expr::int(c))),
+            (inner.clone(), 1i64..8).prop_map(|(a, c)| a.floor_mod(Expr::int(c))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.min(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.max(b)),
+        ]
+    })
+}
+
+proptest! {
+    /// The simplifier never changes an expression's value.
+    #[test]
+    fn simplify_preserves_evaluation(e in arb_expr(), x in -50i64..50, y in -50i64..50) {
+        let solver = Solver::new();
+        let s = solver.simplify(&e);
+        let mut env = Env::new();
+        env.bind("x", x);
+        env.bind("y", y);
+        prop_assert_eq!(env.eval(&e), env.eval(&s), "expr {} vs {}", e, s);
+    }
+
+    /// Interval analysis is sound: the concrete value always lies in the
+    /// inferred interval.
+    #[test]
+    fn interval_is_sound(e in arb_expr(), x in 0i64..32, y in 0i64..16) {
+        let mut solver = Solver::new();
+        solver.ranges_mut().set("x", cora::ir::Interval::bounded(0, 31));
+        solver.ranges_mut().set("y", cora::ir::Interval::bounded(0, 15));
+        let iv = solver.interval(&e);
+        let mut env = Env::new();
+        env.bind("x", x);
+        env.bind("y", y);
+        let v = env.eval(&e);
+        if let Some(lo) = iv.min {
+            prop_assert!(v >= lo, "{} evaluated to {} below {}", e, v, lo);
+        }
+        if let Some(hi) = iv.max {
+            prop_assert!(v <= hi, "{} evaluated to {} above {}", e, v, hi);
+        }
+    }
+
+    /// Algorithm-1 offsets of an unpadded 2-D ragged layout are a
+    /// bijection onto 0..size (dense packing, insight I2).
+    #[test]
+    fn ragged_offsets_bijective(lens in prop::collection::vec(0usize..12, 1..10)) {
+        let b = Dim::new("b");
+        let l = Dim::new("l");
+        let layout = RaggedLayout::builder()
+            .cdim(b.clone(), lens.len())
+            .vdim(l, &b, lens.clone())
+            .build()
+            .unwrap();
+        let aux = AuxOffsets::build(&layout);
+        let offsets: Vec<usize> = valid_indices(&layout)
+            .iter()
+            .map(|ix| offset(&layout, &aux, ix))
+            .collect();
+        let expect: Vec<usize> = (0..layout.size()).collect();
+        prop_assert_eq!(offsets, expect);
+    }
+
+    /// With storage padding, offsets remain injective and within bounds.
+    #[test]
+    fn padded_offsets_injective(
+        lens in prop::collection::vec(0usize..12, 1..8),
+        pad in 1usize..6,
+    ) {
+        let b = Dim::new("b");
+        let l = Dim::new("l");
+        let layout = RaggedLayout::builder()
+            .cdim(b.clone(), lens.len())
+            .vdim(l, &b, lens.clone())
+            .pad(pad)
+            .build()
+            .unwrap();
+        let aux = AuxOffsets::build(&layout);
+        let mut offsets: Vec<usize> = valid_indices(&layout)
+            .iter()
+            .map(|ix| offset(&layout, &aux, ix))
+            .collect();
+        let n = offsets.len();
+        offsets.sort_unstable();
+        offsets.dedup();
+        prop_assert_eq!(offsets.len(), n, "offsets must be unique");
+        if let Some(&max) = offsets.last() {
+            prop_assert!(max < layout.size());
+        }
+    }
+
+    /// CSF-style offsets agree with CoRa offsets on 4-D attention layouts.
+    #[test]
+    fn csf_matches_cora_offsets(
+        lens in prop::collection::vec(1usize..6, 1..5),
+        heads in 1usize..4,
+    ) {
+        let batch = Dim::new("batch");
+        let l1 = Dim::new("l1");
+        let h = Dim::new("h");
+        let l2 = Dim::new("l2");
+        let layout = RaggedLayout::builder()
+            .cdim(batch.clone(), lens.len())
+            .vdim(l1, &batch, lens.clone())
+            .cdim(h, heads)
+            .vdim(l2, &batch, lens.clone())
+            .build()
+            .unwrap();
+        let aux = AuxOffsets::build(&layout);
+        let csf = CsfStorage::build(&layout);
+        for ix in valid_indices(&layout) {
+            prop_assert_eq!(csf.offset(&layout, &ix), offset(&layout, &aux, &ix));
+        }
+    }
+
+    /// Fused-loop maps satisfy the three §B.2 axioms for arbitrary
+    /// raggedness (including empty rows).
+    #[test]
+    fn fused_maps_axioms(lens in prop::collection::vec(0usize..10, 1..12)) {
+        let maps = FusedLoopMaps::build(&lens);
+        prop_assert_eq!(maps.fused_extent as usize, lens.iter().sum::<usize>());
+        for f in 0..maps.fused_extent {
+            let o = maps.ffo[f as usize] as usize;
+            let i = maps.ffi[f as usize] as usize;
+            prop_assert!(i < lens[o]);
+            prop_assert_eq!(maps.foif(o, i), f);
+        }
+    }
+
+    /// CSR round-trips dense matrices.
+    #[test]
+    fn csr_round_trip(
+        vals in prop::collection::vec(-4i32..5, 12),
+    ) {
+        let dense: Vec<f32> = vals.iter().map(|&v| v as f32).collect();
+        let m = CsrMatrix::from_dense(3, 4, &dense);
+        prop_assert_eq!(m.to_dense(), dense.clone());
+        for i in 0..3 {
+            for j in 0..4 {
+                prop_assert_eq!(m.get(i, j), dense[i * 4 + j]);
+            }
+        }
+    }
+
+    /// The guard-elision oracle is safe: if the solver proves a bound
+    /// check true, it really is true at every point in range.
+    #[test]
+    fn guard_elision_is_safe(extent in 1i64..64, bound in 1i64..96) {
+        let mut solver = Solver::new();
+        solver.ranges_mut().set("i", cora::ir::Interval::bounded(0, extent - 1));
+        let cond = Expr::var("i").lt(Expr::int(bound));
+        if solver.elide_guard(&cond).is_none() {
+            let mut env = Env::new();
+            for i in 0..extent {
+                env.bind("i", i);
+                prop_assert!(env.eval_cond(&cond));
+            }
+        }
+    }
+}

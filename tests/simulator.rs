@@ -1,0 +1,106 @@
+//! Cross-crate simulator invariants: the properties every experiment's
+//! conclusions rest on.
+
+use cora::exec::cost::{GpuModel, KernelTraits};
+use cora::exec::gpu::{GpuSim, SimKernel};
+use cora::datasets::Dataset;
+use cora::transformer::config::EncoderConfig;
+use cora::transformer::flops::{encoder_flops, Padding};
+use cora::transformer::gpu::{EncoderImpl, EncoderSim};
+
+#[test]
+fn more_padding_never_less_simulated_time() {
+    // For every dataset, fully padded kernels take at least as long as
+    // partially padded ones on the same simulator.
+    let sim = EncoderSim::new(EncoderConfig::base());
+    for ds in cora::datasets::ALL_DATASETS {
+        let lens = ds.sample_batch_sorted(64, 3);
+        let cora = sim.layer_latency_ms(EncoderImpl::Cora, &lens);
+        let ft = sim.layer_latency_ms(EncoderImpl::Ft, &lens);
+        assert!(
+            cora <= ft * 1.05,
+            "{ds:?}: CoRa {cora:.3} should not exceed fully padded FT {ft:.3}"
+        );
+    }
+}
+
+#[test]
+fn uniform_lengths_shrink_cora_advantage() {
+    // When every sequence has the same length there is no padding to
+    // save; CoRa's advantage over FT collapses (FT's vendor kernels are
+    // at least as good).
+    let sim = EncoderSim::new(EncoderConfig::base());
+    let uniform = vec![512usize; 64];
+    let cora = sim.layer_latency_ms(EncoderImpl::Cora, &uniform);
+    let ft = sim.layer_latency_ms(EncoderImpl::Ft, &uniform);
+    let ratio = ft / cora;
+    assert!(
+        ratio < 1.25,
+        "uniform lengths should leave little advantage, got {ratio:.2}"
+    );
+}
+
+#[test]
+fn simulated_speedup_tracks_flop_ratio() {
+    // The headline mechanism: CoRa's simulated advantage over PyTorch
+    // should move with the analytic wasted-FLOPs ratio across datasets.
+    let sim = EncoderSim::new(EncoderConfig::base());
+    let cfg = EncoderConfig::base();
+    let mut pairs = Vec::new();
+    for ds in cora::datasets::ALL_DATASETS {
+        let lens = ds.sample_batch_sorted(128, 3);
+        let speedup = sim.layer_latency_ms(EncoderImpl::PyTorch, &lens)
+            / sim.layer_latency_ms(EncoderImpl::Cora, &lens);
+        let flop_ratio = encoder_flops(&cfg, &lens, Padding::Full)
+            / encoder_flops(&cfg, &lens, Padding::None);
+        pairs.push((flop_ratio, speedup));
+    }
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    // Spearman-ish check: top-3 waste datasets should average a larger
+    // speedup than bottom-3.
+    let lo: f64 = pairs[..3].iter().map(|p| p.1).sum::<f64>() / 3.0;
+    let hi: f64 = pairs[pairs.len() - 3..].iter().map(|p| p.1).sum::<f64>() / 3.0;
+    assert!(
+        hi > lo,
+        "speedup should grow with wasted computation: hi {hi:.2} vs lo {lo:.2}"
+    );
+}
+
+#[test]
+fn makespan_bounds() {
+    // Classical list-scheduling bounds: work/P <= makespan <= work/P + max.
+    let sim = GpuSim::new();
+    let blocks: Vec<f64> = (1..200).map(|i| (i % 17) as f64 + 0.5).collect();
+    let k = SimKernel::new("k", blocks.clone());
+    let r = sim.run_kernel(&k);
+    let work: f64 = blocks.iter().sum();
+    let p = sim.model.sm_count as f64;
+    let maxb = blocks.iter().cloned().fold(0.0, f64::max);
+    assert!(r.makespan_us >= work / p - 1e-9);
+    assert!(r.makespan_us <= work / p + maxb + 1e-9);
+}
+
+#[test]
+fn hfusion_never_hurts_makespan_sum() {
+    let sim = GpuSim::new();
+    let a = SimKernel::new("a", vec![3.0; 100]);
+    let b = SimKernel::new("b", vec![0.5; 40]);
+    let separate = sim.run(&[a.clone(), b.clone()], 0).total_us;
+    let fused = sim.run(&[a.hfuse(b)], 0).total_us;
+    assert!(fused <= separate + 1e-9);
+}
+
+#[test]
+fn longest_first_is_optimal_or_equal_for_descending_dispatch() {
+    let sim = GpuSim::new();
+    let lens = Dataset::Race.sample_lengths(400, 9);
+    let model = GpuModel::default();
+    let blocks: Vec<f64> = lens
+        .iter()
+        .map(|&l| model.block_time_us((l * l) as f64, KernelTraits::generated()))
+        .collect();
+    let natural = sim.run_kernel(&SimKernel::new("n", blocks.clone()));
+    let remapped = sim.run_kernel(&SimKernel::new("r", blocks).remap_longest_first());
+    assert!(remapped.makespan_us <= natural.makespan_us + 1e-9);
+    assert!(remapped.imbalance <= natural.imbalance + 1e-9);
+}
