@@ -16,7 +16,9 @@ fn bench_prelude(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("prelude_race32");
     g.bench_function("cora_storage", |b| b.iter(|| AuxOffsets::build(&layout)));
-    g.bench_function("cora_loop_fusion", |b| b.iter(|| FusedLoopMaps::build(&lens)));
+    g.bench_function("cora_loop_fusion", |b| {
+        b.iter(|| FusedLoopMaps::build(&lens))
+    });
     g.bench_function("sparse_csf", |b| b.iter(|| CsfStorage::build(&layout)));
     g.finish();
 }

@@ -3,12 +3,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use cora_bench::matmul::vgemm_shapes;
+use cora_bench::matmul::{vgemm_shapes, GemmBuffers};
 use cora_exec::CpuPool;
 use cora_kernels::sgemm;
 
 fn run(shapes: &[(usize, usize, usize)], pool: &CpuPool) {
-    let bufs: Vec<(Vec<f32>, Vec<f32>, std::sync::Mutex<Vec<f32>>)> = shapes
+    let bufs: Vec<GemmBuffers> = shapes
         .iter()
         .map(|&(m, k, n)| {
             (

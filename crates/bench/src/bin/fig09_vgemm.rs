@@ -7,7 +7,7 @@
 //! the CPU problem dimensions by N (default 4) to keep wall-clock
 //! reasonable.
 
-use cora_bench::matmul::{vgemm_latency_ms, vgemm_shapes, VgemmImpl};
+use cora_bench::matmul::{vgemm_latency_ms, vgemm_shapes, GemmBuffers, VgemmImpl};
 use cora_bench::{f2, flag, opt_usize, print_table};
 use cora_exec::cost::GpuModel;
 use cora_exec::CpuPool;
@@ -80,7 +80,7 @@ fn time_vgemm_cpu(pool: &CpuPool, shapes: &[(usize, usize, usize)], padded: bool
     } else {
         shapes.to_vec()
     };
-    let bufs: Vec<(Vec<f32>, Vec<f32>, std::sync::Mutex<Vec<f32>>)> = shapes
+    let bufs: Vec<GemmBuffers> = shapes
         .iter()
         .map(|&(m, k, n)| {
             (

@@ -19,11 +19,7 @@ fn main() {
         let lens = Dataset::Race.sample_batch_sorted(bs, 3);
         let t_unfused = unfused.layer_latency_ms(EncoderImpl::Cora, &lens);
         let t_fused = fused.layer_latency_ms(EncoderImpl::Cora, &lens);
-        rows.push(vec![
-            bs.to_string(),
-            f2(1.0),
-            f2(t_fused / t_unfused),
-        ]);
+        rows.push(vec![bs.to_string(), f2(1.0), f2(t_fused / t_unfused)]);
     }
     print_table(&["batch", "Unfused", "Fused"], &rows);
     println!("\nPaper shape: fusing the padding-change operators gives a significant");

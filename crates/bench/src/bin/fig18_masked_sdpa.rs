@@ -26,12 +26,7 @@ fn main() {
             let pt = masked_sdpa_latency_ms(&cfg, &model, MaskedImpl::PyTorch, &lens, 32);
             let pad = masked_sdpa_latency_ms(&cfg, &model, MaskedImpl::CoraPad, &lens, 32);
             let nopad = masked_sdpa_latency_ms(&cfg, &model, MaskedImpl::CoraNoPad, &lens, 32);
-            rows.push(vec![
-                bs.to_string(),
-                f2(1.0),
-                f2(pad / pt),
-                f2(nopad / pt),
-            ]);
+            rows.push(vec![bs.to_string(), f2(1.0), f2(pad / pt), f2(nopad / pt)]);
         }
         print_table(&["batch", "PyTorch", "CoRa-Pad", "CoRa-NoPad"], &rows);
     }

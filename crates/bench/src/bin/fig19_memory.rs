@@ -23,11 +23,7 @@ fn main() {
             },
         );
         sum_ratio += dense / ragged;
-        rows.push(vec![
-            ds.name().to_string(),
-            f2(1.0),
-            f2(ragged / dense),
-        ]);
+        rows.push(vec![ds.name().to_string(), f2(1.0), f2(ragged / dense)]);
     }
     print_table(&["dataset", "Dense", "Ragged"], &rows);
     println!(

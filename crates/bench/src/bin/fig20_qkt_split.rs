@@ -37,7 +37,13 @@ fn main() {
             rows.push(row);
         }
         print_table(
-            &["batch", "NoSplit", "Split", "Split1-HFused", "Split2-HFused"],
+            &[
+                "batch",
+                "NoSplit",
+                "Split",
+                "Split1-HFused",
+                "Split2-HFused",
+            ],
             &rows,
         );
     }

@@ -40,15 +40,21 @@ fn main() {
     let ops: [(&str, f64, bool); 5] = [
         // (name, flops, is_qkt)
         ("Proj1", 2.0 * s_rows as f64 * (h * 3 * h) as f64, false),
-        ("QKT", lens.iter().map(|&l| 2.0 * (l * l * h) as f64).sum(), true),
+        (
+            "QKT",
+            lens.iter().map(|&l| 2.0 * (l * l * h) as f64).sum(),
+            true,
+        ),
         (
             "Softmax",
-            lens.iter()
-                .map(|&l| 4.0 * (cfg.heads * l * l) as f64)
-                .sum(),
+            lens.iter().map(|&l| 4.0 * (cfg.heads * l * l) as f64).sum(),
             false,
         ),
-        ("AttnV", lens.iter().map(|&l| 2.0 * (l * l * h) as f64).sum(), false),
+        (
+            "AttnV",
+            lens.iter().map(|&l| 2.0 * (l * l * h) as f64).sum(),
+            false,
+        ),
         ("Proj2", 2.0 * s_rows as f64 * (h * h) as f64, false),
     ];
     let _ = hd;

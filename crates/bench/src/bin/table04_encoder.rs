@@ -76,7 +76,10 @@ fn main() {
         &rows,
     );
     let geomean = (geo_cora_vs_pt / count as f64).exp();
-    println!("\nGeomean speedup of CoRa over PyTorch: {:.2}x (paper: 1.6x)", geomean);
+    println!(
+        "\nGeomean speedup of CoRa over PyTorch: {:.2}x (paper: 1.6x)",
+        geomean
+    );
     println!("Paper shape: CoRa competitive with FT-Eff, clearly ahead of PyTorch/FT;");
     println!("gains largest for skewed datasets (MNLI, SQuAD) and large batches.");
 }

@@ -98,11 +98,7 @@ fn main() {
         // (insight I1), so the op is one contiguous vectorised loop;
         // Taco must merge the two coordinate streams (union iteration).
         let t_add_cora = best_ms(reps, &mut c, |c| {
-            for ((cv, av), bv) in c[..a_packed.len()]
-                .iter_mut()
-                .zip(&a_packed)
-                .zip(&b_packed)
-            {
+            for ((cv, av), bv) in c[..a_packed.len()].iter_mut().zip(&a_packed).zip(&b_packed) {
                 *cv = *av + *bv;
             }
         });
@@ -117,11 +113,7 @@ fn main() {
 
         // trmul (intersection iteration)
         let t_mul_cora = best_ms(reps, &mut c, |c| {
-            for ((cv, av), bv) in c[..a_packed.len()]
-                .iter_mut()
-                .zip(&a_packed)
-                .zip(&b_packed)
-            {
+            for ((cv, av), bv) in c[..a_packed.len()].iter_mut().zip(&a_packed).zip(&b_packed) {
                 *cv = *av * *bv;
             }
         });
@@ -136,7 +128,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["op", "size", "CoRa", "Taco-CSR (slowdown)", "Taco-BCSR (slowdown)"],
+        &[
+            "op",
+            "size",
+            "CoRa",
+            "Taco-CSR (slowdown)",
+            "Taco-BCSR (slowdown)",
+        ],
         &rows,
     );
     println!("\nPaper shape: Taco never beats CoRa (1.33x-95x slower in the paper's GPU");

@@ -29,10 +29,10 @@ fn main() {
     let batch_sizes = [8usize, 16, 32];
     let reps = opt_usize("reps", 2);
     let host_threads = CpuPool::host().threads();
-    let pools = [("8-core", CpuPool::new(8.min(host_threads))), (
-        "many-core",
-        CpuPool::host(),
-    )];
+    let pools = [
+        ("8-core", CpuPool::new(8.min(host_threads))),
+        ("many-core", CpuPool::host()),
+    ];
     let w = EncoderWeights::random(&cfg, 1);
 
     for (label, pool) in pools {
@@ -72,7 +72,15 @@ fn main() {
             }
         }
         print_table(
-            &["dataset", "batch", "PT", "PT-UB /uBS", "TF", "TF-UB /uBS", "CoRa"],
+            &[
+                "dataset",
+                "batch",
+                "PT",
+                "PT-UB /uBS",
+                "TF",
+                "TF-UB /uBS",
+                "CoRa",
+            ],
             &rows,
         );
     }

@@ -20,9 +20,7 @@ pub fn opt(name: &str) -> Option<String> {
 
 /// Parses `--name=value` as a number with a default.
 pub fn opt_usize(name: &str, default: usize) -> usize {
-    opt(name)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    opt(name).and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Renders an aligned text table.

@@ -6,6 +6,10 @@ use cora_exec::gpu::{GpuSim, SimKernel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Per-problem `(A, B, C)` buffers for CPU vgemm runs; `C` is behind a
+/// mutex so worker threads can write their own problem's output.
+pub type GemmBuffers = (Vec<f32>, Vec<f32>, std::sync::Mutex<Vec<f32>>);
+
 /// Samples vgemm problem shapes the way §7.1 does: dimensions are
 /// uniformly random multiples of 128 in `[512, 1408]`.
 pub fn vgemm_shapes(batch: usize, seed: u64) -> Vec<(usize, usize, usize)> {
@@ -60,14 +64,10 @@ pub fn vgemm_latency_ms(
             tiling,
             shapes,
         ),
-        VgemmImpl::RaggedCora => cora_kernels::vendor::vgemm_kernel(
-            "vgemm_cora",
-            model,
-            cora_traits,
-            tiling,
-            shapes,
-        )
-        .remap_longest_first(),
+        VgemmImpl::RaggedCora => {
+            cora_kernels::vendor::vgemm_kernel("vgemm_cora", model, cora_traits, tiling, shapes)
+                .remap_longest_first()
+        }
         VgemmImpl::FullyPaddedHandOptimized => {
             let m = shapes.iter().map(|s| s.0).max().unwrap_or(0);
             let k = shapes.iter().map(|s| s.1).max().unwrap_or(0);
@@ -147,10 +147,8 @@ pub fn trmm_kernel(model: &GpuModel, imp: TrmmImpl, n: usize) -> SimKernel {
                 let depth = (bi * TRMM_TILE + rows) as f64;
                 for bj in 0..tiles {
                     let cols = (n - bj * TRMM_TILE).min(TRMM_TILE);
-                    blocks.push(model.block_time_us(
-                        2.0 * rows as f64 * depth * cols as f64,
-                        traits,
-                    ));
+                    blocks
+                        .push(model.block_time_us(2.0 * rows as f64 * depth * cols as f64, traits));
                 }
             }
             SimKernel::new("cublas_trmm", blocks).remap_longest_first()
@@ -171,10 +169,8 @@ pub fn trmm_kernel(model: &GpuModel, imp: TrmmImpl, n: usize) -> SimKernel {
                 let depth = (bi * TRMM_TILE + rows) as f64;
                 for bj in 0..tiles {
                     let cols = (n - bj * TRMM_TILE).min(TRMM_TILE);
-                    blocks.push(model.block_time_us(
-                        2.0 * rows as f64 * depth * cols as f64,
-                        traits,
-                    ));
+                    blocks
+                        .push(model.block_time_us(2.0 * rows as f64 * depth * cols as f64, traits));
                 }
             }
             let k = SimKernel::new("cora_trmm", blocks);
@@ -215,8 +211,7 @@ mod tests {
         let shapes = vgemm_shapes(64, 2);
         let hand = vgemm_latency_ms(&model, VgemmImpl::RaggedHandOptimized, &shapes, true);
         let cora = vgemm_latency_ms(&model, VgemmImpl::RaggedCora, &shapes, true);
-        let padded =
-            vgemm_latency_ms(&model, VgemmImpl::FullyPaddedHandOptimized, &shapes, true);
+        let padded = vgemm_latency_ms(&model, VgemmImpl::FullyPaddedHandOptimized, &shapes, true);
         assert!(hand <= cora, "hand {hand:.2} vs cora {cora:.2}");
         assert!(cora < padded, "cora {cora:.2} vs padded {padded:.2}");
         // CoRa within ~73% of the hand-optimized implementation (§7.1).
@@ -245,7 +240,10 @@ mod tests {
         let split = trmm_latency_ms(&model, TrmmImpl::CoraSplitUnbalanced, n);
         let balanced = trmm_latency_ms(&model, TrmmImpl::CoraSplitBalanced, n);
         assert!(split < unsplit, "split {split:.2} vs unsplit {unsplit:.2}");
-        assert!(balanced <= split, "balanced {balanced:.2} vs split {split:.2}");
+        assert!(
+            balanced <= split,
+            "balanced {balanced:.2} vs split {split:.2}"
+        );
         // §7.1: CoRa-Split-Balanced within 81.3% of cuBLAS trmm.
         let cublas = trmm_latency_ms(&model, TrmmImpl::CublasTrmm, n);
         assert!(cublas / balanced > 0.7, "ratio {:.2}", cublas / balanced);

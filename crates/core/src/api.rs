@@ -285,7 +285,10 @@ mod tests {
         let t = TensorRef::new("A", ragged_layout(&[3, 1, 2]));
         let e = t.offset(&[Expr::var("o"), Expr::var("i")]);
         let s = format!("{e}");
-        assert!(s.contains("A__A0[o]"), "offset should load the A_0 array: {s}");
+        assert!(
+            s.contains("A__A0[o]"),
+            "offset should load the A_0 array: {s}"
+        );
     }
 
     #[test]

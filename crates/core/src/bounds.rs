@@ -65,10 +65,7 @@ impl<'a> FusedBounds<'a> {
 
     /// Rule 2: fused range → outer range.
     pub fn outer_of(&self, f: IncRange) -> IncRange {
-        IncRange::new(
-            self.maps.ffo[f.lo as usize],
-            self.maps.ffo[f.hi as usize],
-        )
+        IncRange::new(self.maps.ffo[f.lo as usize], self.maps.ffo[f.hi as usize])
     }
 
     /// Rules 3/4: fused range → inner range.

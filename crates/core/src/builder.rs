@@ -5,7 +5,7 @@
 use std::rc::Rc;
 
 use cora_ir::FExpr;
-use cora_ragged::{Dim, DgraphError, LengthFn, RaggedLayout};
+use cora_ragged::{DgraphError, Dim, LengthFn, RaggedLayout};
 
 use crate::api::{BodyFn, LoopSpec, Operator, TensorRef};
 use crate::program::Program;
@@ -47,8 +47,15 @@ impl From<ScheduleError> for BuildError {
 }
 
 enum DimDecl {
-    Const { name: String, extent: usize },
-    Var { name: String, dep: String, lens: LengthFn },
+    Const {
+        name: String,
+        extent: usize,
+    },
+    Var {
+        name: String,
+        dep: String,
+        lens: LengthFn,
+    },
 }
 
 /// Builder for simple ragged operators (elementwise maps and custom
@@ -174,7 +181,9 @@ impl OpBuilder {
             .collect();
         for d in &self.dims {
             match d {
-                DimDecl::Const { name, extent } => loops.push(LoopSpec::fixed(name.clone(), *extent)),
+                DimDecl::Const { name, extent } => {
+                    loops.push(LoopSpec::fixed(name.clone(), *extent))
+                }
                 DimDecl::Var { name, dep, lens } => {
                     let dep_pos = dim_names
                         .iter()

@@ -44,7 +44,10 @@ enum ExtentIr {
         lens: LengthFn,
     },
     /// Extent is a runtime parameter (fused loops), bound by the prelude.
-    Param { var: String, value: i64 },
+    Param {
+        var: String,
+        value: i64,
+    },
 }
 
 impl ExtentIr {
@@ -94,7 +97,12 @@ pub fn lower(op: &Operator) -> Result<Program, ScheduleError> {
             LoopExtent::Variable { dep, lens } => {
                 let dep_name = spatial_names
                     .get(*dep)
-                    .unwrap_or_else(|| panic!("loop `{}` depends on loop index {dep} out of range", spec.name))
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "loop `{}` depends on loop index {dep} out of range",
+                            spec.name
+                        )
+                    })
                     .clone();
                 let buffer = format!("{}__ext_{}", op.name, spec.name);
                 ExtentIr::Table {
@@ -111,8 +119,7 @@ pub fn lower(op: &Operator) -> Result<Program, ScheduleError> {
             Some(shift) => {
                 let dep_name = spatial_names[shift.dep].clone();
                 prelude.add_loop_table(&shift.buffer, shift.lens.clone());
-                Expr::var(spec.name.clone())
-                    + Expr::load(shift.buffer.clone(), Expr::var(dep_name))
+                Expr::var(spec.name.clone()) + Expr::load(shift.buffer.clone(), Expr::var(dep_name))
             }
             None => Expr::var(spec.name.clone()),
         };
@@ -129,7 +136,10 @@ pub fn lower(op: &Operator) -> Result<Program, ScheduleError> {
 
     for directive in op.schedule.directives() {
         match directive {
-            Directive::PadLoop { loop_name, multiple } => {
+            Directive::PadLoop {
+                loop_name,
+                multiple,
+            } => {
                 let idx = find_loop(&loops, loop_name)?;
                 match &mut loops[idx].extent {
                     ExtentIr::Table { lens, .. } => {
@@ -147,13 +157,11 @@ pub fn lower(op: &Operator) -> Result<Program, ScheduleError> {
                                 {
                                     if lp > sp {
                                         let _ = slice;
-                                        return Err(
-                                            ScheduleError::LoopPaddingExceedsStorage {
-                                                loop_name: loop_name.clone(),
-                                                loop_pad: *multiple,
-                                                storage_pad: op.output.layout().dims()[dpos].pad,
-                                            },
-                                        );
+                                        return Err(ScheduleError::LoopPaddingExceedsStorage {
+                                            loop_name: loop_name.clone(),
+                                            loop_pad: *multiple,
+                                            storage_pad: op.output.layout().dims()[dpos].pad,
+                                        });
                                     }
                                 }
                             }
@@ -184,7 +192,11 @@ pub fn lower(op: &Operator) -> Result<Program, ScheduleError> {
                         };
                         (ExtentIr::Const(outer), guard)
                     }
-                    ExtentIr::Table { buffer, dep_var, lens } => {
+                    ExtentIr::Table {
+                        buffer,
+                        dep_var,
+                        lens,
+                    } => {
                         if lens.as_slice().iter().any(|&l| l % factor != 0) {
                             return Err(ScheduleError::SplitUnpaddedVloop {
                                 loop_name: loop_name.clone(),
@@ -303,7 +315,10 @@ pub fn lower(op: &Operator) -> Result<Program, ScheduleError> {
                 loops.remove(ii);
                 fusions.push(spec);
             }
-            Directive::BulkPad { loop_name, multiple } => {
+            Directive::BulkPad {
+                loop_name,
+                multiple,
+            } => {
                 let idx = find_loop(&loops, loop_name)?;
                 let fused_var = loops[idx].var.clone();
                 let Some(spec) = fusions.iter_mut().find(|f| f.name() == fused_var) else {
@@ -329,10 +344,7 @@ pub fn lower(op: &Operator) -> Result<Program, ScheduleError> {
         .chain(op.reduce.iter())
         .map(|l| l.name.clone())
         .collect();
-    let arg_exprs: Vec<Expr> = ordered_names
-        .iter()
-        .map(|n| var_map[n].clone())
-        .collect();
+    let arg_exprs: Vec<Expr> = ordered_names.iter().map(|n| var_map[n].clone()).collect();
     let value = (op.body)(&arg_exprs);
     let out_index = op.output.offset(&arg_exprs[..n_spatial]);
     let store_kind = if op.reduce.is_empty() {
@@ -350,9 +362,10 @@ pub fn lower(op: &Operator) -> Result<Program, ScheduleError> {
     // ---- Assemble loops (innermost-first wrap) -------------------------
     let mut solver = Solver::new();
     for l in &loops {
-        solver
-            .ranges_mut()
-            .set(l.var.clone(), cora_ir::Interval::bounded(0, l.extent.max() - 1));
+        solver.ranges_mut().set(
+            l.var.clone(),
+            cora_ir::Interval::bounded(0, l.extent.max() - 1),
+        );
     }
     for l in loops.iter().rev() {
         if let Some(g) = &l.guard {

@@ -157,7 +157,8 @@ impl PreludeSpec {
             for d in 0..layout.ndim() {
                 if let Some(a) = aux.array(d) {
                     data.storage_bytes += a.len() * 8;
-                    data.int_buffers.push((aux_buffer_name(name, d), a.to_vec()));
+                    data.int_buffers
+                        .push((aux_buffer_name(name, d), a.to_vec()));
                 }
                 if let Some(lens) = layout.padded_lens(d) {
                     let v: Vec<i64> = lens.as_slice().iter().map(|&x| x as i64).collect();

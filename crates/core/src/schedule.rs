@@ -200,11 +200,7 @@ impl Schedule {
     }
 
     /// Fuses two adjacent loops (outer, inner vloop) — §5.1.
-    pub fn fuse_loops(
-        &mut self,
-        outer: impl Into<String>,
-        inner: impl Into<String>,
-    ) -> &mut Self {
+    pub fn fuse_loops(&mut self, outer: impl Into<String>, inner: impl Into<String>) -> &mut Self {
         self.directives.push(Directive::FuseLoops {
             outer: outer.into(),
             inner: inner.into(),
@@ -277,7 +273,9 @@ mod tests {
     #[test]
     fn builder_records_in_order() {
         let mut s = Schedule::new();
-        s.pad_loop("i", 2).split("o", 4).bind("o_o", ForKind::GpuBlockX);
+        s.pad_loop("i", 2)
+            .split("o", 4)
+            .bind("o_o", ForKind::GpuBlockX);
         assert_eq!(s.directives().len(), 3);
         assert!(matches!(
             s.directives()[0],

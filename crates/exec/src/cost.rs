@@ -165,10 +165,7 @@ mod tests {
     #[test]
     fn block_time_has_floor() {
         let m = GpuModel::default();
-        assert_eq!(
-            m.block_time_us(0.0, KernelTraits::vendor()),
-            m.min_block_us
-        );
+        assert_eq!(m.block_time_us(0.0, KernelTraits::vendor()), m.min_block_us);
         assert!(m.block_time_us(1e9, KernelTraits::vendor()) > 1000.0);
     }
 

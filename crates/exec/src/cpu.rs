@@ -54,9 +54,9 @@ impl CpuPool {
         }
         let cursor = AtomicUsize::new(0);
         let workers = self.threads.min(n);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -64,8 +64,7 @@ impl CpuPool {
                     f(i);
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
     }
 
     /// Runs `f(i)` for every `i in 0..n` with static contiguous chunking:
@@ -85,10 +84,10 @@ impl CpuPool {
         }
         let workers = self.threads.min(n);
         let chunk = n.div_ceil(workers);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for w in 0..workers {
                 let f = &f;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let lo = w * chunk;
                     let hi = ((w + 1) * chunk).min(n);
                     for i in lo..hi {
@@ -96,8 +95,7 @@ impl CpuPool {
                     }
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
     }
 
     /// Splits `data` into `n` disjoint mutable rows of given lengths and
@@ -120,12 +118,16 @@ impl CpuPool {
             rows.push(head);
             rest = tail;
         }
-        let rows: Vec<parking_lot::Mutex<Option<&mut [f32]>>> = rows
+        let rows: Vec<std::sync::Mutex<Option<&mut [f32]>>> = rows
             .into_iter()
-            .map(|r| parking_lot::Mutex::new(Some(r)))
+            .map(|r| std::sync::Mutex::new(Some(r)))
             .collect();
         self.parallel_for(rows.len(), |i| {
-            let row = rows[i].lock().take().expect("row taken once");
+            let row = rows[i]
+                .lock()
+                .expect("row lock poisoned")
+                .take()
+                .expect("row taken once");
             f(i, row);
         });
     }
@@ -186,10 +188,7 @@ mod tests {
                 *v = i as f32 + 1.0;
             }
         });
-        assert_eq!(
-            data,
-            vec![1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 3.0, 3.0]
-        );
+        assert_eq!(data, vec![1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 3.0, 3.0]);
     }
 
     #[test]

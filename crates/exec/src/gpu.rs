@@ -205,8 +205,10 @@ mod tests {
     use super::*;
 
     fn sim(sms: usize) -> GpuSim {
-        let mut model = GpuModel::default();
-        model.sm_count = sms;
+        let model = GpuModel {
+            sm_count: sms,
+            ..Default::default()
+        };
         GpuSim::with_model(model)
     }
 

@@ -348,7 +348,12 @@ mod tests {
                 FExpr::constant(1.0),
             ),
         );
-        m.run(&Stmt::loop_kind("b", Expr::int(2), ForKind::GpuBlockX, body));
+        m.run(&Stmt::loop_kind(
+            "b",
+            Expr::int(2),
+            ForKind::GpuBlockX,
+            body,
+        ));
         assert_eq!(m.fbuffer("B").unwrap(), &[1.0; 6]);
     }
 }

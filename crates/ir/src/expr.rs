@@ -223,11 +223,6 @@ impl Cond {
         Cond(Rc::new(CondKind::Or(self, other)))
     }
 
-    /// Negation.
-    pub fn not(self) -> Self {
-        Cond(Rc::new(CondKind::Not(self)))
-    }
-
     /// The root operator.
     pub fn kind(&self) -> &CondKind {
         &self.0
@@ -239,6 +234,15 @@ impl Cond {
             CondKind::Const(b) => Some(*b),
             _ => None,
         }
+    }
+}
+
+/// Negation.
+impl std::ops::Not for Cond {
+    type Output = Cond;
+
+    fn not(self) -> Cond {
+        Cond(Rc::new(CondKind::Not(self)))
     }
 }
 

@@ -77,10 +77,7 @@ impl Interval {
                     Interval::unknown()
                 } else {
                     let vals: Vec<i64> = cands.into_iter().map(Option::unwrap).collect();
-                    Interval::bounded(
-                        *vals.iter().min().unwrap(),
-                        *vals.iter().max().unwrap(),
-                    )
+                    Interval::bounded(*vals.iter().min().unwrap(), *vals.iter().max().unwrap())
                 }
             }
             _ => Interval::unknown(),
@@ -97,10 +94,7 @@ impl Interval {
                     floor_div_i64(b, c),
                     floor_div_i64(b, d),
                 ];
-                Interval::bounded(
-                    *vals.iter().min().unwrap(),
-                    *vals.iter().max().unwrap(),
-                )
+                Interval::bounded(*vals.iter().min().unwrap(), *vals.iter().max().unwrap())
             }
             _ => Interval::unknown(),
         }
@@ -210,9 +204,8 @@ pub fn prove(c: &Cond, ranges: &RangeMap, reg: &UfRegistry) -> Option<bool> {
         CondKind::Lt(a, b) => prove_lt(a, b, ranges, reg),
         CondKind::Le(a, b) => {
             // a <= b  <=>  a < b + 1
-            prove_lt(&(a.clone() + 1), &(b.clone() + 1 - 0), ranges, reg).or_else(|| {
-                prove_lt(a, &(b.clone() + 1), ranges, reg)
-            })
+            prove_lt(&(a.clone() + 1), &(b.clone() + 1 - 0), ranges, reg)
+                .or_else(|| prove_lt(a, &(b.clone() + 1), ranges, reg))
         }
         CondKind::Eq(a, b) => {
             let ia = infer(a, ranges, reg);
@@ -334,7 +327,10 @@ mod tests {
         rm.set("x", Interval::bounded(10, 20));
         rm.set("y", Interval::bounded(0, 5));
         let reg = UfRegistry::new();
-        assert_eq!(prove(&Expr::var("x").lt(Expr::var("y")), &rm, &reg), Some(false));
+        assert_eq!(
+            prove(&Expr::var("x").lt(Expr::var("y")), &rm, &reg),
+            Some(false)
+        );
         assert_eq!(
             prove(&Expr::var("x").eq_expr(Expr::var("y")), &rm, &reg),
             Some(false)

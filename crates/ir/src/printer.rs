@@ -5,7 +5,6 @@
 //! the compilation result inspectable and are exercised by the examples and
 //! golden tests.
 
-
 use crate::stmt::{ForKind, Stmt, StoreKind};
 
 /// Renders `s` as C-like source.

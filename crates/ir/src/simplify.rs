@@ -9,6 +9,8 @@
 //! Every rule is semantics-preserving; `proptest` checks random expressions
 //! evaluate identically before and after simplification.
 
+use std::ops::Not;
+
 use crate::expr::{floor_div_i64, floor_mod_i64, Cond, CondKind, Expr, ExprKind};
 use crate::ufunc::UfRegistry;
 
@@ -49,8 +51,7 @@ pub fn simplify(e: &Expr, reg: &UfRegistry) -> Expr {
         }
         ExprKind::Uf(f, args) => {
             let args: Vec<Expr> = args.iter().map(|a| simplify(a, reg)).collect();
-            apply_uf_axioms(f.name(), &args, reg)
-                .unwrap_or_else(|| Expr::uf(f.clone(), args))
+            apply_uf_axioms(f.name(), &args, reg).unwrap_or_else(|| Expr::uf(f.clone(), args))
         }
         ExprKind::Load(buf, idx) => Expr::load(buf.clone(), simplify(idx, reg)),
     }
@@ -219,8 +220,7 @@ fn apply_uf_axioms(name: &str, args: &[Expr], reg: &UfRegistry) -> Option<Expr> 
     // foif(ffo(f), ffi(f)) -> f.
     if let Some(triple) = reg.triple_with_foif(name) {
         if args.len() == 2 {
-            if let (ExprKind::Uf(f0, a0), ExprKind::Uf(f1, a1)) = (args[0].kind(), args[1].kind())
-            {
+            if let (ExprKind::Uf(f0, a0), ExprKind::Uf(f1, a1)) = (args[0].kind(), args[1].kind()) {
                 if f0.name() == triple.ffo.name()
                     && f1.name() == triple.ffi.name()
                     && a0.len() == 1
@@ -261,6 +261,8 @@ mod tests {
     }
 
     #[test]
+    // `x * 0` is the point of the test: the simplifier must erase it.
+    #[allow(clippy::erasing_op)]
     fn neutral_elements() {
         let reg = UfRegistry::new();
         let x = Expr::var("x");
@@ -294,10 +296,16 @@ mod tests {
         let i = Expr::var("i");
         let f = Expr::var("f");
 
-        let e1 = Expr::uf(ffo.clone(), vec![Expr::uf(foif.clone(), vec![o.clone(), i.clone()])]);
+        let e1 = Expr::uf(
+            ffo.clone(),
+            vec![Expr::uf(foif.clone(), vec![o.clone(), i.clone()])],
+        );
         assert_eq!(simplify(&e1, &reg), o);
 
-        let e2 = Expr::uf(ffi.clone(), vec![Expr::uf(foif.clone(), vec![o.clone(), i.clone()])]);
+        let e2 = Expr::uf(
+            ffi.clone(),
+            vec![Expr::uf(foif.clone(), vec![o.clone(), i.clone()])],
+        );
         assert_eq!(simplify(&e2, &reg), i);
 
         let e3 = Expr::uf(

@@ -115,6 +115,7 @@ mod tests {
         // i < s(o) cannot be decided in general...
         let c = Expr::var("i").lt(Expr::uf(len.clone(), vec![Expr::var("o")]));
         assert_eq!(s.decide(&c), Some(true)); // i == 0 < s >= 1
+
         // ...but i < s(o) with i up to 511 is unknown.
         s.ranges_mut().set("i", Interval::bounded(0, 511));
         assert_eq!(s.decide(&c), None);
@@ -132,7 +133,10 @@ mod tests {
             ffi: ffi.clone(),
         });
         // ffo(foif(o, i)) == o simplifies to true.
-        let lhs = Expr::uf(ffo, vec![Expr::uf(foif, vec![Expr::var("o"), Expr::var("i")])]);
+        let lhs = Expr::uf(
+            ffo,
+            vec![Expr::uf(foif, vec![Expr::var("o"), Expr::var("i")])],
+        );
         let c = lhs.eq_expr(Expr::var("o"));
         assert_eq!(s.decide(&c), Some(true));
     }

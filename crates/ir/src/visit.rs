@@ -6,7 +6,7 @@
 
 use std::collections::BTreeSet;
 use std::collections::HashMap;
-
+use std::ops::Not;
 
 use crate::expr::{Cond, CondKind, Expr, ExprKind};
 use crate::fexpr::{FExpr, FExprKind};
@@ -24,12 +24,8 @@ pub fn subst(e: &Expr, map: &HashMap<String, Expr>) -> Expr {
         ExprKind::FloorMod(a, b) => subst(a, map).floor_mod(subst(b, map)),
         ExprKind::Min(a, b) => subst(a, map).min(subst(b, map)),
         ExprKind::Max(a, b) => subst(a, map).max(subst(b, map)),
-        ExprKind::Select(c, a, b) => {
-            Expr::select(subst_cond(c, map), subst(a, map), subst(b, map))
-        }
-        ExprKind::Uf(f, args) => {
-            Expr::uf(f.clone(), args.iter().map(|a| subst(a, map)).collect())
-        }
+        ExprKind::Select(c, a, b) => Expr::select(subst_cond(c, map), subst(a, map), subst(b, map)),
+        ExprKind::Uf(f, args) => Expr::uf(f.clone(), args.iter().map(|a| subst(a, map)).collect()),
         ExprKind::Load(buf, idx) => Expr::load(buf.clone(), subst(idx, map)),
     }
 }
@@ -331,7 +327,7 @@ fn hoist_rec(s: &Stmt, counter: &mut usize) -> Stmt {
                 // The hoisted value itself may mention earlier hoists; fine.
             }
             if let Stmt::For { body, .. } = &mut wrapped {
-                *body = Box::new(new_body);
+                **body = new_body;
             }
             // Wrap LetInt bindings outside the loop, innermost last.
             for (name, value) in lets.into_iter().rev() {
@@ -395,7 +391,9 @@ fn collect_bound(s: &Stmt, out: &mut BTreeSet<String>) {
 
 fn collect_stmt_loads(s: &Stmt, out: &mut Vec<(String, Expr)>) {
     match s {
-        Stmt::For { min, extent, body, .. } => {
+        Stmt::For {
+            min, extent, body, ..
+        } => {
             collect_loads(min, out);
             collect_loads(extent, out);
             collect_stmt_loads(body, out);

@@ -218,7 +218,13 @@ mod tests {
         let mut c = vec![0.0; batch * m * n];
         batched_sgemm(batch, m, k, n, &a, &b, &mut c);
         for bi in 0..batch {
-            let want = naive(m, k, n, &a[bi * m * k..(bi + 1) * m * k], &b[bi * k * n..(bi + 1) * k * n]);
+            let want = naive(
+                m,
+                k,
+                n,
+                &a[bi * m * k..(bi + 1) * m * k],
+                &b[bi * k * n..(bi + 1) * k * n],
+            );
             assert_eq!(&c[bi * m * n..(bi + 1) * m * n], want.as_slice());
         }
     }

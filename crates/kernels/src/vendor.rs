@@ -58,6 +58,7 @@ pub fn gemm_kernel(
 /// Builds the block list of a *batched* dense gemm where every problem in
 /// the batch is padded to the same `m×k×n` (the cuBLAS
 /// `batched gemm` baseline of Fig. 9).
+#[allow(clippy::too_many_arguments)]
 pub fn batched_gemm_kernel(
     name: &str,
     model: &GpuModel,
@@ -136,8 +137,7 @@ mod tests {
     #[test]
     fn padded_batch_costs_more_than_vgemm() {
         let model = GpuModel::default();
-        let shapes: Vec<(usize, usize, usize)> =
-            (0..8).map(|i| (128 + 64 * i, 512, 512)).collect();
+        let shapes: Vec<(usize, usize, usize)> = (0..8).map(|i| (128 + 64 * i, 512, 512)).collect();
         let max_m = shapes.iter().map(|s| s.0).max().unwrap();
         let padded = batched_gemm_kernel(
             "pad",

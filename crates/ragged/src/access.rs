@@ -41,7 +41,10 @@ pub fn offset(layout: &RaggedLayout, aux: &AuxOffsets, index: &[usize]) -> usize
             None => layout.fixed_extent(d).expect("cdim has fixed extent"),
             Some(k) => layout.extent_at(d, index[k]),
         };
-        debug_assert!(index[d] < extent, "index {index:?} out of bounds at dim {d}");
+        debug_assert!(
+            index[d] < extent,
+            "index {index:?} out of bounds at dim {d}"
+        );
         off += if g.has_dependents(d) {
             let a = aux.array(d).expect("dependent dim has an A_d array");
             a[index[d]] * aux.outer_multiplier(d)
@@ -133,12 +136,7 @@ pub fn valid_indices(layout: &RaggedLayout) -> Vec<Vec<usize>> {
     out
 }
 
-fn enumerate_rec(
-    layout: &RaggedLayout,
-    d: usize,
-    cur: &mut Vec<usize>,
-    out: &mut Vec<Vec<usize>>,
-) {
+fn enumerate_rec(layout: &RaggedLayout, d: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
     if d == layout.ndim() {
         out.push(cur.clone());
         return;
@@ -267,7 +265,7 @@ mod tests {
     fn dense_layout_reduces_to_row_major() {
         let l = RaggedLayout::dense(&[2, 3, 4]);
         let aux = AuxOffsets::build(&l);
-        assert_eq!(offset(&l, &aux, &[1, 2, 3]), 1 * 12 + 2 * 4 + 3);
+        assert_eq!(offset(&l, &aux, &[1, 2, 3]), 12 + 2 * 4 + 3);
         assert_eq!(aux.num_arrays(), 0);
     }
 }

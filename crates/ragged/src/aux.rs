@@ -182,8 +182,8 @@ impl FusedLoopMaps {
 
     /// Auxiliary memory in bytes.
     pub fn memory_bytes(&self) -> usize {
-        let base = (self.ffo.len() + self.ffi.len() + self.foif_row.len())
-            * std::mem::size_of::<i64>();
+        let base =
+            (self.ffo.len() + self.ffi.len() + self.foif_row.len()) * std::mem::size_of::<i64>();
         base + self
             .foif_full
             .as_ref()

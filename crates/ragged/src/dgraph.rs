@@ -132,10 +132,7 @@ impl Dgraph {
                 return Err(DgraphError::VariableOutermost);
             }
         }
-        Ok(Dgraph {
-            n: dims.len(),
-            dep,
-        })
+        Ok(Dgraph { n: dims.len(), dep })
     }
 
     /// Number of dimensions.
@@ -161,7 +158,7 @@ impl Dgraph {
     /// True if any dimension depends on `d` (i.e. `d` needs an `A_d`
     /// prefix-sum array in the prelude).
     pub fn has_dependents(&self, d: usize) -> bool {
-        self.dep.iter().any(|&x| x == Some(d))
+        self.dep.contains(&Some(d))
     }
 
     /// True if dimension `d` is variable.
@@ -252,7 +249,10 @@ mod tests {
     fn rejects_short_length_table() {
         let b = Dim::new("b");
         let l = Dim::new("l");
-        let extents = vec![DimExtent::Fixed(3), DimExtent::variable(b.clone(), vec![1usize, 2])];
+        let extents = vec![
+            DimExtent::Fixed(3),
+            DimExtent::variable(b.clone(), vec![1usize, 2]),
+        ];
         let err = Dgraph::build(&[b, l], &extents).unwrap_err();
         assert_eq!(
             err,

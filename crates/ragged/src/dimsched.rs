@@ -108,7 +108,10 @@ impl From<DgraphError> for DimSchedError {
 pub fn fuse_dims(layout: &RaggedLayout, d: usize) -> Result<RaggedLayout, DimSchedError> {
     let n = layout.ndim();
     if d + 1 >= n {
-        return Err(DimSchedError::OutOfRange { index: d + 1, ndim: n });
+        return Err(DimSchedError::OutOfRange {
+            index: d + 1,
+            ndim: n,
+        });
     }
     let g = layout.graph();
     if g.incoming(d).is_some() {
@@ -152,8 +155,14 @@ fn rebuild_without(
     let mut b = RaggedLayout::builder();
     for (i, ld) in layout.dims().iter().enumerate() {
         if i == d {
-            b = b
-                .cdim(Dim::new(format!("{}_{}_f", ld.dim.name(), layout.dims()[d + 1].dim.name())), fused_extent);
+            b = b.cdim(
+                Dim::new(format!(
+                    "{}_{}_f",
+                    ld.dim.name(),
+                    layout.dims()[d + 1].dim.name()
+                )),
+                fused_extent,
+            );
         } else if i == d + 1 {
             continue;
         } else {
@@ -242,7 +251,10 @@ pub fn split_dim(
 pub fn can_swap_dims(layout: &RaggedLayout, d: usize) -> Result<(), DimSchedError> {
     let n = layout.ndim();
     if d + 1 >= n {
-        return Err(DimSchedError::OutOfRange { index: d + 1, ndim: n });
+        return Err(DimSchedError::OutOfRange {
+            index: d + 1,
+            ndim: n,
+        });
     }
     let g = layout.graph();
     // Inner depends on outer: swapping would put the vdim before its
@@ -280,7 +292,11 @@ mod tests {
         assert_eq!(fused.size(), layout.size());
         let aux = AuxOffsets::build(&layout);
         for (k, ix) in valid_indices(&layout).iter().enumerate() {
-            assert_eq!(offset(&layout, &aux, ix), k, "original layout packs densely");
+            assert_eq!(
+                offset(&layout, &aux, ix),
+                k,
+                "original layout packs densely"
+            );
         }
         // Fused access is the identity: offset([f]) == f.
         let faux = AuxOffsets::build(&fused);

@@ -30,8 +30,16 @@ impl BcsrMatrix {
     /// Panics if dimensions are not multiples of `block`.
     pub fn from_dense(nrows: usize, ncols: usize, block: usize, dense: &[f32]) -> BcsrMatrix {
         assert!(block > 0, "block size must be positive");
-        assert_eq!(nrows % block, 0, "rows must be a multiple of the block size");
-        assert_eq!(ncols % block, 0, "cols must be a multiple of the block size");
+        assert_eq!(
+            nrows % block,
+            0,
+            "rows must be a multiple of the block size"
+        );
+        assert_eq!(
+            ncols % block,
+            0,
+            "cols must be a multiple of the block size"
+        );
         let brows = nrows / block;
         let bcols = ncols / block;
         let mut row_ptr = vec![0usize];
@@ -86,7 +94,8 @@ impl BcsrMatrix {
         for bi in 0..brows {
             for p in self.row_ptr[bi]..self.row_ptr[bi + 1] {
                 let bj = self.col_idx[p];
-                let blk = &self.vals[p * self.block * self.block..(p + 1) * self.block * self.block];
+                let blk =
+                    &self.vals[p * self.block * self.block..(p + 1) * self.block * self.block];
                 for r in 0..self.block {
                     for c in 0..self.block {
                         out[(bi * self.block + r) * self.ncols + bj * self.block + c] =
@@ -139,6 +148,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "multiple of the block size")]
     fn rejects_non_multiple() {
-        BcsrMatrix::from_dense(6, 6, 4, &vec![0.0; 36]);
+        BcsrMatrix::from_dense(6, 6, 4, &[0.0; 36]);
     }
 }

@@ -74,23 +74,30 @@ impl RaggedBatch {
 
 /// Multithreaded gemm: `C[m,n] += A[m,k]·B[k,n]`, rows split over the
 /// pool.
-pub fn parallel_sgemm(pool: &CpuPool, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+pub fn parallel_sgemm(
+    pool: &CpuPool,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
     let workers = pool.threads().min(m.max(1));
     if workers <= 1 || m < 64 {
         sgemm(m, k, n, a, b, c);
         return;
     }
     let chunk = m.div_ceil(workers);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (w, c_chunk) in c[..m * n].chunks_mut(chunk * n).enumerate() {
             let rows = c_chunk.len() / n;
             let a = &a[w * chunk * k..];
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 sgemm(rows, k, n, &a[..rows * k], b, c_chunk);
             });
         }
-    })
-    .expect("gemm worker panicked");
+    });
 }
 
 /// Scaled dot-product attention for one sequence (all heads), reading

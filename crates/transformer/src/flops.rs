@@ -60,7 +60,8 @@ pub fn encoder_flops(cfg: &EncoderConfig, lens: &[usize], padding: Padding) -> f
         + rows * (2.0 * ff * h)               // FF2
         + rows * (3.0 * h + ff)               // biases
         + rows * (2.0 * h)                    // residual adds
-        + rows * (2.0 * 8.0 * h);             // two layer norms
+        + rows * (2.0 * 8.0 * h); // two layer norms
+
     // SDPA (per-sequence, quadratic) operators.
     let mut sdpa = 0.0;
     for &l in &per_seq {

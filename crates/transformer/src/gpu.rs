@@ -365,9 +365,18 @@ impl EncoderSim {
                 .iter()
                 .map(|&l| heads * self.pad_to(l, self.seq_pad) * self.pad_to(l, self.seq_pad))
                 .sum();
-            ks.insert(1, self.elementwise("change_pad_q", gener, s_rows * h, bytes::COPY));
-            ks.insert(3, self.elementwise("change_pad_s", gener, attn_elems, bytes::COPY));
-            ks.insert(6, self.elementwise("remove_pad", gener, s_rows * h, bytes::COPY));
+            ks.insert(
+                1,
+                self.elementwise("change_pad_q", gener, s_rows * h, bytes::COPY),
+            );
+            ks.insert(
+                3,
+                self.elementwise("change_pad_s", gener, attn_elems, bytes::COPY),
+            );
+            ks.insert(
+                6,
+                self.elementwise("remove_pad", gener, s_rows * h, bytes::COPY),
+            );
         }
         ks
     }

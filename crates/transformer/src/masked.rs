@@ -145,7 +145,11 @@ pub fn masked_sdpa_padded(l: usize, hd: usize, q: &[f32], k: &[f32], v: &[f32]) 
             for d in 0..hd {
                 acc += q[i * hd + d] * k[j * hd + d];
             }
-            scores[j] = if j <= i { acc * scale } else { f32::NEG_INFINITY };
+            scores[j] = if j <= i {
+                acc * scale
+            } else {
+                f32::NEG_INFINITY
+            };
         }
         softmax_row(&mut scores, l);
         for j in 0..l {

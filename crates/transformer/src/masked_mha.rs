@@ -205,7 +205,11 @@ mod tests {
         let y1 = masked_mha_ragged(&pool, &cfg, &w, &x1);
         let y2 = masked_mha_ragged(&pool, &cfg, &w, &x2);
         // Rows 0..5 identical; row 5 differs.
-        assert_eq!(&y1[..5 * h], &y2[..5 * h], "earlier rows must not see the future");
+        assert_eq!(
+            &y1[..5 * h],
+            &y2[..5 * h],
+            "earlier rows must not see the future"
+        );
         assert_ne!(&y1[5 * h..], &y2[5 * h..], "last row must change");
     }
 

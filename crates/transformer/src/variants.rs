@@ -72,26 +72,23 @@ pub fn attnv_kernels(
                     // blocks, every block doing full-tile work.
                     let lp = pad_to(l, TILE);
                     for _ in 0..lp / TILE {
-                        main.push(model.block_time_us(
-                            2.0 * TILE as f64 * l as f64 * hd as f64,
-                            traits,
-                        ));
+                        main.push(
+                            model.block_time_us(2.0 * TILE as f64 * l as f64 * hd as f64, traits),
+                        );
                     }
                 }
                 _ => {
                     // Split: full tiles guard-free + exact ragged tail.
                     for _ in 0..l / TILE {
-                        main.push(model.block_time_us(
-                            2.0 * TILE as f64 * l as f64 * hd as f64,
-                            traits,
-                        ));
+                        main.push(
+                            model.block_time_us(2.0 * TILE as f64 * l as f64 * hd as f64, traits),
+                        );
                     }
                     let t = l % TILE;
                     if t > 0 {
-                        tail.push(model.block_time_us(
-                            2.0 * t as f64 * l as f64 * hd as f64,
-                            traits,
-                        ));
+                        tail.push(
+                            model.block_time_us(2.0 * t as f64 * l as f64 * hd as f64, traits),
+                        );
                     }
                 }
             }
@@ -136,10 +133,10 @@ pub fn qkt_kernels(
                 SplitVariant::NoSplit => {
                     let lp = pad_to(l, TILE);
                     for _ in 0..(lp / TILE) * (lp / TILE) {
-                        main.push(model.block_time_us(
-                            2.0 * TILE as f64 * hd as f64 * TILE as f64,
-                            traits,
-                        ));
+                        main.push(
+                            model
+                                .block_time_us(2.0 * TILE as f64 * hd as f64 * TILE as f64, traits),
+                        );
                     }
                 }
                 SplitVariant::Split | SplitVariant::SplitHFused => {
@@ -147,18 +144,20 @@ pub fn qkt_kernels(
                     // plus a ragged row tail.
                     let lp = pad_to(l, TILE);
                     for _ in 0..(l / TILE) * (lp / TILE) {
-                        main.push(model.block_time_us(
-                            2.0 * TILE as f64 * hd as f64 * TILE as f64,
-                            traits,
-                        ));
+                        main.push(
+                            model
+                                .block_time_us(2.0 * TILE as f64 * hd as f64 * TILE as f64, traits),
+                        );
                     }
                     let t = l % TILE;
                     if t > 0 {
                         for _ in 0..lp / TILE {
-                            tail.push(model.block_time_us(
-                                2.0 * t as f64 * hd as f64 * TILE as f64,
-                                traits,
-                            ));
+                            tail.push(
+                                model.block_time_us(
+                                    2.0 * t as f64 * hd as f64 * TILE as f64,
+                                    traits,
+                                ),
+                            );
                         }
                     }
                 }
@@ -167,22 +166,20 @@ pub fn qkt_kernels(
                     let full = l / TILE;
                     let t = l % TILE;
                     for _ in 0..full * full {
-                        main.push(model.block_time_us(
-                            2.0 * TILE as f64 * hd as f64 * TILE as f64,
-                            traits,
-                        ));
+                        main.push(
+                            model
+                                .block_time_us(2.0 * TILE as f64 * hd as f64 * TILE as f64, traits),
+                        );
                     }
                     for _ in 0..2 * full {
-                        tail.push(model.block_time_us(
-                            2.0 * t as f64 * hd as f64 * TILE as f64,
-                            traits,
-                        ));
+                        tail.push(
+                            model.block_time_us(2.0 * t as f64 * hd as f64 * TILE as f64, traits),
+                        );
                     }
                     if t > 0 {
-                        tail.push(model.block_time_us(
-                            2.0 * t as f64 * hd as f64 * t as f64,
-                            traits,
-                        ));
+                        tail.push(
+                            model.block_time_us(2.0 * t as f64 * hd as f64 * t as f64, traits),
+                        );
                     }
                 }
             }
@@ -235,7 +232,10 @@ mod tests {
         let nosplit = t(SplitVariant::NoSplit);
         let split = t(SplitVariant::Split);
         let hfused = t(SplitVariant::SplitHFused);
-        assert!(hfused < nosplit, "hfused {hfused:.3} vs nosplit {nosplit:.3}");
+        assert!(
+            hfused < nosplit,
+            "hfused {hfused:.3} vs nosplit {nosplit:.3}"
+        );
         assert!(hfused <= split, "hfused {hfused:.3} vs split {split:.3}");
     }
 

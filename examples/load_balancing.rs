@@ -51,7 +51,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = GpuSim::with_model(model);
     let mut ascending = Dataset::Mnli.sample_batch_sorted(512, 5).to_vec();
     ascending.sort_unstable();
-    let block = |l: &usize| model.block_time_us(2.0 * (*l as f64) * (*l as f64) * 64.0, KernelTraits::generated());
+    let block = |l: &usize| {
+        model.block_time_us(
+            2.0 * (*l as f64) * (*l as f64) * 64.0,
+            KernelTraits::generated(),
+        )
+    };
     let k_asc = SimKernel::new("sdpa_asc", ascending.iter().map(block).collect());
     let k_desc = k_asc.clone().remap_longest_first();
     let t_asc = sim.run_kernel(&k_asc);

@@ -29,7 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Schedule: pad the vloop to a multiple of 2 (legal: storage padding
     // covers it) and bind the batch loop to the GPU grid.
-    op.schedule().pad_loop("len", 2).bind("batch", ForKind::GpuBlockX);
+    op.schedule()
+        .pad_loop("len", 2)
+        .bind("batch", ForKind::GpuBlockX);
 
     // Compile: lowering builds the prelude spec (row-offset arrays) and
     // the loop-nest IR with Algorithm-1 offset expressions.
@@ -62,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (o, &l) in lens.iter().enumerate() {
         for i in 0..l {
             let off = row_start + i;
-            assert_eq!(result.output[off], 2.0 * input[off], "mismatch at ({o}, {i})");
+            assert_eq!(
+                result.output[off],
+                2.0 * input[off],
+                "mismatch at ({o}, {i})"
+            );
         }
         row_start += padded_row[o];
     }

@@ -51,8 +51,14 @@ fn main() {
     let t_padded = t1.elapsed();
 
     let diff = max_divergence(&ragged, &padded, max_len);
-    println!("ragged (CoRa-style):   {:>8.2} ms", t_ragged.as_secs_f64() * 1e3);
-    println!("padded (PyTorch-style):{:>8.2} ms", t_padded.as_secs_f64() * 1e3);
+    println!(
+        "ragged (CoRa-style):   {:>8.2} ms",
+        t_ragged.as_secs_f64() * 1e3
+    );
+    println!(
+        "padded (PyTorch-style):{:>8.2} ms",
+        t_padded.as_secs_f64() * 1e3
+    );
     println!("max divergence on valid region: {diff:.2e}");
     assert!(diff < 1e-3, "implementations disagree");
 

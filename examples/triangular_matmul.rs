@@ -73,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let mut want = vec![0.0f32; n * n];
     cora::kernels::sgemm(n, n, n, &l_dense, &b_data, &mut want);
-    assert_eq!(result.output, want, "compiled trmm disagrees with reference");
+    assert_eq!(
+        result.output, want,
+        "compiled trmm disagrees with reference"
+    );
     println!("\nOK: compiled trmm matches the dense reference ({n}x{n}).");
 
     // Simulated-GPU cost at a realistic size (2048 rows spans many waves
@@ -115,7 +118,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let balanced_prog = make_big(true)?;
     let unbalanced_prog = make_big(false)?;
     let balanced = sim
-        .run(&[balanced_prog.sim_kernel(&model, KernelTraits::generated())], 0)
+        .run(
+            &[balanced_prog.sim_kernel(&model, KernelTraits::generated())],
+            0,
+        )
         .total_us;
     let unbalanced = sim
         .run(

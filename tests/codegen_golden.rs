@@ -32,10 +32,7 @@ fn fig4_operator() -> Operator {
     let body: BodyFn = Rc::new(move |args| a2.at(args) * 2.0);
     Operator::new(
         "fig4",
-        vec![
-            LoopSpec::fixed("o", 3),
-            LoopSpec::variable("i", 0, lens),
-        ],
+        vec![LoopSpec::fixed("o", 3), LoopSpec::variable("i", 0, lens)],
         vec![],
         out,
         vec![a],
@@ -48,11 +45,20 @@ fn unfused_source_reads_row_index_arrays() {
     let p = lower(&fig4_operator()).unwrap();
     let src = p.c_source();
     // Fig. 4's generated code: B[row_idx_b[o] + i] = 2 * A[row_idx_a[o] + i].
-    assert!(src.contains("B__A0[o]"), "output row offsets missing:\n{src}");
-    assert!(src.contains("A__A0[o]"), "input row offsets missing:\n{src}");
+    assert!(
+        src.contains("B__A0[o]"),
+        "output row offsets missing:\n{src}"
+    );
+    assert!(
+        src.contains("A__A0[o]"),
+        "input row offsets missing:\n{src}"
+    );
     assert!(src.contains("*2.0f"), "body missing:\n{src}");
     // Extents come from the prelude's padded length table.
-    assert!(src.contains("fig4__ext_i[o]"), "extent table missing:\n{src}");
+    assert!(
+        src.contains("fig4__ext_i[o]"),
+        "extent table missing:\n{src}"
+    );
 }
 
 #[test]
@@ -62,7 +68,10 @@ fn fused_source_reads_fusion_maps_and_param() {
     let p = lower(&op).unwrap();
     let src = p.c_source();
     // Fig. 4: for f in foif[M, s(M-1)]: o = ffo(f); i = ffi(f).
-    assert!(src.contains("F_o_i_f"), "fused extent parameter missing:\n{src}");
+    assert!(
+        src.contains("F_o_i_f"),
+        "fused extent parameter missing:\n{src}"
+    );
     assert!(src.contains("o_i_f__ffo[o_i_f]"), "ffo map missing:\n{src}");
     assert!(src.contains("o_i_f__ffi[o_i_f]"), "ffi map missing:\n{src}");
     // The prelude must build exactly the Fig. 4 arrays: with loop pad 2,
@@ -87,7 +96,10 @@ fn cuda_and_c_dialects_differ_only_in_axis_binding() {
     let cuda = p.cuda_source();
     assert!(c.contains("for (int o"), "C keeps the loop:\n{c}");
     assert!(cuda.contains("blockIdx.x"), "CUDA binds the axis:\n{cuda}");
-    assert!(!cuda.contains("for (int o"), "CUDA must not loop over o:\n{cuda}");
+    assert!(
+        !cuda.contains("for (int o"),
+        "CUDA must not loop over o:\n{cuda}"
+    );
 }
 
 #[test]

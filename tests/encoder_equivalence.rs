@@ -41,7 +41,12 @@ fn two_layers_compose() {
     let w2 = EncoderWeights::random(&cfg, 22);
     let lens = vec![10usize, 7, 3];
     let x = RaggedBatch::random(&lens, cfg.hidden, 5);
-    let y_ragged = encoder_layer_ragged(&pool, &cfg, &w2, &encoder_layer_ragged(&pool, &cfg, &w1, &x));
+    let y_ragged = encoder_layer_ragged(
+        &pool,
+        &cfg,
+        &w2,
+        &encoder_layer_ragged(&pool, &cfg, &w1, &x),
+    );
     let max_len = 10;
     let p1 = encoder_layer_padded(&pool, &cfg, &w1, &lens, max_len, &x.to_padded(max_len));
     let p2 = encoder_layer_padded(&pool, &cfg, &w2, &lens, max_len, &p1);

@@ -1,0 +1,61 @@
+//! Smoke tests running every example end-to-end, so `examples/` can't
+//! silently rot.
+//!
+//! `cargo test` always builds example targets before running integration
+//! tests, so the compiled example binaries sit next to this test's
+//! executable (`target/<profile>/examples/`). Each example asserts its own
+//! numeric results internally and exits nonzero on failure.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Locates `target/<profile>/examples/<name>` relative to the running
+/// test executable (`target/<profile>/deps/examples_smoke-*`).
+fn example_binary(name: &str) -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test executable path");
+    dir.pop(); // strip the test binary file name -> deps/
+    if dir.ends_with("deps") {
+        dir.pop(); // -> target/<profile>/
+    }
+    let path = dir.join("examples").join(name);
+    assert!(
+        path.is_file(),
+        "example binary {path:?} not found; examples are built by `cargo test` \
+         before integration tests run"
+    );
+    path
+}
+
+fn run_example(name: &str) {
+    let path = example_binary(name);
+    let output = Command::new(&path)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {path:?}: {e}"));
+    assert!(
+        output.status.success(),
+        "example `{name}` exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn quickstart_example_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn triangular_matmul_example_runs() {
+    run_example("triangular_matmul");
+}
+
+#[test]
+fn transformer_encoder_example_runs() {
+    run_example("transformer_encoder");
+}
+
+#[test]
+fn load_balancing_example_runs() {
+    run_example("load_balancing");
+}

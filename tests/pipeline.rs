@@ -98,7 +98,10 @@ fn split_and_bind_produce_gpu_source() {
     let p = lower(&op).unwrap();
     let src = p.cuda_source();
     assert!(src.contains("blockIdx.x"), "missing block binding:\n{src}");
-    assert!(src.contains("threadIdx.x"), "missing thread binding:\n{src}");
+    assert!(
+        src.contains("threadIdx.x"),
+        "missing thread binding:\n{src}"
+    );
     // Padded storage + padded loop: execution must still double valid
     // entries.
     let size = p.output_size();
@@ -181,7 +184,10 @@ fn hoisting_reduces_aux_loads() {
     let mut plain = doubling_op(&lens);
     plain.schedule_mut().bind("o", ForKind::GpuBlockX);
     let mut hoisted = doubling_op(&lens);
-    hoisted.schedule_mut().bind("o", ForKind::GpuBlockX).hoist_loads();
+    hoisted
+        .schedule_mut()
+        .bind("o", ForKind::GpuBlockX)
+        .hoist_loads();
     let n: usize = lens.iter().sum();
     let input: Vec<f32> = (0..n).map(|x| x as f32).collect();
     let r1 = lower(&plain).unwrap().run(&[("A", input.clone())]);

@@ -4,7 +4,7 @@
 use std::rc::Rc;
 
 use cora::core::prelude::*;
-use cora::ragged::{can_swap_dims, Dim, DgraphError, DimSchedError, RaggedLayout};
+use cora::ragged::{can_swap_dims, DgraphError, Dim, DimSchedError, RaggedLayout};
 
 fn ragged_2d(name: &str, lens: &[usize], pad: usize) -> TensorRef {
     let b = Dim::new("batch");
@@ -90,7 +90,10 @@ fn non_adjacent_fusion_rejected() {
     // Insert a cloop between o and i via splitting, then try to fuse the
     // now-separated pair.
     let mut op = op_with_pads(&[4, 4], 4);
-    op.schedule_mut().pad_loop("i", 4).split("i", 2).fuse_loops("o", "i_i");
+    op.schedule_mut()
+        .pad_loop("i", 4)
+        .split("i", 2)
+        .fuse_loops("o", "i_i");
     assert!(matches!(
         lower(&op),
         Err(ScheduleError::NonAdjacentFusion { .. })

@@ -1,9 +1,9 @@
 //! Cross-crate simulator invariants: the properties every experiment's
 //! conclusions rest on.
 
+use cora::datasets::Dataset;
 use cora::exec::cost::{GpuModel, KernelTraits};
 use cora::exec::gpu::{GpuSim, SimKernel};
-use cora::datasets::Dataset;
 use cora::transformer::config::EncoderConfig;
 use cora::transformer::flops::{encoder_flops, Padding};
 use cora::transformer::gpu::{EncoderImpl, EncoderSim};
@@ -51,8 +51,8 @@ fn simulated_speedup_tracks_flop_ratio() {
         let lens = ds.sample_batch_sorted(128, 3);
         let speedup = sim.layer_latency_ms(EncoderImpl::PyTorch, &lens)
             / sim.layer_latency_ms(EncoderImpl::Cora, &lens);
-        let flop_ratio = encoder_flops(&cfg, &lens, Padding::Full)
-            / encoder_flops(&cfg, &lens, Padding::None);
+        let flop_ratio =
+            encoder_flops(&cfg, &lens, Padding::Full) / encoder_flops(&cfg, &lens, Padding::None);
         pairs.push((flop_ratio, speedup));
     }
     pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());

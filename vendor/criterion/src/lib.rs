@@ -1,0 +1,110 @@
+//! Offline shim for the `criterion` crate covering the subset this
+//! workspace uses: `Criterion`, `benchmark_group` / `bench_function`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Benchmarks run under a fixed time budget and
+//! print mean wall-clock times; there is no statistical analysis.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean wall-clock time of one iteration, filled by [`Bencher::iter`].
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Measures `body`, storing the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // One warm-up call, then time `sample_size` calls (bounded by a
+        // wall-clock budget so slow benchmarks stay responsive).
+        black_box(body());
+        let budget = Duration::from_millis(500);
+        let start = Instant::now();
+        let mut iters = 0u32;
+        while iters < self.sample_size as u32 && start.elapsed() < budget {
+            black_box(body());
+            iters += 1;
+        }
+        self.mean = start.elapsed() / iters.max(1);
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!("{}/{:<24} mean {:>12.3?}", self.name, id, bencher.mean);
+        self
+    }
+
+    /// Ends the group (printing is immediate in this shim; kept for API
+    /// compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 50,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,202 @@
+//! Value-generation strategies: the core [`Strategy`] trait, boxing,
+//! mapping, recursion, unions, `Just`, and the built-in integer-range and
+//! tuple strategies.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::rng::TestRng;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a cloneable generator function.
+pub trait Strategy: Clone + 'static {
+    /// The type of generated values.
+    type Value: 'static;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy::new(move |rng| self.new_value(rng))
+    }
+
+    /// Applies a function to every generated value.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized,
+        U: 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        BoxedStrategy::new(move |rng| f(self.new_value(rng)))
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves and `f` wraps
+    /// an inner strategy into branches. `depth` bounds the recursion;
+    /// `_desired_size` and `_expected_branch_size` are accepted for
+    /// API compatibility and ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        S: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let branch = f(current).boxed();
+            let leaf = leaf.clone();
+            // Bias toward branching so deep values stay common while
+            // every level can still terminate early at a leaf.
+            current = BoxedStrategy::new(move |rng| {
+                if rng.next_index(4) == 0 {
+                    leaf.new_value(rng)
+                } else {
+                    branch.new_value(rng)
+                }
+            });
+        }
+        current
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T> {
+    generate: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a generator function.
+    pub fn new<F: Fn(&mut TestRng) -> T + 'static>(f: F) -> Self {
+        BoxedStrategy {
+            generate: Rc::new(f),
+        }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            generate: Rc::clone(&self.generate),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.generate)(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T> {
+        self
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among several strategies of one value type
+/// (the expansion of `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; `arms` must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let arm = rng.next_index(self.arms.len());
+        self.arms[arm].new_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let width = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add((rng.next_u64() % width) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "strategy range is empty");
+                let width = end.wrapping_sub(start) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add((rng.next_u64() % (width + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}

@@ -1,0 +1,149 @@
+//! The case loop behind the `proptest!` macro.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// A failed test case. Carries the failure message.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; this shim runs fewer cases to
+        // keep whole-compiler properties fast in CI. Override per test
+        // with `#![proptest_config(ProptestConfig::with_cases(n))]`.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Runs the case loop for one property.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `test` against `config.cases` values drawn from `strategy`,
+    /// panicking (with the reproducing seed) on the first failure.
+    ///
+    /// The environment variable `PROPTEST_SEED` replays a single reported
+    /// seed instead of the whole sweep.
+    pub fn run<S, F>(&mut self, name: &str, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            let seed: u64 = seed.parse().expect("PROPTEST_SEED must be a u64");
+            let value = strategy.new_value(&mut TestRng::from_seed(seed));
+            if let Err(e) = test(value) {
+                panic!("[{name}] replayed seed {seed} failed: {e}");
+            }
+            return;
+        }
+        let base = fnv1a(name.as_bytes());
+        for case in 0..self.config.cases {
+            let seed = base ^ (u64::from(case)).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let value = strategy.new_value(&mut TestRng::from_seed(seed));
+            if let Err(e) = test(value) {
+                panic!(
+                    "[{name}] case {case}/{total} failed (replay with \
+                     PROPTEST_SEED={seed}): {e}",
+                    total = self.config.cases
+                );
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in -1000i64..1000, b in -1000i64..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(0u8..4, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            for x in &v {
+                prop_assert!(*x < 4);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "PROPTEST_SEED=")]
+    fn failure_reports_seed() {
+        proptest! {
+            fn always_fails(x in 0i64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn recursive_and_oneof_strategies_generate() {
+        use crate::rng::TestRng;
+        let leaf = (0i64..10).boxed();
+        let expr = leaf.prop_recursive(4, 48, 3, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+                (inner, Just(1i64)).prop_map(|(a, b)| a * b),
+            ]
+        });
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..100 {
+            let _ = expr.new_value(&mut rng);
+        }
+    }
+}
