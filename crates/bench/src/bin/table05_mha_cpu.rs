@@ -8,7 +8,7 @@
 //! CoRa ≤ TF-UB ≤ TF, with gaps widest for skewed datasets — is
 //! scale-invariant because it is driven by the length distribution.
 
-use cora_bench::{f2, flag, opt_usize, print_table};
+use cora_bench::{f2, flag, opt_usize, print_table, Report};
 use cora_datasets::ALL_DATASETS;
 use cora_exec::CpuPool;
 use cora_transformer::config::EncoderConfig;
@@ -17,16 +17,31 @@ use cora_transformer::mha::{mha_padded, mha_ragged, search_micro_batch, time_bes
 use cora_transformer::weights::EncoderWeights;
 
 fn main() {
-    let scale = opt_usize("scale", 4);
+    let quick = flag("quick");
+    let scale = opt_usize("scale", if quick { 8 } else { 4 });
     let cfg = EncoderConfig::scaled(scale);
     let batch_sizes: Vec<usize> = if flag("paper-batches") {
         vec![32, 64, 128]
+    } else if quick {
+        vec![4, 8]
     } else {
         vec![8, 16, 32]
     };
-    let reps = opt_usize("reps", 2);
+    let reps = opt_usize("reps", if quick { 1 } else { 2 });
+    let datasets: &[_] = if quick {
+        &ALL_DATASETS[..2]
+    } else {
+        &ALL_DATASETS[..]
+    };
     let pool = CpuPool::host();
     let w = EncoderWeights::random(&cfg, 1);
+
+    let mut report = Report::new("table05_mha_cpu");
+    report
+        .param("threads", pool.threads())
+        .param("hidden", cfg.hidden)
+        .param("reps", reps)
+        .param("quick", quick);
 
     println!(
         "Table 5 — MHA latency in ms (real CPU, {} threads, hidden {}, batches {:?})\n",
@@ -38,7 +53,7 @@ fn main() {
     let mut geo_tf = 0.0f64;
     let mut geo_ub = 0.0f64;
     let mut count = 0usize;
-    for ds in ALL_DATASETS {
+    for &ds in datasets {
         for &bs in &batch_sizes {
             let lens = ds.sample_batch_sorted(bs, 5);
             let x = RaggedBatch::random(&lens, cfg.hidden, 6);
@@ -54,6 +69,13 @@ fn main() {
             geo_tf += (tf / cora).ln();
             geo_ub += (tf_ub / cora).ln();
             count += 1;
+            report
+                .measurement(&format!("mha_{}_b{}", ds.name(), bs))
+                .param("dataset", ds.name())
+                .param("batch", bs)
+                .variant_ms("tf_padded", tf)
+                .variant_ms("tf_micro_batched", tf_ub)
+                .variant_ms("cora", cora);
             rows.push(vec![
                 ds.name().to_string(),
                 bs.to_string(),
@@ -64,9 +86,16 @@ fn main() {
         }
     }
     print_table(&["dataset", "batch", "TF", "TF-UB /uBS", "CoRa"], &rows);
+    let geomean_tf = (geo_tf / count as f64).exp();
+    let geomean_ub = (geo_ub / count as f64).exp();
     println!(
-        "\nGeomean: CoRa {:.2}x faster than TF (paper: 1.57x), {:.2}x faster than TF-UB (paper: 1.37x)",
-        (geo_tf / count as f64).exp(),
-        (geo_ub / count as f64).exp()
+        "\nGeomean: CoRa {geomean_tf:.2}x faster than TF (paper: 1.57x), {geomean_ub:.2}x faster than TF-UB (paper: 1.37x)"
     );
+    report
+        .param("geomean_speedup_vs_tf", geomean_tf)
+        .param("geomean_speedup_vs_tf_ub", geomean_ub);
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write report: {e}"),
+    }
 }

@@ -1,9 +1,13 @@
 //! Shared utilities for the experiment harnesses: tiny CLI parsing,
-//! table rendering, and the matmul experiment builders (Figs. 9/10).
+//! table rendering, machine-readable reports (`BENCH_<name>.json`), and
+//! the matmul experiment builders (Figs. 9/10).
 
 #![warn(missing_docs)]
 
 pub mod matmul;
+pub mod report;
+
+pub use report::{Json, Measurement, Report};
 
 /// Returns true if `--name` appears in the process arguments.
 pub fn flag(name: &str) -> bool {

@@ -1,0 +1,340 @@
+//! Machine-readable benchmark reports.
+//!
+//! Every experiment harness can serialize its measurements to a
+//! `BENCH_<name>.json` file so the repository's performance trajectory
+//! accumulates in a form tools (and CI) can diff, instead of living only
+//! in stdout tables. The writer is dependency-free (no serde): the JSON
+//! subset emitted here is built by hand and covered by tests.
+//!
+//! # Schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "name": "fig27_thread_scaling",
+//!   "params": {"batch": 16, "hidden": 128},
+//!   "measurements": [
+//!     {
+//!       "name": "mha_t4",
+//!       "params": {"threads": 4},
+//!       "variants": [
+//!         {"name": "tf_padded", "ns_per_op": 1234567.0, "speedup": 1.0},
+//!         {"name": "cora", "ns_per_op": 654321.0, "speedup": 1.887}
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `speedup` is relative to the measurement's **first** variant (the
+//! baseline), matching the paper's normalization convention.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A JSON value (the dependency-free subset the reports need).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number; non-finite values serialize as `null`.
+    Num(f64),
+    /// A string (escaped on write).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.render(&mut s);
+        f.write_str(&s)
+    }
+}
+
+impl Json {
+    fn render(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) if v.is_finite() => {
+                // `{}` on f64 prints the shortest round-trip form, which
+                // is always valid JSON for finite values.
+                out.push_str(&format!("{v}"));
+            }
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.render(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// One variant's timing within a [`Measurement`].
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    ns_per_op: f64,
+}
+
+/// One measured configuration: a named point with parameters and timed
+/// variants. The first variant added is the speedup baseline.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    name: String,
+    params: Vec<(String, Json)>,
+    variants: Vec<Variant>,
+}
+
+impl Measurement {
+    /// Attaches a parameter (e.g. `threads = 4`).
+    pub fn param(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
+        self.params.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Records one variant's time in nanoseconds per operation.
+    pub fn variant(&mut self, name: &str, ns_per_op: f64) -> &mut Self {
+        self.variants.push(Variant {
+            name: name.to_string(),
+            ns_per_op,
+        });
+        self
+    }
+
+    /// Records one variant's time in milliseconds per operation.
+    pub fn variant_ms(&mut self, name: &str, ms_per_op: f64) -> &mut Self {
+        self.variant(name, ms_per_op * 1e6)
+    }
+
+    fn to_json(&self) -> Json {
+        let baseline = self.variants.first().map(|v| v.ns_per_op);
+        let variants = self
+            .variants
+            .iter()
+            .map(|v| {
+                let speedup = match baseline {
+                    Some(b) if v.ns_per_op > 0.0 => Json::Num(b / v.ns_per_op),
+                    _ => Json::Null,
+                };
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(v.name.clone())),
+                    ("ns_per_op".into(), Json::Num(v.ns_per_op)),
+                    ("speedup".into(), speedup),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("params".into(), Json::Obj(self.params.clone())),
+            ("variants".into(), Json::Arr(variants)),
+        ])
+    }
+}
+
+/// An experiment report, serialized as `BENCH_<name>.json`.
+#[derive(Debug, Clone)]
+pub struct Report {
+    name: String,
+    params: Vec<(String, Json)>,
+    measurements: Vec<Measurement>,
+}
+
+impl Report {
+    /// Starts a report. `name` becomes part of the output filename and
+    /// must be a `[A-Za-z0-9_-]` identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty name or one with characters outside
+    /// `[A-Za-z0-9_-]` (it is spliced into a filename).
+    pub fn new(name: &str) -> Report {
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'),
+            "report name must be a [A-Za-z0-9_-] identifier, got {name:?}"
+        );
+        Report {
+            name: name.to_string(),
+            params: Vec::new(),
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Attaches an experiment-wide parameter.
+    pub fn param(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
+        self.params.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Opens a new measurement and returns it for configuration.
+    pub fn measurement(&mut self, name: &str) -> &mut Measurement {
+        self.measurements.push(Measurement {
+            name: name.to_string(),
+            params: Vec::new(),
+            variants: Vec::new(),
+        });
+        self.measurements.last_mut().expect("just pushed")
+    }
+
+    /// The report as a JSON tree.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Num(1.0)),
+            ("name".into(), Json::Str(self.name.clone())),
+            ("params".into(), Json::Obj(self.params.clone())),
+            (
+                "measurements".into(),
+                Json::Arr(self.measurements.iter().map(|m| m.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Writes `BENCH_<name>.json` into `dir` (created if missing),
+    /// returning the path.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, format!("{}\n", self.to_json()))?;
+        Ok(path)
+    }
+
+    /// Writes `BENCH_<name>.json` into `CORA_BENCH_DIR` (or the current
+    /// directory), returning the path.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let dir = std::env::var("CORA_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+        self.write_to(Path::new(&dir))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_escaping() {
+        let j = Json::Str("a\"b\\c\nd\u{1}".to_string());
+        assert_eq!(j.to_string(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_render_as_valid_json() {
+        assert_eq!(Json::Num(1.0).to_string(), "1");
+        assert_eq!(Json::Num(1.5).to_string(), "1.5");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn report_shape_and_speedups() {
+        let mut rep = Report::new("unit_test");
+        rep.param("batch", 16usize).param("quick", true);
+        rep.measurement("m1")
+            .param("threads", 2usize)
+            .variant("base", 2000.0)
+            .variant("fast", 1000.0);
+        let s = rep.to_json().to_string();
+        assert!(s.starts_with(r#"{"schema":1,"name":"unit_test""#), "{s}");
+        assert!(s.contains(r#""params":{"batch":16,"quick":true}"#), "{s}");
+        assert!(
+            s.contains(r#"{"name":"fast","ns_per_op":1000,"speedup":2}"#),
+            "{s}"
+        );
+        assert!(
+            s.contains(r#"{"name":"base","ns_per_op":2000,"speedup":1}"#),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn write_creates_file_in_dir() {
+        let dir = std::env::temp_dir().join(format!("cora_report_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut rep = Report::new("writer-check");
+        rep.measurement("only").variant("v", 1.0);
+        let path = rep.write_to(&dir).unwrap();
+        assert_eq!(path.file_name().unwrap(), "BENCH_writer-check.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.ends_with('\n'));
+        assert!(body.contains(r#""name":"writer-check""#));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "identifier")]
+    fn bad_name_rejected() {
+        let _ = Report::new("has space");
+    }
+}

@@ -11,7 +11,7 @@
 //! * [`opsplit`] — operation splitting and horizontal fusion.
 //! * [`bounds`] — iteration-variable range translation across fused
 //!   vloops (Fig. 7).
-//! * [`lower`] — the lowering pipeline to statement IR + prelude spec.
+//! * [`mod@lower`] — the lowering pipeline to statement IR + prelude spec.
 //! * [`prelude_gen`] — prelude planning and host-side construction of
 //!   auxiliary structures.
 //! * [`program`] — compiled programs: C/CUDA source, numeric execution,

@@ -4,8 +4,8 @@
 //! Alongside the primitives every dense tensor compiler has (split, bind,
 //! unroll), CoRa adds the ragged-specific ones this module models:
 //!
-//! * [`Schedule::pad_loop`] / [`Schedule::pad_storage_check`] — partial
-//!   padding of vloops, legal only when storage padding covers it;
+//! * [`Schedule::pad_loop`] — partial padding of vloops, legal only when
+//!   storage padding covers it (checked during lowering);
 //! * [`Schedule::fuse_loops`] — vloop fusion via prelude-built maps;
 //! * [`Schedule::bulk_pad`] — pad a *fused* loop's total extent;
 //! * operation splitting ([`crate::opsplit`]) and horizontal fusion are

@@ -1,36 +1,91 @@
-//! Real multithreaded CPU execution: a work-pulling parallel-for.
+//! `CpuPool`: the parallel-loop facade for CPU execution.
 //!
 //! The CPU experiments (Table 5, Table 9, Fig. 27) run for real on the
-//! host. `parallel_for` distributes iterations dynamically (an atomic
-//! cursor, like a guided OpenMP schedule); `parallel_for_static` splits
-//! the range into contiguous chunks per worker — the policy under which
-//! ragged workloads show load imbalance, used by the ablation benches.
+//! host. A [`CpuPool`] is a cheap, copyable *configuration* — thread
+//! width, grain size, backend — over the process-wide persistent
+//! [`Runtime`] (see [`crate::runtime`] for the worker model):
+//!
+//! * [`CpuPool::parallel_for`] distributes iterations dynamically
+//!   (chunked work-stealing deques — the load-balanced schedule ragged
+//!   loops need);
+//! * [`CpuPool::parallel_for_static`] splits the range into contiguous
+//!   per-worker chunks with no rebalancing — the policy under which
+//!   ragged workloads show load imbalance, used by the ablation benches;
+//! * [`CpuPool::parallel_rows`] hands out disjoint `&mut` rows of a
+//!   buffer, pre-packed into cost-balanced batches.
+//!
+//! [`Backend::Spawn`] preserves the pre-runtime per-call
+//! `std::thread::scope` executor so the spawn-overhead ablation
+//! (Fig. 27, `BENCH_fig27_thread_scaling.json`) can measure both.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::runtime::{Runtime, Schedule};
+
+/// A batch of `(row index, row slice)` pairs handed to one participant.
+type RowBatch<'a> = Vec<(usize, &'a mut [f32])>;
+
+/// Which executor a [`CpuPool`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The persistent work-stealing runtime (default): parked workers,
+    /// no per-call thread spawns.
+    Persistent,
+    /// Per-call `std::thread::scope` spawn/join — the pre-runtime
+    /// baseline, kept for the spawn-overhead ablation.
+    Spawn,
+}
 
 /// A fixed-width thread team for parallel loops.
 #[derive(Debug, Clone, Copy)]
 pub struct CpuPool {
     threads: usize,
+    grain: Option<usize>,
+    backend: Backend,
 }
 
 impl CpuPool {
-    /// Creates a pool that runs loops on `threads` workers.
+    /// Creates a pool that runs loops on `threads` workers. Under the
+    /// default [`Backend::Persistent`] this caps how many of the global
+    /// runtime's participants serve each loop (the Fig. 27 sweep builds
+    /// one pool per thread count); it does not spawn threads itself.
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "thread count must be positive");
-        CpuPool { threads }
+        CpuPool {
+            threads,
+            grain: None,
+            backend: Backend::Persistent,
+        }
     }
 
-    /// A pool sized to the machine's available parallelism.
+    /// A pool sized to the full global runtime team — the machine's
+    /// available parallelism, or `CORA_NUM_THREADS` if set.
     pub fn host() -> Self {
-        let n = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        CpuPool::new(n)
+        CpuPool::new(Runtime::global().threads())
+    }
+
+    /// Overrides the dynamic-schedule chunk size (default: ~16 chunks per
+    /// worker). Small grains maximize load balancing for ragged rows;
+    /// large grains amortize scheduling for long loops of tiny bodies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grain == 0`.
+    pub fn with_grain(mut self, grain: usize) -> Self {
+        assert!(grain > 0, "grain must be positive");
+        self.grain = Some(grain);
+        self
+    }
+
+    /// Selects the executor backend (see [`Backend`]).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Number of workers.
@@ -38,33 +93,28 @@ impl CpuPool {
         self.threads
     }
 
-    /// Runs `f(i)` for every `i in 0..n`, pulling iterations dynamically.
+    /// The configured grain size, if overridden.
+    pub fn grain(&self) -> Option<usize> {
+        self.grain
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Runs `f(i)` for every `i in 0..n`, pulling iterations dynamically
+    /// (chunked work-stealing under [`Backend::Persistent`]).
     pub fn parallel_for<F>(&self, n: usize, f: F)
     where
         F: Fn(usize) + Sync,
     {
-        if n == 0 {
-            return;
-        }
-        if self.threads == 1 || n == 1 {
-            for i in 0..n {
-                f(i);
+        match self.backend {
+            Backend::Persistent => {
+                Runtime::global().run(n, self.threads, Schedule::Dynamic, self.grain, f)
             }
-            return;
+            Backend::Spawn => spawn_dynamic(self.threads, n, &f),
         }
-        let cursor = AtomicUsize::new(0);
-        let workers = self.threads.min(n);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    f(i);
-                });
-            }
-        });
     }
 
     /// Runs `f(i)` for every `i in 0..n` with static contiguous chunking:
@@ -73,33 +123,20 @@ impl CpuPool {
     where
         F: Fn(usize) + Sync,
     {
-        if n == 0 {
-            return;
-        }
-        if self.threads == 1 || n == 1 {
-            for i in 0..n {
-                f(i);
+        match self.backend {
+            Backend::Persistent => {
+                Runtime::global().run(n, self.threads, Schedule::Static, None, f)
             }
-            return;
+            Backend::Spawn => spawn_static(self.threads, n, &f),
         }
-        let workers = self.threads.min(n);
-        let chunk = n.div_ceil(workers);
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let f = &f;
-                scope.spawn(move || {
-                    let lo = w * chunk;
-                    let hi = ((w + 1) * chunk).min(n);
-                    for i in lo..hi {
-                        f(i);
-                    }
-                });
-            }
-        });
     }
 
     /// Splits `data` into `n` disjoint mutable rows of given lengths and
     /// runs `f(i, row_i)` in parallel. Rows are consecutive in `data`.
+    ///
+    /// Rows are pre-packed into cost-balanced batches (cost = row length)
+    /// so ragged rows load-balance without per-row locking: each batch is
+    /// taken exactly once, with a single uncontended lock per batch.
     ///
     /// # Panics
     ///
@@ -110,27 +147,138 @@ impl CpuPool {
     {
         let total: usize = row_lens.iter().sum();
         assert!(total <= data.len(), "row lengths overrun the buffer");
-        // Pre-split into disjoint slices, then distribute.
-        let mut rows: Vec<&mut [f32]> = Vec::with_capacity(row_lens.len());
+        if row_lens.is_empty() {
+            return;
+        }
+        // Pre-split into disjoint slices.
+        let mut rows: Vec<(usize, &mut [f32])> = Vec::with_capacity(row_lens.len());
         let mut rest = data;
-        for &l in row_lens {
+        for (i, &l) in row_lens.iter().enumerate() {
             let (head, tail) = rest.split_at_mut(l);
-            rows.push(head);
+            rows.push((i, head));
             rest = tail;
         }
-        let rows: Vec<std::sync::Mutex<Option<&mut [f32]>>> = rows
-            .into_iter()
-            .map(|r| std::sync::Mutex::new(Some(r)))
+        // Pack into batches of roughly equal total cost, preserving order
+        // (sorted batches keep heavy rows scheduling first).
+        let target = total.div_ceil(self.threads * 4).max(1);
+        let mut batches: Vec<Mutex<RowBatch<'_>>> = Vec::new();
+        let mut cur: RowBatch<'_> = Vec::new();
+        let mut cost = 0usize;
+        for (i, row) in rows {
+            cost += row.len().max(1);
+            cur.push((i, row));
+            if cost >= target {
+                batches.push(Mutex::new(std::mem::take(&mut cur)));
+                cost = 0;
+            }
+        }
+        if !cur.is_empty() {
+            batches.push(Mutex::new(cur));
+        }
+        let run_batch = |b: usize| {
+            let batch = std::mem::take(&mut *batches[b].lock().unwrap_or_else(|e| e.into_inner()));
+            for (i, row) in batch {
+                f(i, row);
+            }
+        };
+        match self.backend {
+            Backend::Persistent => Runtime::global().run(
+                batches.len(),
+                self.threads,
+                Schedule::Dynamic,
+                Some(1),
+                run_batch,
+            ),
+            Backend::Spawn => spawn_dynamic(self.threads, batches.len(), &run_batch),
+        }
+    }
+
+    /// Runs `f` over each length-`n` row of `data` in parallel, with rows
+    /// pre-batched into O(threads) contiguous chunks so the scheduling
+    /// metadata stays tiny on hot paths. A trailing partial row (when
+    /// `data.len()` is not a multiple of `n`) is passed to `f` short,
+    /// matching `data.chunks_mut(n)` semantics.
+    pub fn parallel_uniform_rows<F>(&self, data: &mut [f32], n: usize, f: F)
+    where
+        F: Fn(&mut [f32]) + Sync,
+    {
+        if n == 0 || data.is_empty() {
+            return;
+        }
+        let len = data.len();
+        let rows = len.div_ceil(n);
+        let per = rows.div_ceil(self.threads * 4).max(1);
+        let lens: Vec<usize> = (0..rows.div_ceil(per))
+            .map(|b| ((b + 1) * per * n).min(len) - b * per * n)
             .collect();
-        self.parallel_for(rows.len(), |i| {
-            let row = rows[i]
-                .lock()
-                .expect("row lock poisoned")
-                .take()
-                .expect("row taken once");
-            f(i, row);
+        self.parallel_rows(data, &lens, |_, batch| {
+            for row in batch.chunks_mut(n) {
+                f(row);
+            }
         });
     }
+}
+
+/// The pre-runtime dynamic executor: spawns a fresh scoped thread team
+/// per call, pulling single iterations off an atomic cursor. Kept as the
+/// ablation baseline the persistent runtime is measured against.
+fn spawn_dynamic<F>(threads: usize, n: usize, f: &F)
+where
+    F: Fn(usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    if threads == 1 || n == 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(n);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                f(i);
+            });
+        }
+    });
+}
+
+/// The pre-runtime static executor (one contiguous chunk per spawned
+/// thread); see [`spawn_dynamic`].
+fn spawn_static<F>(threads: usize, n: usize, f: &F)
+where
+    F: Fn(usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    if threads == 1 || n == 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let workers = threads.min(n);
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let f = &f;
+            scope.spawn(move || {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                for i in lo..hi {
+                    f(i);
+                }
+            });
+        }
+    });
 }
 
 #[cfg(test)]
@@ -138,34 +286,47 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
 
+    fn both_backends() -> [CpuPool; 2] {
+        [
+            CpuPool::new(4),
+            CpuPool::new(4).with_backend(Backend::Spawn),
+        ]
+    }
+
     #[test]
     fn covers_all_iterations_once() {
-        let pool = CpuPool::new(4);
-        let hits = AtomicU64::new(0);
-        let sum = AtomicU64::new(0);
-        pool.parallel_for(1000, |i| {
-            hits.fetch_add(1, Ordering::Relaxed);
-            sum.fetch_add(i as u64, Ordering::Relaxed);
-        });
-        assert_eq!(hits.load(Ordering::Relaxed), 1000);
-        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+        for pool in both_backends() {
+            let hits = AtomicU64::new(0);
+            let sum = AtomicU64::new(0);
+            pool.parallel_for(1000, |i| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 1000, "{:?}", pool.backend());
+            assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+        }
     }
 
     #[test]
     fn static_schedule_covers_all() {
-        let pool = CpuPool::new(3);
-        let hits = AtomicU64::new(0);
-        pool.parallel_for_static(10, |_| {
-            hits.fetch_add(1, Ordering::Relaxed);
-        });
-        assert_eq!(hits.load(Ordering::Relaxed), 10);
+        for pool in [
+            CpuPool::new(3),
+            CpuPool::new(3).with_backend(Backend::Spawn),
+        ] {
+            let hits = AtomicU64::new(0);
+            pool.parallel_for_static(10, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 10, "{:?}", pool.backend());
+        }
     }
 
     #[test]
     fn zero_iterations_is_noop() {
-        let pool = CpuPool::new(2);
-        pool.parallel_for(0, |_| panic!("must not run"));
-        pool.parallel_for_static(0, |_| panic!("must not run"));
+        for pool in both_backends() {
+            pool.parallel_for(0, |_| panic!("must not run"));
+            pool.parallel_for_static(0, |_| panic!("must not run"));
+        }
     }
 
     #[test]
@@ -181,19 +342,93 @@ mod tests {
 
     #[test]
     fn parallel_rows_disjoint_writes() {
+        for pool in both_backends() {
+            let mut data = vec![0.0f32; 10];
+            pool.parallel_rows(&mut data, &[3, 2, 5], |i, row| {
+                for v in row.iter_mut() {
+                    *v = i as f32 + 1.0;
+                }
+            });
+            assert_eq!(
+                data,
+                vec![1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 3.0, 3.0],
+                "{:?}",
+                pool.backend()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_rows_handles_empty_rows_and_slack() {
         let pool = CpuPool::new(4);
-        let mut data = vec![0.0f32; 10];
-        pool.parallel_rows(&mut data, &[3, 2, 5], |i, row| {
+        let mut data = vec![0.0f32; 8]; // 2 elements of slack at the end
+        let visited = AtomicU64::new(0);
+        pool.parallel_rows(&mut data, &[0, 3, 0, 3], |i, row| {
+            visited.fetch_add(1 << i, Ordering::Relaxed);
             for v in row.iter_mut() {
-                *v = i as f32 + 1.0;
+                *v = 1.0;
             }
         });
-        assert_eq!(data, vec![1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 3.0, 3.0]);
+        assert_eq!(visited.load(Ordering::Relaxed), 0b1111, "every row visited");
+        assert_eq!(&data[..6], &[1.0; 6]);
+        assert_eq!(&data[6..], &[0.0; 2], "slack untouched");
+    }
+
+    #[test]
+    fn parallel_uniform_rows_covers_all_rows_and_tail() {
+        let pool = CpuPool::new(4);
+        let mut data = vec![0.0f32; 10];
+        // n=4 → rows 0..4, 4..8, and the short tail 8..10.
+        pool.parallel_uniform_rows(&mut data, 4, |row| {
+            let len = row.len() as f32;
+            for v in row.iter_mut() {
+                *v = len;
+            }
+        });
+        assert_eq!(&data[..8], &[4.0; 8]);
+        assert_eq!(&data[8..], &[2.0; 2], "partial tail row visited");
+    }
+
+    #[test]
+    fn grain_override_still_covers_everything() {
+        for grain in [1usize, 7, 100, 100_000] {
+            let pool = CpuPool::new(4).with_grain(grain);
+            let hits = AtomicU64::new(0);
+            pool.parallel_for(500, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 500, "grain={grain}");
+        }
+    }
+
+    #[test]
+    fn pool_panic_propagates() {
+        let pool = CpuPool::new(4);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.parallel_for(64, |i| {
+                if i == 13 {
+                    panic!("pool boom");
+                }
+            });
+        }));
+        assert!(r.is_err(), "panic must reach the caller");
+        // Pool (and the global runtime behind it) stays usable.
+        let hits = AtomicU64::new(0);
+        pool.parallel_for(64, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
     }
 
     #[test]
     #[should_panic(expected = "thread count must be positive")]
     fn zero_threads_rejected() {
         CpuPool::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "grain must be positive")]
+    fn zero_grain_rejected() {
+        let _ = CpuPool::new(2).with_grain(0);
     }
 }

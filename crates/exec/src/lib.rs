@@ -6,13 +6,37 @@
 //!   dispatch over streaming multiprocessors, launch and copy overheads)
 //!   used for every GPU-side experiment, since real CUDA codegen is out of
 //!   scope for this environment (see DESIGN.md §2).
-//! * [`cpu`] — a real multithreaded parallel-for used for the CPU
-//!   experiments (wall-clock numbers).
+//! * [`runtime`] — the persistent work-stealing CPU runtime: a
+//!   process-wide team of parked worker threads with per-worker chunk
+//!   deques, woken per parallel region instead of spawned per call.
+//! * [`cpu`] — [`CpuPool`], the parallel-loop facade over the runtime
+//!   used by the CPU experiments (wall-clock numbers).
 //! * [`interp`] — a scalar interpreter giving the lowered IR executable
 //!   semantics and instruction-mix statistics.
 //! * [`cost`] — the analytic cost model shared by the simulator and the
 //!   benchmark harnesses.
 //! * [`profile`] — per-operator breakdown accounting.
+//!
+//! ## CPU scheduling policies
+//!
+//! Ragged workloads give parallel loops wildly uneven iteration costs
+//! (sorted sequence lengths decay across a batch), so the runtime offers
+//! two schedules, mirroring the paper's CPU backend:
+//!
+//! * **Dynamic** ([`CpuPool::parallel_for`]) — iterations are cut into
+//!   chunks of a configurable grain; each participant owns a deque of
+//!   chunks and idle participants steal from the far end of a victim's
+//!   deque. This is the load-balanced policy behind the CoRa lines of
+//!   Table 5, Table 9, and Fig. 27.
+//! * **Static** ([`CpuPool::parallel_for_static`]) — one contiguous chunk
+//!   per participant, never rebalanced. Ragged batches load-imbalance
+//!   under this policy; the scheduling ablations measure exactly that
+//!   gap.
+//!
+//! [`CpuPool::parallel_rows`] pre-packs disjoint `&mut` rows into
+//! cost-balanced batches and runs them under the dynamic schedule — the
+//! pattern used by per-sequence SDPA (exactly `l×l` attention per
+//! sequence, heaviest sequences first).
 
 #![warn(missing_docs)]
 
@@ -21,9 +45,11 @@ pub mod cpu;
 pub mod gpu;
 pub mod interp;
 pub mod profile;
+pub mod runtime;
 
 pub use cost::{CpuModel, GpuModel, KernelTraits};
-pub use cpu::CpuPool;
+pub use cpu::{Backend, CpuPool};
 pub use gpu::{GpuRunReport, GpuSim, KernelReport, SimKernel};
 pub use interp::{InterpStats, Machine};
 pub use profile::Profiler;
+pub use runtime::{Runtime, Schedule};

@@ -132,6 +132,45 @@ pub fn trmm_lower(n: usize, l: &[f32], b: &[f32], c: &mut [f32]) {
     }
 }
 
+/// Multithreaded gemm: `C[m,n] += A[m,k]·B[k,n]`, rows split into one
+/// contiguous block per worker and dispatched onto the pool's persistent
+/// runtime. Small problems (`m < 64`) run serially.
+pub fn parallel_sgemm(
+    pool: &cora_exec::CpuPool,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let workers = pool.threads().min(m);
+    if workers <= 1 || m < 64 {
+        sgemm(m, k, n, a, b, c);
+        return;
+    }
+    let chunk = m.div_ceil(workers);
+    // Recompute the chunk count from the rounded-up chunk size: with
+    // m=64, workers=24 → chunk=3 the last two "workers" would otherwise
+    // get empty chunks starting past the end of `a`.
+    let workers = m.div_ceil(chunk);
+    let chunk_lens: Vec<usize> = (0..workers)
+        .map(|w| {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(m);
+            hi.saturating_sub(lo) * n
+        })
+        .collect();
+    pool.parallel_rows(&mut c[..m * n], &chunk_lens, |w, c_chunk| {
+        let rows = c_chunk.len() / n;
+        let lo = w * chunk;
+        sgemm(rows, k, n, &a[lo * k..(lo + rows) * k], b, c_chunk);
+    });
+}
+
 /// FLOP count of a dense `m×k×n` gemm (multiply-adds counted as 2).
 pub fn gemm_flops(m: usize, k: usize, n: usize) -> f64 {
     2.0 * m as f64 * k as f64 * n as f64
@@ -251,5 +290,46 @@ mod tests {
     #[test]
     fn flop_count() {
         assert_eq!(gemm_flops(2, 3, 4), 48.0);
+    }
+
+    #[test]
+    fn parallel_sgemm_matches_serial() {
+        let (m, k, n) = (130, 17, 11);
+        let a = seq(m * k);
+        let b = seq(k * n);
+        let mut c_serial = vec![0.0; m * n];
+        let mut c_par = vec![0.0; m * n];
+        sgemm(m, k, n, &a, &b, &mut c_serial);
+        parallel_sgemm(&cora_exec::CpuPool::new(4), m, k, n, &a, &b, &mut c_par);
+        assert_eq!(c_serial, c_par);
+    }
+
+    #[test]
+    fn parallel_sgemm_small_and_degenerate() {
+        // Below the parallel threshold and with zero dimensions.
+        let pool = cora_exec::CpuPool::new(4);
+        let a = seq(8 * 3);
+        let b = seq(3 * 2);
+        let mut c1 = vec![0.0; 8 * 2];
+        let mut c2 = vec![0.0; 8 * 2];
+        sgemm(8, 3, 2, &a, &b, &mut c1);
+        parallel_sgemm(&pool, 8, 3, 2, &a, &b, &mut c2);
+        assert_eq!(c1, c2);
+        parallel_sgemm(&pool, 0, 3, 2, &[], &b, &mut []);
+        parallel_sgemm(&pool, 8, 3, 0, &a, &[], &mut []);
+    }
+
+    #[test]
+    fn parallel_sgemm_more_threads_than_chunks() {
+        // m=64, 24 workers → chunk=3 → only 22 non-empty chunks; the
+        // trailing workers must not index past the end of `a`.
+        let (m, k, n) = (64, 3, 2);
+        let a = seq(m * k);
+        let b = seq(k * n);
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        sgemm(m, k, n, &a, &b, &mut c1);
+        parallel_sgemm(&cora_exec::CpuPool::new(24), m, k, n, &a, &b, &mut c2);
+        assert_eq!(c1, c2);
     }
 }

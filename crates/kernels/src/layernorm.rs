@@ -24,6 +24,19 @@ pub fn layernorm_rows(data: &mut [f32], n: usize, gamma: &[f32], beta: &[f32], e
     }
 }
 
+/// Parallel layer norm over each length-`n` row of `data`, batched onto
+/// the pool's persistent runtime.
+pub fn parallel_layernorm_rows(
+    pool: &cora_exec::CpuPool,
+    data: &mut [f32],
+    n: usize,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) {
+    pool.parallel_uniform_rows(data, n, |row| layernorm_row(row, gamma, beta, eps));
+}
+
 /// FLOP count for one layer-norm row of length `n` (≈ 8 ops/element).
 pub fn layernorm_flops(n: usize) -> f64 {
     8.0 * n as f64
@@ -60,5 +73,25 @@ mod tests {
     fn mismatched_gamma_rejected() {
         let mut r = vec![1.0, 2.0];
         layernorm_row(&mut r, &[1.0], &[0.0, 0.0], 1e-5);
+    }
+
+    #[test]
+    fn parallel_rows_matches_serial() {
+        let n = 5;
+        let rows = 257;
+        let gamma: Vec<f32> = (0..n).map(|i| 0.5 + i as f32).collect();
+        let beta: Vec<f32> = (0..n).map(|i| i as f32 - 2.0).collect();
+        let mut serial: Vec<f32> = (0..rows * n).map(|i| ((i % 17) as f32) - 8.0).collect();
+        let mut par = serial.clone();
+        layernorm_rows(&mut serial, n, &gamma, &beta, 1e-5);
+        parallel_layernorm_rows(
+            &cora_exec::CpuPool::new(4),
+            &mut par,
+            n,
+            &gamma,
+            &beta,
+            1e-5,
+        );
+        assert_eq!(serial, par);
     }
 }

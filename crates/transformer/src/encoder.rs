@@ -12,9 +12,13 @@
 
 use cora_exec::CpuPool;
 use cora_kernels::elementwise::{bias_add_rows, gelu, residual_add};
-use cora_kernels::layernorm::layernorm_rows;
+use cora_kernels::layernorm::parallel_layernorm_rows;
 use cora_kernels::softmax::softmax_row;
-use cora_kernels::{sgemm, sgemm_ld, sgemm_nt_ld};
+use cora_kernels::{sgemm_ld, sgemm_nt_ld};
+
+/// Multithreaded gemm over the persistent runtime (re-exported from
+/// `cora-kernels`, where the parallel kernels live).
+pub use cora_kernels::parallel_sgemm;
 
 use crate::config::EncoderConfig;
 use crate::weights::EncoderWeights;
@@ -70,34 +74,6 @@ impl RaggedBatch {
         }
         out
     }
-}
-
-/// Multithreaded gemm: `C[m,n] += A[m,k]·B[k,n]`, rows split over the
-/// pool.
-pub fn parallel_sgemm(
-    pool: &CpuPool,
-    m: usize,
-    k: usize,
-    n: usize,
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-) {
-    let workers = pool.threads().min(m.max(1));
-    if workers <= 1 || m < 64 {
-        sgemm(m, k, n, a, b, c);
-        return;
-    }
-    let chunk = m.div_ceil(workers);
-    std::thread::scope(|scope| {
-        for (w, c_chunk) in c[..m * n].chunks_mut(chunk * n).enumerate() {
-            let rows = c_chunk.len() / n;
-            let a = &a[w * chunk * k..];
-            scope.spawn(move || {
-                sgemm(rows, k, n, &a[..rows * k], b, c_chunk);
-            });
-        }
-    });
 }
 
 /// Scaled dot-product attention for one sequence (all heads), reading
@@ -178,7 +154,7 @@ pub fn encoder_layer_ragged(
     parallel_sgemm(pool, rows, h, h, &attn, &w.wo, &mut y);
     bias_add_rows(&mut y, h, &w.bo);
     residual_add(&mut y, &x.data);
-    layernorm_rows(&mut y, h, &w.ln1_g, &w.ln1_b, 1e-5);
+    parallel_layernorm_rows(pool, &mut y, h, &w.ln1_g, &w.ln1_b, 1e-5);
 
     // Feed-forward.
     let mut f1 = vec![0.0f32; rows * cfg.ff];
@@ -189,7 +165,7 @@ pub fn encoder_layer_ragged(
     parallel_sgemm(pool, rows, cfg.ff, h, &f1, &w.w2, &mut out);
     bias_add_rows(&mut out, h, &w.b2);
     residual_add(&mut out, &y);
-    layernorm_rows(&mut out, h, &w.ln2_g, &w.ln2_b, 1e-5);
+    parallel_layernorm_rows(pool, &mut out, h, &w.ln2_g, &w.ln2_b, 1e-5);
 
     RaggedBatch {
         lens: x.lens.clone(),
@@ -228,7 +204,7 @@ pub fn encoder_layer_padded(
     parallel_sgemm(pool, rows, h, h, &attn, &w.wo, &mut y);
     bias_add_rows(&mut y, h, &w.bo);
     residual_add(&mut y, x_padded);
-    layernorm_rows(&mut y, h, &w.ln1_g, &w.ln1_b, 1e-5);
+    parallel_layernorm_rows(pool, &mut y, h, &w.ln1_g, &w.ln1_b, 1e-5);
 
     let mut f1 = vec![0.0f32; rows * cfg.ff];
     parallel_sgemm(pool, rows, h, cfg.ff, &y, &w.w1, &mut f1);
@@ -238,7 +214,7 @@ pub fn encoder_layer_padded(
     parallel_sgemm(pool, rows, cfg.ff, h, &f1, &w.w2, &mut out);
     bias_add_rows(&mut out, h, &w.b2);
     residual_add(&mut out, &y);
-    layernorm_rows(&mut out, h, &w.ln2_g, &w.ln2_b, 1e-5);
+    parallel_layernorm_rows(pool, &mut out, h, &w.ln2_g, &w.ln2_b, 1e-5);
     out
 }
 
@@ -264,6 +240,7 @@ pub fn max_divergence(ragged: &RaggedBatch, padded: &[f32], max_len: usize) -> f
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cora_kernels::sgemm;
 
     #[test]
     fn ragged_matches_padded_reference() {

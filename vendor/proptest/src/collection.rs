@@ -5,7 +5,7 @@ use std::ops::{Range, RangeInclusive};
 use crate::rng::TestRng;
 use crate::strategy::Strategy;
 
-/// A length specification for [`vec`]: an exact size or a range.
+/// A length specification for [`vec()`]: an exact size or a range.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     min: usize,
@@ -51,7 +51,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
