@@ -36,7 +36,7 @@ pub mod prelude {
     pub use crate::lower::lower;
     pub use crate::opsplit::{hfuse_sim, split_operation};
     pub use crate::prelude_gen::{FusionSpec, PreludeData, PreludeSpec};
-    pub use crate::program::{Program, RunResult};
+    pub use crate::program::{CompiledProgram, Program, RunResult};
     pub use crate::schedule::{Directive, RemapPolicy, Schedule, ScheduleError};
     pub use cora_ir::{Expr, FExpr, ForKind};
 }

@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use cora_ir::fexpr::apply_unary;
+use cora_ir::visit::{count_cond_loads, count_loads};
 use cora_ir::{Env, FExpr, FExprKind, Stmt, StoreKind};
 
 /// Execution statistics gathered while interpreting.
@@ -51,6 +52,11 @@ impl Machine {
         self.fbufs.get(name).map(|v| v.as_slice())
     }
 
+    /// Iterates over every installed float buffer.
+    pub fn fbuffers(&self) -> impl Iterator<Item = (&str, &[f32])> + '_ {
+        self.fbufs.iter().map(|(n, v)| (n.as_str(), v.as_slice()))
+    }
+
     /// Takes a float buffer out of the machine.
     pub fn take_fbuffer(&mut self, name: &str) -> Option<Vec<f32>> {
         self.fbufs.remove(name)
@@ -77,8 +83,11 @@ impl Machine {
             } => {
                 // GPU axes and parallel loops execute sequentially here;
                 // the interpreter defines semantics, not performance.
-                let lo = self.env.eval(min);
-                let n = self.env.eval(extent);
+                // Bounds are counted: ragged loop extents are aux loads
+                // (`ExtentIr::Table` lowers to `Load(row, o)`), exactly
+                // the accesses the cost model prices.
+                let lo = self.eval_counting(min);
+                let n = self.eval_counting(extent);
                 let saved = self.env.lookup(var);
                 for i in lo..lo + n {
                     self.env.bind(var.clone(), i);
@@ -215,6 +224,9 @@ impl Machine {
             }
             FExprKind::Select(c, a, b) => {
                 self.stats.guards += 1;
+                // Stats parity with `Stmt::If`: the condition's aux loads
+                // are charged whenever the guard is evaluated.
+                self.stats.aux_loads += count_cond_loads(c);
                 if self.env.eval_cond(c) {
                     self.eval_f(a)
                 } else {
@@ -222,24 +234,6 @@ impl Machine {
                 }
             }
         }
-    }
-}
-
-fn count_loads(e: &cora_ir::Expr) -> u64 {
-    let mut v = Vec::new();
-    cora_ir::visit::collect_loads(e, &mut v);
-    v.len() as u64
-}
-
-fn count_cond_loads(c: &cora_ir::Cond) -> u64 {
-    use cora_ir::CondKind;
-    match c.kind() {
-        CondKind::Const(_) => 0,
-        CondKind::Lt(a, b) | CondKind::Le(a, b) | CondKind::Eq(a, b) | CondKind::Ne(a, b) => {
-            count_loads(a) + count_loads(b)
-        }
-        CondKind::And(a, b) | CondKind::Or(a, b) => count_cond_loads(a) + count_cond_loads(b),
-        CondKind::Not(a) => count_cond_loads(a),
     }
 }
 
@@ -299,6 +293,50 @@ mod tests {
         m.run(&Stmt::loop_("i", Expr::int(4), body));
         assert_eq!(m.stats.guards, 4);
         assert_eq!(m.fbuffer("B").unwrap(), &[1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn ragged_loop_extent_counts_aux_loads() {
+        // Regression: `Stmt::For` bounds used to be evaluated with the
+        // non-counting `env.eval`, dropping the `Load`-extent accesses
+        // the cost model prices.
+        let mut m = Machine::new();
+        m.env.set_buffer("lens", vec![2, 3]);
+        m.set_fbuffer("B", vec![0.0; 4]);
+        let body = Stmt::store("B", Expr::var("i"), FExpr::constant(1.0));
+        let nest = Stmt::loop_(
+            "o",
+            Expr::int(2),
+            Stmt::loop_("i", Expr::load("lens", Expr::var("o")), body),
+        );
+        m.run(&nest);
+        // The inner loop is entered twice; each entry loads lens[o] once.
+        assert_eq!(m.stats.aux_loads, 2);
+        assert_eq!(m.stats.stores, 5);
+    }
+
+    #[test]
+    fn select_condition_counts_aux_loads_like_if() {
+        // Regression: `FExprKind::Select` counted its guard but not the
+        // condition's aux loads, unlike `Stmt::If`.
+        let mut m = Machine::new();
+        m.env.set_buffer("lens", vec![0, 2]);
+        m.set_fbuffer("A", vec![1.0, 2.0]);
+        m.set_fbuffer("B", vec![0.0; 2]);
+        let sel = FExpr::select(
+            Expr::load("lens", Expr::var("i")).lt(Expr::int(1)),
+            FExpr::constant(0.0),
+            FExpr::load("A", Expr::var("i")),
+        );
+        m.run(&Stmt::loop_(
+            "i",
+            Expr::int(2),
+            Stmt::store("B", Expr::var("i"), sel),
+        ));
+        assert_eq!(m.fbuffer("B").unwrap(), &[0.0, 2.0]);
+        assert_eq!(m.stats.guards, 2);
+        // One condition load per select evaluation.
+        assert_eq!(m.stats.aux_loads, 2);
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //!   used by the CPU experiments (wall-clock numbers).
 //! * [`interp`] — a scalar interpreter giving the lowered IR executable
 //!   semantics and instruction-mix statistics.
+//! * [`vm`] — a slot-resolved bytecode VM: the compiled execution tier,
+//!   bit-identical to the interpreter (outputs *and* statistics) but
+//!   free of string hashing, tree recursion and per-expression
+//!   allocation.
 //! * [`cost`] — the analytic cost model shared by the simulator and the
 //!   benchmark harnesses.
 //! * [`profile`] — per-operator breakdown accounting.
@@ -46,6 +50,7 @@ pub mod gpu;
 pub mod interp;
 pub mod profile;
 pub mod runtime;
+pub mod vm;
 
 pub use cost::{CpuModel, GpuModel, KernelTraits};
 pub use cpu::{Backend, CpuPool};
@@ -53,3 +58,4 @@ pub use gpu::{GpuRunReport, GpuSim, KernelReport, SimKernel};
 pub use interp::{InterpStats, Machine};
 pub use profile::Profiler;
 pub use runtime::{Runtime, Schedule};
+pub use vm::{VmMachine, VmProgram};

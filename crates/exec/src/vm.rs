@@ -1,0 +1,1436 @@
+//! A slot-resolved bytecode VM: the compiled execution tier for lowered
+//! statements.
+//!
+//! The tree-walking interpreter ([`crate::interp::Machine`]) defines the
+//! IR's semantics, but it pays a `HashMap<String, i64>` lookup for every
+//! variable, auxiliary-buffer and uninterpreted-function access, recurses
+//! through `Rc` expression trees, and allocates a fresh `Vec` per
+//! expression just to count aux loads. [`compile`] removes all three
+//! costs:
+//!
+//! * **Slot resolution** ([`cora_ir::slots`]): every name the statement
+//!   references is interned to a dense index. Free variables, auxiliary
+//!   buffers, float buffers and UF tables become positions in flat `Vec`s
+//!   bound once before execution; each `For`/`LetInt` binding site and
+//!   each `Alloc` site is alpha-renamed to its own fresh slot past the
+//!   free range, so shadowing needs no save/restore at run time.
+//! * **Flattening**: expressions become straight-line register
+//!   instructions over `Vec<i64>`/`Vec<f32>` register files; loops and
+//!   conditionals become explicit jumps. Conditions compile to
+//!   short-circuit branch chains in the interpreter's evaluation order,
+//!   so exactly the same sub-expressions execute (and can panic) in both
+//!   tiers.
+//! * **Static instruction-mix metadata**: the per-expression aux-load
+//!   counts the interpreter derives by collecting loads into a `Vec` are
+//!   computed once at compile time and attached to the instructions that
+//!   charge them, so a [`VmMachine`] run produces *identical*
+//!   [`InterpStats`] to the tree walker by construction. The interpreter
+//!   stays as semantic ground truth; differential tests assert
+//!   bit-identical outputs and stats between the two tiers.
+
+use cora_ir::fexpr::apply_unary;
+use cora_ir::slots::StmtSlots;
+use cora_ir::visit::{count_cond_loads, count_loads};
+use cora_ir::{
+    Cond, CondKind, Env, Expr, ExprKind, FExpr, FExprKind, FUnaryOp, Stmt, StoreKind, UfHandle,
+};
+
+use crate::interp::InterpStats;
+
+/// Integer ALU operations (mirror [`ExprKind`] binary nodes).
+#[derive(Debug, Clone, Copy)]
+enum IBinOp {
+    Add,
+    Sub,
+    Mul,
+    FloorDiv,
+    FloorMod,
+    Min,
+    Max,
+}
+
+/// Float ALU operations (mirror [`FExprKind`] binary nodes).
+#[derive(Debug, Clone, Copy)]
+enum FBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Max,
+}
+
+/// Comparison operators for branch instructions.
+#[derive(Debug, Clone, Copy)]
+enum CmpOp {
+    Lt,
+    Le,
+    Eq,
+    Ne,
+}
+
+/// One bytecode instruction. Jump targets are program counters after
+/// [`Compiler::finish`] resolves labels.
+#[derive(Debug, Clone)]
+enum Instr {
+    /// `ireg[dst] = v`.
+    IConst { dst: u16, v: i64 },
+    /// `ireg[dst] = vars[slot]`.
+    IVar { dst: u16, slot: u32 },
+    /// `ireg[dst] = ireg[src]`.
+    ICopy { dst: u16, src: u16 },
+    /// `ireg[dst] = op(ireg[a], ireg[b])`.
+    IBin {
+        op: IBinOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    /// `ireg[dst] = ibufs[buf][ireg[idx]]` (no stat bump: aux loads are
+    /// charged statically at each evaluation site).
+    ILoad { dst: u16, buf: u32, idx: u16 },
+    /// `ireg[dst] = ibufs[buf][vars[vslot]]` — fused load-by-variable,
+    /// the hot shape of ragged offset/extent accesses.
+    ILoadV { dst: u16, buf: u32, vslot: u32 },
+    /// `ireg[dst] = op(ireg[a], c)` (immediate right operand).
+    IBinC {
+        op: IBinOp,
+        dst: u16,
+        a: u16,
+        c: i64,
+    },
+    /// `ireg[dst] = op(ireg[a], vars[vslot])` (variable right operand).
+    IBinV {
+        op: IBinOp,
+        dst: u16,
+        a: u16,
+        vslot: u32,
+    },
+    /// `ireg[dst] = ufs[uf](ireg[args..])`.
+    IUf { dst: u16, uf: u32, args: Box<[u16]> },
+    /// `vars[slot] = ireg[src]` (loop initialisation).
+    SetVar { slot: u32, src: u16 },
+    /// `vars[slot] = ireg[src]`, charging `aux` loads (`LetInt`).
+    LetVar { slot: u32, src: u16, aux: u32 },
+    /// Jump to `to` if `vars[slot] >= ireg[lim]` (loop zero-trip test).
+    BrVarGe { slot: u32, lim: u16, to: u32 },
+    /// `vars[slot] += 1; if vars[slot] < ireg[lim] jump back` — the fused
+    /// loop back-edge (increment + test + jump in one dispatch).
+    LoopNext { slot: u32, lim: u16, back: u32 },
+    /// Jump to `on_true`/`on_false` after comparing two registers.
+    BrCmp {
+        op: CmpOp,
+        a: u16,
+        b: u16,
+        on_true: u32,
+        on_false: u32,
+    },
+    /// Unconditional jump.
+    Jump { to: u32 },
+    /// `guards += 1; aux_loads += aux` (guard evaluation site).
+    Guard { aux: u32 },
+    /// `aux_loads += n` (loop-bound evaluation site).
+    BumpAux { n: u32 },
+    /// `freg[dst] = v`.
+    FConst { dst: u16, v: f32 },
+    /// `freg[dst] = fbufs[buf][ireg[idx]]`, charging `aux` loads for the
+    /// index expression.
+    FLoad {
+        dst: u16,
+        buf: u32,
+        idx: u16,
+        aux: u32,
+    },
+    /// `freg[dst] = ireg[src] as f32`, charging `aux` loads.
+    FCast { dst: u16, src: u16, aux: u32 },
+    /// `freg[dst] = freg[src]`.
+    FCopy { dst: u16, src: u16 },
+    /// `freg[dst] = op(freg[a], freg[b])`; `flops += 1`.
+    FBin {
+        op: FBinOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    /// `freg[dst] = op(freg[a], c)`; `flops += 1` (constant right
+    /// operand; constants are side-effect free so fusing preserves both
+    /// evaluation order and operand order).
+    FBinC {
+        op: FBinOp,
+        dst: u16,
+        a: u16,
+        c: f32,
+    },
+    /// `freg[dst] = op(c, freg[b])`; `flops += 1` (constant left
+    /// operand, operand order preserved).
+    FBinCL {
+        op: FBinOp,
+        dst: u16,
+        c: f32,
+        b: u16,
+    },
+    /// `freg[dst] = op(freg[a])`; `flops += 1`.
+    FUn { op: FUnaryOp, dst: u16, a: u16 },
+    /// Store `freg[val]` into `fbufs[buf][ireg[idx]]` with the given
+    /// combine rule; charges `aux` index loads, one store, and one flop
+    /// for reducing kinds.
+    FStore {
+        buf: u32,
+        idx: u16,
+        val: u16,
+        kind: StoreKind,
+        aux: u32,
+    },
+    /// (Re)allocate `fbufs[slot]` as `ireg[size]` zeroes; charges `aux`.
+    FAlloc { slot: u32, size: u16, aux: u32 },
+}
+
+/// A lowered statement compiled to slot-resolved bytecode.
+#[derive(Debug, Clone)]
+pub struct VmProgram {
+    code: Vec<Instr>,
+    n_iregs: usize,
+    n_fregs: usize,
+    slots: StmtSlots,
+}
+
+/// Compiles a lowered statement to bytecode.
+///
+/// The result is immutable and reusable: create a fresh [`VmMachine`]
+/// per execution (or reuse one across runs of the same bindings).
+pub fn compile(stmt: &Stmt) -> VmProgram {
+    let slots = StmtSlots::resolve(stmt);
+    let mut c = Compiler {
+        code: Vec::new(),
+        labels: Vec::new(),
+        iregs: RegAlloc::default(),
+        fregs: RegAlloc::default(),
+        var_scope: Vec::new(),
+        fbuf_scope: Vec::new(),
+        next_var_slot: u32::try_from(slots.free_vars.len()).expect("var census fits u32"),
+        next_fbuf_slot: u32::try_from(slots.free_fbufs.len()).expect("fbuf census fits u32"),
+        slots,
+    };
+    c.stmt(stmt);
+    c.finish()
+}
+
+impl VmProgram {
+    /// Number of bytecode instructions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True for an empty program (e.g. compiled from [`Stmt::Nop`]).
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The name census the program was resolved against.
+    pub fn slots(&self) -> &StmtSlots {
+        &self.slots
+    }
+
+    /// Creates a fresh machine with all external bindings unset.
+    pub fn machine(&self) -> VmMachine<'_> {
+        let s = &self.slots;
+        VmMachine {
+            prog: self,
+            vars: vec![0; s.var_slot_count()],
+            var_bound: vec![false; s.free_vars.len()],
+            ibufs: vec![Vec::new(); s.ibufs.len()],
+            ibuf_bound: vec![false; s.ibufs.len()],
+            fbufs: vec![Vec::new(); s.fbuf_slot_count()],
+            fbuf_bound: vec![false; s.free_fbufs.len()],
+            ufs: vec![None; s.ufs.len()],
+            iregs: vec![0; self.n_iregs],
+            fregs: vec![0.0; self.n_fregs],
+            uf_args: Vec::new(),
+            stats: InterpStats::default(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------
+
+/// Stack-disciplined scratch-register allocator: expression compilation
+/// allocates upward and releases back to a mark; values that must survive
+/// a sub-compilation (a loop limit across its body) simply keep their
+/// mark held. `max` becomes the register-file size.
+#[derive(Debug, Default)]
+struct RegAlloc {
+    next: u16,
+    max: u16,
+}
+
+impl RegAlloc {
+    fn alloc(&mut self) -> u16 {
+        let r = self.next;
+        self.next = self.next.checked_add(1).expect("register file overflow");
+        self.max = self.max.max(self.next);
+        r
+    }
+
+    fn mark(&self) -> u16 {
+        self.next
+    }
+
+    fn release(&mut self, mark: u16) {
+        self.next = mark;
+    }
+}
+
+struct Compiler {
+    code: Vec<Instr>,
+    /// Label id -> program counter (`u32::MAX` until placed).
+    labels: Vec<u32>,
+    iregs: RegAlloc,
+    fregs: RegAlloc,
+    /// Active `For`/`LetInt` bindings (name -> alpha-renamed slot).
+    var_scope: Vec<(String, u32)>,
+    /// Active `Alloc` bindings (name -> alpha-renamed slot).
+    fbuf_scope: Vec<(String, u32)>,
+    next_var_slot: u32,
+    next_fbuf_slot: u32,
+    slots: StmtSlots,
+}
+
+impl Compiler {
+    fn new_label(&mut self) -> u32 {
+        let id = u32::try_from(self.labels.len()).expect("label count fits u32");
+        self.labels.push(u32::MAX);
+        id
+    }
+
+    fn place(&mut self, label: u32) {
+        self.labels[label as usize] = u32::try_from(self.code.len()).expect("code fits u32");
+    }
+
+    fn emit(&mut self, i: Instr) {
+        self.code.push(i);
+    }
+
+    fn resolve_var(&self, name: &str) -> u32 {
+        if let Some((_, slot)) = self.var_scope.iter().rev().find(|(n, _)| n == name) {
+            return *slot;
+        }
+        self.slots
+            .free_vars
+            .get(name)
+            .unwrap_or_else(|| panic!("unresolved variable `{name}`"))
+    }
+
+    fn resolve_fbuf(&self, name: &str) -> u32 {
+        if let Some((_, slot)) = self.fbuf_scope.iter().rev().find(|(n, _)| n == name) {
+            return *slot;
+        }
+        self.slots
+            .free_fbufs
+            .get(name)
+            .unwrap_or_else(|| panic!("unresolved float buffer `{name}`"))
+    }
+
+    fn push_var(&mut self, name: &str) -> u32 {
+        let slot = self.next_var_slot;
+        self.next_var_slot += 1;
+        self.var_scope.push((name.to_string(), slot));
+        slot
+    }
+
+    fn push_fbuf(&mut self, name: &str) -> u32 {
+        let slot = self.next_fbuf_slot;
+        self.next_fbuf_slot += 1;
+        self.fbuf_scope.push((name.to_string(), slot));
+        slot
+    }
+
+    /// Compiles `e` into a fresh register and returns it. Emits no stat
+    /// bumps: integer-expression aux loads are charged statically at each
+    /// statement-level evaluation site, exactly like the interpreter's
+    /// `eval_counting` (which counts the whole tree, both `Select`
+    /// branches included, regardless of what actually executes).
+    fn expr(&mut self, e: &Expr) -> u16 {
+        // Neutral-element peephole on the shapes Algorithm-1 offset
+        // lowering produces (`0 + x`, `x*1`, ...). Only literal operands
+        // are discarded, so evaluation order, panic behaviour and the
+        // (separately pre-computed) load counts are all unchanged.
+        match e.kind() {
+            ExprKind::Add(a, b) if a.as_int() == Some(0) => return self.expr(b),
+            ExprKind::Add(a, b) if b.as_int() == Some(0) => return self.expr(a),
+            ExprKind::Sub(a, b) if b.as_int() == Some(0) => return self.expr(a),
+            ExprKind::Mul(a, b) if b.as_int() == Some(1) => return self.expr(a),
+            ExprKind::Mul(a, b) if a.as_int() == Some(1) => return self.expr(b),
+            _ => {}
+        }
+        match e.kind() {
+            ExprKind::Int(v) => {
+                let dst = self.iregs.alloc();
+                self.emit(Instr::IConst { dst, v: *v });
+                dst
+            }
+            ExprKind::Var(n) => {
+                let slot = self.resolve_var(n);
+                let dst = self.iregs.alloc();
+                self.emit(Instr::IVar { dst, slot });
+                dst
+            }
+            ExprKind::Add(a, b) => self.ibin(IBinOp::Add, a, b),
+            ExprKind::Sub(a, b) => self.ibin(IBinOp::Sub, a, b),
+            ExprKind::Mul(a, b) => self.ibin(IBinOp::Mul, a, b),
+            ExprKind::FloorDiv(a, b) => self.ibin(IBinOp::FloorDiv, a, b),
+            ExprKind::FloorMod(a, b) => self.ibin(IBinOp::FloorMod, a, b),
+            ExprKind::Min(a, b) => self.ibin(IBinOp::Min, a, b),
+            ExprKind::Max(a, b) => self.ibin(IBinOp::Max, a, b),
+            ExprKind::Select(c, a, b) => {
+                // The interpreter's `Env::eval` evaluates only the taken
+                // branch and counts no guard; mirror with a plain branch.
+                let dst = self.iregs.alloc();
+                let (l_then, l_else, l_end) =
+                    (self.new_label(), self.new_label(), self.new_label());
+                self.cond(c, l_then, l_else);
+                self.place(l_then);
+                let m = self.iregs.mark();
+                let r = self.expr(a);
+                self.emit(Instr::ICopy { dst, src: r });
+                self.iregs.release(m);
+                self.emit(Instr::Jump { to: l_end });
+                self.place(l_else);
+                let r = self.expr(b);
+                self.emit(Instr::ICopy { dst, src: r });
+                self.iregs.release(m);
+                self.place(l_end);
+                dst
+            }
+            ExprKind::Uf(f, args) => {
+                let m = self.iregs.mark();
+                let regs: Box<[u16]> = args.iter().map(|a| self.expr(a)).collect();
+                self.iregs.release(m);
+                let dst = self.iregs.alloc();
+                let uf =
+                    self.slots.ufs.get(f.name()).unwrap_or_else(|| {
+                        panic!("unresolved uninterpreted function `{}`", f.name())
+                    });
+                self.emit(Instr::IUf {
+                    dst,
+                    uf,
+                    args: regs,
+                });
+                dst
+            }
+            ExprKind::Load(buf, idx) => {
+                let b = self
+                    .slots
+                    .ibufs
+                    .get(buf)
+                    .unwrap_or_else(|| panic!("unresolved auxiliary buffer `{buf}`"));
+                // Peephole: `aux[var]` is the hot ragged-access shape.
+                if let ExprKind::Var(n) = idx.kind() {
+                    let vslot = self.resolve_var(n);
+                    let dst = self.iregs.alloc();
+                    self.emit(Instr::ILoadV { dst, buf: b, vslot });
+                    return dst;
+                }
+                let m = self.iregs.mark();
+                let r_idx = self.expr(idx);
+                self.iregs.release(m);
+                let dst = self.iregs.alloc();
+                self.emit(Instr::ILoad {
+                    dst,
+                    buf: b,
+                    idx: r_idx,
+                });
+                dst
+            }
+        }
+    }
+
+    fn ibin(&mut self, op: IBinOp, a: &Expr, b: &Expr) -> u16 {
+        // Peephole right-operand fusions. Constants and variables are
+        // side-effect free, so evaluation order and stats are unchanged.
+        match b.kind() {
+            ExprKind::Int(c) => {
+                let m = self.iregs.mark();
+                let ra = self.expr(a);
+                self.iregs.release(m);
+                let dst = self.iregs.alloc();
+                self.emit(Instr::IBinC {
+                    op,
+                    dst,
+                    a: ra,
+                    c: *c,
+                });
+                return dst;
+            }
+            ExprKind::Var(n) => {
+                let vslot = self.resolve_var(n);
+                let m = self.iregs.mark();
+                let ra = self.expr(a);
+                self.iregs.release(m);
+                let dst = self.iregs.alloc();
+                self.emit(Instr::IBinV {
+                    op,
+                    dst,
+                    a: ra,
+                    vslot,
+                });
+                return dst;
+            }
+            _ => {}
+        }
+        let m = self.iregs.mark();
+        let ra = self.expr(a);
+        let rb = self.expr(b);
+        self.iregs.release(m);
+        let dst = self.iregs.alloc();
+        self.emit(Instr::IBin {
+            op,
+            dst,
+            a: ra,
+            b: rb,
+        });
+        dst
+    }
+
+    /// Compiles `c` as a short-circuit branch chain jumping to `on_true`
+    /// or `on_false`. Evaluation order matches `Env::eval_cond`: `&&`
+    /// evaluates its right side only when the left is true, `||` only
+    /// when the left is false.
+    fn cond(&mut self, c: &Cond, on_true: u32, on_false: u32) {
+        match c.kind() {
+            CondKind::Const(b) => {
+                let to = if *b { on_true } else { on_false };
+                self.emit(Instr::Jump { to });
+            }
+            CondKind::Lt(a, b) => self.cmp(CmpOp::Lt, a, b, on_true, on_false),
+            CondKind::Le(a, b) => self.cmp(CmpOp::Le, a, b, on_true, on_false),
+            CondKind::Eq(a, b) => self.cmp(CmpOp::Eq, a, b, on_true, on_false),
+            CondKind::Ne(a, b) => self.cmp(CmpOp::Ne, a, b, on_true, on_false),
+            CondKind::And(a, b) => {
+                let mid = self.new_label();
+                self.cond(a, mid, on_false);
+                self.place(mid);
+                self.cond(b, on_true, on_false);
+            }
+            CondKind::Or(a, b) => {
+                let mid = self.new_label();
+                self.cond(a, on_true, mid);
+                self.place(mid);
+                self.cond(b, on_true, on_false);
+            }
+            CondKind::Not(a) => self.cond(a, on_false, on_true),
+        }
+    }
+
+    fn cmp(&mut self, op: CmpOp, a: &Expr, b: &Expr, on_true: u32, on_false: u32) {
+        let m = self.iregs.mark();
+        let ra = self.expr(a);
+        let rb = self.expr(b);
+        self.iregs.release(m);
+        self.emit(Instr::BrCmp {
+            op,
+            a: ra,
+            b: rb,
+            on_true,
+            on_false,
+        });
+    }
+
+    /// Compiles a float expression into a fresh float register. Float
+    /// arithmetic bumps `flops` per executed instruction; integer index
+    /// sub-expressions charge their static aux-load counts when (and only
+    /// when) their `FLoad`/`FCast` executes — the interpreter's dynamic
+    /// behaviour for float `Select` branches.
+    fn fexpr(&mut self, e: &FExpr) -> u16 {
+        match e.kind() {
+            FExprKind::Const(v) => {
+                let dst = self.fregs.alloc();
+                self.emit(Instr::FConst { dst, v: *v });
+                dst
+            }
+            FExprKind::Load(buf, idx) => {
+                let m = self.iregs.mark();
+                let r_idx = self.expr(idx);
+                self.iregs.release(m);
+                let dst = self.fregs.alloc();
+                let b = self.resolve_fbuf(buf);
+                self.emit(Instr::FLoad {
+                    dst,
+                    buf: b,
+                    idx: r_idx,
+                    aux: aux_u32(count_loads(idx)),
+                });
+                dst
+            }
+            FExprKind::Cast(i) => {
+                let m = self.iregs.mark();
+                let r = self.expr(i);
+                self.iregs.release(m);
+                let dst = self.fregs.alloc();
+                self.emit(Instr::FCast {
+                    dst,
+                    src: r,
+                    aux: aux_u32(count_loads(i)),
+                });
+                dst
+            }
+            FExprKind::Add(a, b) => self.fbin(FBinOp::Add, a, b),
+            FExprKind::Sub(a, b) => self.fbin(FBinOp::Sub, a, b),
+            FExprKind::Mul(a, b) => self.fbin(FBinOp::Mul, a, b),
+            FExprKind::Div(a, b) => self.fbin(FBinOp::Div, a, b),
+            FExprKind::Max(a, b) => self.fbin(FBinOp::Max, a, b),
+            FExprKind::Unary(op, a) => {
+                let m = self.fregs.mark();
+                let ra = self.fexpr(a);
+                self.fregs.release(m);
+                let dst = self.fregs.alloc();
+                self.emit(Instr::FUn {
+                    op: *op,
+                    dst,
+                    a: ra,
+                });
+                dst
+            }
+            FExprKind::Select(c, a, b) => {
+                let dst = self.fregs.alloc();
+                // Interpreter parity: a float select is a guard and (after
+                // the stats-parity fix) charges its condition's aux loads,
+                // exactly like `Stmt::If`.
+                self.emit(Instr::Guard {
+                    aux: aux_u32(count_cond_loads(c)),
+                });
+                let (l_then, l_else, l_end) =
+                    (self.new_label(), self.new_label(), self.new_label());
+                self.cond(c, l_then, l_else);
+                self.place(l_then);
+                let m = self.fregs.mark();
+                let r = self.fexpr(a);
+                self.emit(Instr::FCopy { dst, src: r });
+                self.fregs.release(m);
+                self.emit(Instr::Jump { to: l_end });
+                self.place(l_else);
+                let r = self.fexpr(b);
+                self.emit(Instr::FCopy { dst, src: r });
+                self.fregs.release(m);
+                self.place(l_end);
+                dst
+            }
+        }
+    }
+
+    fn fbin(&mut self, op: FBinOp, a: &FExpr, b: &FExpr) -> u16 {
+        // Peephole constant-operand fusions; operand order is preserved
+        // (no commutativity assumptions), so results stay bit-identical.
+        if let FExprKind::Const(c) = b.kind() {
+            let m = self.fregs.mark();
+            let ra = self.fexpr(a);
+            self.fregs.release(m);
+            let dst = self.fregs.alloc();
+            self.emit(Instr::FBinC {
+                op,
+                dst,
+                a: ra,
+                c: *c,
+            });
+            return dst;
+        }
+        if let FExprKind::Const(c) = a.kind() {
+            let m = self.fregs.mark();
+            let rb = self.fexpr(b);
+            self.fregs.release(m);
+            let dst = self.fregs.alloc();
+            self.emit(Instr::FBinCL {
+                op,
+                dst,
+                c: *c,
+                b: rb,
+            });
+            return dst;
+        }
+        let m = self.fregs.mark();
+        let ra = self.fexpr(a);
+        let rb = self.fexpr(b);
+        self.fregs.release(m);
+        let dst = self.fregs.alloc();
+        self.emit(Instr::FBin {
+            op,
+            dst,
+            a: ra,
+            b: rb,
+        });
+        dst
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::For {
+                var,
+                min,
+                extent,
+                body,
+                kind: _,
+            } => {
+                let im = self.iregs.mark();
+                let r_min = self.expr(min);
+                let r_ext = self.expr(extent);
+                // Loop bounds are evaluated once per For execution; the
+                // interpreter charges their static load counts there.
+                self.emit(Instr::BumpAux {
+                    n: aux_u32(count_loads(min) + count_loads(extent)),
+                });
+                let slot = self.push_var(var);
+                self.emit(Instr::SetVar { slot, src: r_min });
+                // The limit register must survive the body: release the
+                // operand marks, then hold one register for lo + n.
+                self.iregs.release(im);
+                let r_lim = self.iregs.alloc();
+                self.emit(Instr::IBin {
+                    op: IBinOp::Add,
+                    dst: r_lim,
+                    a: r_min,
+                    b: r_ext,
+                });
+                let (l_body, l_exit) = (self.new_label(), self.new_label());
+                // Zero-trip test once, then a fused increment+test+jump
+                // back-edge: one dispatch of loop overhead per iteration.
+                self.emit(Instr::BrVarGe {
+                    slot,
+                    lim: r_lim,
+                    to: l_exit,
+                });
+                self.place(l_body);
+                self.stmt(body);
+                self.emit(Instr::LoopNext {
+                    slot,
+                    lim: r_lim,
+                    back: l_body,
+                });
+                self.place(l_exit);
+                self.var_scope.pop();
+                self.iregs.release(im);
+            }
+            Stmt::LetInt { var, value, body } => {
+                let m = self.iregs.mark();
+                let r = self.expr(value);
+                self.iregs.release(m);
+                let slot = self.push_var(var);
+                self.emit(Instr::LetVar {
+                    slot,
+                    src: r,
+                    aux: aux_u32(count_loads(value)),
+                });
+                self.stmt(body);
+                self.var_scope.pop();
+            }
+            Stmt::Store {
+                buffer,
+                index,
+                value,
+                kind,
+            } => {
+                let im = self.iregs.mark();
+                let fm = self.fregs.mark();
+                let r_idx = self.expr(index);
+                let r_val = self.fexpr(value);
+                let buf = self.resolve_fbuf(buffer);
+                self.emit(Instr::FStore {
+                    buf,
+                    idx: r_idx,
+                    val: r_val,
+                    kind: *kind,
+                    aux: aux_u32(count_loads(index)),
+                });
+                self.iregs.release(im);
+                self.fregs.release(fm);
+            }
+            Stmt::If { cond, then_, else_ } => {
+                self.emit(Instr::Guard {
+                    aux: aux_u32(count_cond_loads(cond)),
+                });
+                let (l_then, l_else, l_end) =
+                    (self.new_label(), self.new_label(), self.new_label());
+                self.cond(cond, l_then, l_else);
+                self.place(l_then);
+                self.stmt(then_);
+                self.emit(Instr::Jump { to: l_end });
+                self.place(l_else);
+                if let Some(e) = else_ {
+                    self.stmt(e);
+                }
+                self.place(l_end);
+            }
+            Stmt::Seq(items) => {
+                for item in items {
+                    self.stmt(item);
+                }
+            }
+            Stmt::Alloc { buffer, size, body } => {
+                let m = self.iregs.mark();
+                let r = self.expr(size);
+                self.iregs.release(m);
+                let slot = self.push_fbuf(buffer);
+                self.emit(Instr::FAlloc {
+                    slot,
+                    size: r,
+                    aux: aux_u32(count_loads(size)),
+                });
+                self.stmt(body);
+                self.fbuf_scope.pop();
+            }
+            Stmt::Nop => {}
+        }
+    }
+
+    /// Resolves label ids in jump fields to program counters.
+    fn finish(mut self) -> VmProgram {
+        for instr in &mut self.code {
+            match instr {
+                Instr::Jump { to }
+                | Instr::BrVarGe { to, .. }
+                | Instr::LoopNext { back: to, .. } => *to = self.labels[*to as usize],
+                Instr::BrCmp {
+                    on_true, on_false, ..
+                } => {
+                    *on_true = self.labels[*on_true as usize];
+                    *on_false = self.labels[*on_false as usize];
+                }
+                _ => {}
+            }
+        }
+        VmProgram {
+            code: self.code,
+            n_iregs: self.iregs.max as usize,
+            n_fregs: self.fregs.max as usize,
+            slots: self.slots,
+        }
+    }
+}
+
+fn aux_u32(n: u64) -> u32 {
+    u32::try_from(n).expect("aux-load count fits u32")
+}
+
+// ---------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------
+
+/// Run-state for one [`VmProgram`]: slot-indexed variable file, buffer
+/// tables, register files, and execution statistics.
+#[derive(Debug)]
+pub struct VmMachine<'p> {
+    prog: &'p VmProgram,
+    vars: Vec<i64>,
+    var_bound: Vec<bool>,
+    ibufs: Vec<Vec<i64>>,
+    ibuf_bound: Vec<bool>,
+    fbufs: Vec<Vec<f32>>,
+    fbuf_bound: Vec<bool>,
+    ufs: Vec<Option<UfHandle>>,
+    iregs: Vec<i64>,
+    fregs: Vec<f32>,
+    uf_args: Vec<i64>,
+    /// Statistics accumulated by [`VmMachine::run`] (identical accounting
+    /// to the tree-walking interpreter). For speed the dispatch loop
+    /// batches counts in a local and publishes them on normal return, so
+    /// unlike the interpreter this field is not updated if a run panics
+    /// mid-kernel.
+    pub stats: InterpStats,
+}
+
+impl VmMachine<'_> {
+    /// Binds a free integer variable. Returns `false` if the program
+    /// never references `name` (the binding is ignored).
+    pub fn bind_var(&mut self, name: &str, v: i64) -> bool {
+        match self.prog.slots.free_vars.get(name) {
+            Some(slot) => {
+                self.vars[slot as usize] = v;
+                self.var_bound[slot as usize] = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Installs an integer auxiliary buffer. Returns `false` if unused.
+    pub fn set_ibuffer(&mut self, name: &str, data: Vec<i64>) -> bool {
+        match self.prog.slots.ibufs.get(name) {
+            Some(slot) => {
+                self.ibufs[slot as usize] = data;
+                self.ibuf_bound[slot as usize] = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Installs a float buffer. Returns `false` if unused.
+    pub fn set_fbuffer(&mut self, name: &str, data: Vec<f32>) -> bool {
+        match self.prog.slots.free_fbufs.get(name) {
+            Some(slot) => {
+                self.fbufs[slot as usize] = data;
+                self.fbuf_bound[slot as usize] = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Installs an uninterpreted-function table. Returns `false` if
+    /// unused.
+    pub fn set_uf(&mut self, name: &str, h: UfHandle) -> bool {
+        match self.prog.slots.ufs.get(name) {
+            Some(slot) => {
+                self.ufs[slot as usize] = Some(h);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Binds everything an interpreter [`Env`] holds: variables,
+    /// auxiliary buffers, and uninterpreted-function tables the program
+    /// references. Convenience for differential testing against the tree
+    /// walker.
+    pub fn bind_env(&mut self, env: &Env) {
+        for (name, v) in env.vars() {
+            self.bind_var(name, v);
+        }
+        for (name, buf) in env.buffers() {
+            self.set_ibuffer(name, buf.to_vec());
+        }
+        let names: Vec<String> = self.prog.slots.ufs.names().to_vec();
+        for name in names {
+            if let Some(h) = env.uf_table().handle(&name) {
+                self.set_uf(&name, h);
+            }
+        }
+    }
+
+    /// Reads a float buffer by its free name.
+    pub fn fbuffer(&self, name: &str) -> Option<&[f32]> {
+        self.prog
+            .slots
+            .free_fbufs
+            .get(name)
+            .map(|slot| self.fbufs[slot as usize].as_slice())
+    }
+
+    /// Takes a float buffer out of the machine by its free name.
+    pub fn take_fbuffer(&mut self, name: &str) -> Option<Vec<f32>> {
+        self.prog.slots.free_fbufs.get(name).map(|slot| {
+            self.fbuf_bound[slot as usize] = false;
+            std::mem::take(&mut self.fbufs[slot as usize])
+        })
+    }
+
+    fn check_bound(&self) {
+        let s = &self.prog.slots;
+        for (i, bound) in self.var_bound.iter().enumerate() {
+            assert!(*bound, "unbound variable `{}`", s.free_vars.names()[i]);
+        }
+        for (i, bound) in self.ibuf_bound.iter().enumerate() {
+            assert!(*bound, "missing auxiliary buffer `{}`", s.ibufs.names()[i]);
+        }
+        for (i, bound) in self.fbuf_bound.iter().enumerate() {
+            assert!(*bound, "missing float buffer `{}`", s.free_fbufs.names()[i]);
+        }
+        for (i, h) in self.ufs.iter().enumerate() {
+            assert!(
+                h.is_some(),
+                "no runtime table for uninterpreted function `{}`",
+                s.ufs.names()[i]
+            );
+        }
+    }
+
+    /// Executes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbound inputs, out-of-bounds or negative accesses —
+    /// lowering bugs by definition, matching interpreter behaviour.
+    pub fn run(&mut self) {
+        self.check_bound();
+        let prog = self.prog;
+        let code = prog.code.as_slice();
+        // Destructure into locals so the dispatch loop indexes flat
+        // slices directly and keeps the statistics in registers.
+        let VmMachine {
+            vars,
+            ibufs,
+            fbufs,
+            ufs,
+            iregs,
+            fregs,
+            uf_args,
+            stats,
+            ..
+        } = self;
+        let mut st = *stats;
+        let mut pc = 0usize;
+        while pc < code.len() {
+            match &code[pc] {
+                Instr::IConst { dst, v } => iregs[*dst as usize] = *v,
+                Instr::IVar { dst, slot } => {
+                    iregs[*dst as usize] = vars[*slot as usize];
+                }
+                Instr::ICopy { dst, src } => {
+                    iregs[*dst as usize] = iregs[*src as usize];
+                }
+                Instr::IBin { op, dst, a, b } => {
+                    let x = iregs[*a as usize];
+                    let y = iregs[*b as usize];
+                    iregs[*dst as usize] = ibin_apply(*op, x, y);
+                }
+                Instr::IBinC { op, dst, a, c } => {
+                    let x = iregs[*a as usize];
+                    iregs[*dst as usize] = ibin_apply(*op, x, *c);
+                }
+                Instr::IBinV { op, dst, a, vslot } => {
+                    let x = iregs[*a as usize];
+                    let y = vars[*vslot as usize];
+                    iregs[*dst as usize] = ibin_apply(*op, x, y);
+                }
+                Instr::ILoad { dst, buf, idx } => {
+                    let i = iregs[*idx as usize];
+                    let iu = usize::try_from(i).unwrap_or_else(|_| {
+                        panic!(
+                            "negative index {i} into buffer `{}`",
+                            prog.slots.ibufs.names()[*buf as usize]
+                        )
+                    });
+                    iregs[*dst as usize] = ibufs[*buf as usize][iu];
+                }
+                Instr::ILoadV { dst, buf, vslot } => {
+                    let i = vars[*vslot as usize];
+                    let iu = usize::try_from(i).unwrap_or_else(|_| {
+                        panic!(
+                            "negative index {i} into buffer `{}`",
+                            prog.slots.ibufs.names()[*buf as usize]
+                        )
+                    });
+                    iregs[*dst as usize] = ibufs[*buf as usize][iu];
+                }
+                Instr::IUf { dst, uf, args } => {
+                    uf_args.clear();
+                    for &a in args.iter() {
+                        uf_args.push(iregs[a as usize]);
+                    }
+                    let h = ufs[*uf as usize].as_ref().expect("checked bound");
+                    iregs[*dst as usize] = h.call(uf_args);
+                }
+                Instr::SetVar { slot, src } => {
+                    vars[*slot as usize] = iregs[*src as usize];
+                }
+                Instr::LetVar { slot, src, aux } => {
+                    vars[*slot as usize] = iregs[*src as usize];
+                    st.aux_loads += u64::from(*aux);
+                }
+                Instr::BrVarGe { slot, lim, to } => {
+                    if vars[*slot as usize] >= iregs[*lim as usize] {
+                        pc = *to as usize;
+                        continue;
+                    }
+                }
+                Instr::LoopNext { slot, lim, back } => {
+                    let v = vars[*slot as usize] + 1;
+                    vars[*slot as usize] = v;
+                    if v < iregs[*lim as usize] {
+                        pc = *back as usize;
+                        continue;
+                    }
+                }
+                Instr::BrCmp {
+                    op,
+                    a,
+                    b,
+                    on_true,
+                    on_false,
+                } => {
+                    let x = iregs[*a as usize];
+                    let y = iregs[*b as usize];
+                    let t = match op {
+                        CmpOp::Lt => x < y,
+                        CmpOp::Le => x <= y,
+                        CmpOp::Eq => x == y,
+                        CmpOp::Ne => x != y,
+                    };
+                    pc = if t { *on_true } else { *on_false } as usize;
+                    continue;
+                }
+                Instr::Jump { to } => {
+                    pc = *to as usize;
+                    continue;
+                }
+                Instr::Guard { aux } => {
+                    st.guards += 1;
+                    st.aux_loads += u64::from(*aux);
+                }
+                Instr::BumpAux { n } => st.aux_loads += u64::from(*n),
+                Instr::FConst { dst, v } => fregs[*dst as usize] = *v,
+                Instr::FLoad { dst, buf, idx, aux } => {
+                    st.aux_loads += u64::from(*aux);
+                    let i = iregs[*idx as usize];
+                    let iu = usize::try_from(i).unwrap_or_else(|_| {
+                        panic!("negative load index {i} into `{}`", fbuf_name(prog, *buf))
+                    });
+                    fregs[*dst as usize] = fbufs[*buf as usize][iu];
+                }
+                Instr::FCast { dst, src, aux } => {
+                    st.aux_loads += u64::from(*aux);
+                    fregs[*dst as usize] = iregs[*src as usize] as f32;
+                }
+                Instr::FCopy { dst, src } => {
+                    fregs[*dst as usize] = fregs[*src as usize];
+                }
+                Instr::FBin { op, dst, a, b } => {
+                    let x = fregs[*a as usize];
+                    let y = fregs[*b as usize];
+                    fregs[*dst as usize] = fbin_apply(*op, x, y);
+                    st.flops += 1;
+                }
+                Instr::FBinC { op, dst, a, c } => {
+                    let x = fregs[*a as usize];
+                    fregs[*dst as usize] = fbin_apply(*op, x, *c);
+                    st.flops += 1;
+                }
+                Instr::FBinCL { op, dst, c, b } => {
+                    let y = fregs[*b as usize];
+                    fregs[*dst as usize] = fbin_apply(*op, *c, y);
+                    st.flops += 1;
+                }
+                Instr::FUn { op, dst, a } => {
+                    fregs[*dst as usize] = apply_unary(*op, fregs[*a as usize]);
+                    st.flops += 1;
+                }
+                Instr::FStore {
+                    buf,
+                    idx,
+                    val,
+                    kind,
+                    aux,
+                } => {
+                    st.aux_loads += u64::from(*aux);
+                    let i = iregs[*idx as usize];
+                    let v = fregs[*val as usize];
+                    let iu = usize::try_from(i).unwrap_or_else(|_| {
+                        panic!("negative store index {i} into `{}`", fbuf_name(prog, *buf))
+                    });
+                    let cell = &mut fbufs[*buf as usize][iu];
+                    match kind {
+                        StoreKind::Assign => *cell = v,
+                        StoreKind::AddAssign => {
+                            *cell += v;
+                            st.flops += 1;
+                        }
+                        StoreKind::MaxAssign => {
+                            *cell = cell.max(v);
+                            st.flops += 1;
+                        }
+                    }
+                    st.stores += 1;
+                }
+                Instr::FAlloc { slot, size, aux } => {
+                    st.aux_loads += u64::from(*aux);
+                    let n = iregs[*size as usize];
+                    let nu = usize::try_from(n)
+                        .unwrap_or_else(|_| panic!("negative alloc size {n} for scratch buffer"));
+                    let buf = &mut fbufs[*slot as usize];
+                    buf.clear();
+                    buf.resize(nu, 0.0);
+                }
+            }
+            pc += 1;
+        }
+        *stats = st;
+    }
+}
+
+#[inline]
+fn ibin_apply(op: IBinOp, x: i64, y: i64) -> i64 {
+    match op {
+        IBinOp::Add => x + y,
+        IBinOp::Sub => x - y,
+        IBinOp::Mul => x * y,
+        IBinOp::FloorDiv => cora_ir::expr::floor_div_i64(x, y),
+        IBinOp::FloorMod => cora_ir::expr::floor_mod_i64(x, y),
+        IBinOp::Min => x.min(y),
+        IBinOp::Max => x.max(y),
+    }
+}
+
+#[inline]
+fn fbin_apply(op: FBinOp, x: f32, y: f32) -> f32 {
+    match op {
+        FBinOp::Add => x + y,
+        FBinOp::Sub => x - y,
+        FBinOp::Mul => x * y,
+        FBinOp::Div => x / y,
+        FBinOp::Max => x.max(y),
+    }
+}
+
+/// Best-effort name for a float-buffer slot (free buffers have names;
+/// `Alloc` scratch slots are past the free range).
+fn fbuf_name(prog: &VmProgram, slot: u32) -> String {
+    prog.slots
+        .free_fbufs
+        .names()
+        .get(slot as usize)
+        .cloned()
+        .unwrap_or_else(|| format!("<scratch slot {slot}>"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Machine;
+    use cora_ir::{Expr, ForKind, UfRef};
+
+    /// Runs `s` through both tiers with the same bindings and asserts
+    /// bit-identical buffers and identical statistics.
+    fn differential(
+        s: &Stmt,
+        setup: impl Fn(&mut Machine),
+        out_bufs: &[&str],
+    ) -> (InterpStats, Vec<Vec<f32>>) {
+        let mut m = Machine::new();
+        setup(&mut m);
+        let prog = compile(s);
+        let mut vm = prog.machine();
+        vm.bind_env(&m.env);
+        for (name, buf) in m.fbuffers() {
+            vm.set_fbuffer(name, buf.to_vec());
+        }
+        m.run(s);
+        vm.run();
+        assert_eq!(m.stats, vm.stats, "instruction-mix statistics diverge");
+        let mut outs = Vec::new();
+        for name in out_bufs {
+            let a = m.fbuffer(name).expect("interp buffer");
+            let b = vm.fbuffer(name).expect("vm buffer");
+            let ab: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ab, bb, "buffer `{name}` diverges");
+            outs.push(b.to_vec());
+        }
+        (vm.stats, outs)
+    }
+
+    #[test]
+    fn ragged_doubling_matches_interpreter() {
+        let s_uf = UfRef::new("s", 1);
+        let idx = Expr::load("row", Expr::var("o")) + Expr::var("i");
+        let body = Stmt::store("B", idx.clone(), FExpr::load("A", idx) * 2.0);
+        let nest = Stmt::loop_(
+            "o",
+            Expr::int(3),
+            Stmt::loop_("i", Expr::uf(s_uf, vec![Expr::var("o")]), body),
+        );
+        let (stats, outs) = differential(
+            &nest,
+            |m| {
+                m.env.uf_table_mut().insert_table1d("s", vec![5, 2, 3]);
+                m.env.set_buffer("row", vec![0, 5, 7]);
+                m.set_fbuffer("A", (0..10).map(|x| x as f32).collect());
+                m.set_fbuffer("B", vec![0.0; 10]);
+            },
+            &["B"],
+        );
+        let expect: Vec<f32> = (0..10).map(|x| 2.0 * x as f32).collect();
+        assert_eq!(outs[0], expect);
+        assert_eq!(stats.stores, 10);
+        assert_eq!(stats.flops, 10);
+    }
+
+    #[test]
+    fn load_extent_loops_match_and_count() {
+        // The satellite-bug shape: a ragged loop whose extent is an aux
+        // load must charge aux_loads in both tiers.
+        let body = Stmt::store("B", Expr::var("i"), FExpr::constant(1.0));
+        let nest = Stmt::loop_(
+            "o",
+            Expr::int(2),
+            Stmt::loop_("i", Expr::load("lens", Expr::var("o")), body),
+        );
+        let (stats, _) = differential(
+            &nest,
+            |m| {
+                m.env.set_buffer("lens", vec![2, 3]);
+                m.set_fbuffer("B", vec![0.0; 4]);
+            },
+            &["B"],
+        );
+        // Two inner-loop entries, each charging one extent load.
+        assert_eq!(stats.aux_loads, 2);
+        assert_eq!(stats.stores, 5);
+    }
+
+    #[test]
+    fn guards_selects_and_short_circuit_match() {
+        // if (i < 2 && lens[i] != 0) B[i] = select(lens[i] < 2, A[i], -A[i])
+        // Note: lens has only 2 entries, so the && must short-circuit for
+        // i in 2..4 exactly as the interpreter does.
+        let cond = Expr::var("i")
+            .lt(Expr::int(2))
+            .and(Expr::load("lens", Expr::var("i")).ne_expr(Expr::int(0)));
+        let sel = FExpr::select(
+            Expr::load("lens", Expr::var("i")).lt(Expr::int(2)),
+            FExpr::load("A", Expr::var("i")),
+            FExpr::load("A", Expr::var("i")).unary(FUnaryOp::Neg),
+        );
+        let body = Stmt::if_then(cond, Stmt::store("B", Expr::var("i"), sel));
+        let nest = Stmt::loop_("i", Expr::int(4), body);
+        let (stats, outs) = differential(
+            &nest,
+            |m| {
+                m.env.set_buffer("lens", vec![1, 5]);
+                m.set_fbuffer("A", vec![1.0, 2.0, 3.0, 4.0]);
+                m.set_fbuffer("B", vec![0.0; 4]);
+            },
+            &["B"],
+        );
+        assert_eq!(outs[0], vec![1.0, -2.0, 0.0, 0.0]);
+        // 4 If guards + 2 Select guards (taken branch only evaluated).
+        assert_eq!(stats.guards, 6);
+    }
+
+    #[test]
+    fn alloc_let_and_reductions_match() {
+        // Alloc a scratch row, accumulate with AddAssign and MaxAssign,
+        // and exercise LetInt hoist bindings + Cast.
+        let idx = Expr::var("h") + Expr::var("i");
+        let fill = Stmt::store("tile", idx.clone(), FExpr::cast(idx));
+        let acc = Stmt::Store {
+            buffer: "acc".into(),
+            index: Expr::int(0),
+            value: FExpr::load("tile", Expr::var("i")),
+            kind: StoreKind::AddAssign,
+        };
+        let mx = Stmt::Store {
+            buffer: "acc".into(),
+            index: Expr::int(1),
+            value: FExpr::load("tile", Expr::var("i")),
+            kind: StoreKind::MaxAssign,
+        };
+        let inner = Stmt::loop_("i", Expr::int(4), fill.then(acc).then(mx));
+        let alloc = Stmt::Alloc {
+            buffer: "tile".into(),
+            size: Expr::load("sz", Expr::int(0)),
+            body: Box::new(inner),
+        };
+        let s = Stmt::LetInt {
+            var: "h".into(),
+            value: Expr::load("off", Expr::int(0)),
+            body: Box::new(alloc),
+        };
+        let (stats, outs) = differential(
+            &s,
+            |m| {
+                m.env.set_buffer("sz", vec![8]);
+                m.env.set_buffer("off", vec![2]);
+                m.set_fbuffer("acc", vec![0.0, f32::NEG_INFINITY]);
+            },
+            &["acc"],
+        );
+        // tile[h+i] = h+i for i in 0..4 with h = 2; acc[0] sums tile[i]
+        // (i < 4: values 0,0,2,3... tile[0..2] stay zero).
+        assert_eq!(outs[0][0], 0.0 + 0.0 + 2.0 + 3.0);
+        assert_eq!(outs[0][1], 3.0);
+        // LetInt charges 1 (off), Alloc charges 1 (sz).
+        assert!(stats.aux_loads >= 2);
+    }
+
+    #[test]
+    fn gpu_axes_execute_sequentially() {
+        let body = Stmt::loop_kind(
+            "t",
+            Expr::int(3),
+            ForKind::GpuThreadX,
+            Stmt::store(
+                "B",
+                Expr::var("b") * 3 + Expr::var("t"),
+                FExpr::constant(1.0),
+            ),
+        );
+        let s = Stmt::loop_kind("b", Expr::int(2), ForKind::GpuBlockX, body);
+        let (_, outs) = differential(
+            &s,
+            |m| {
+                m.set_fbuffer("B", vec![0.0; 6]);
+            },
+            &["B"],
+        );
+        assert_eq!(outs[0], vec![1.0; 6]);
+    }
+
+    #[test]
+    fn shadowed_loop_vars_are_alpha_renamed() {
+        // for i in 0..2 { B[i] = 0; for i in 0..3 { C[i] = 1 } D[i] = 2 }
+        // The inner `i` must not clobber the outer one.
+        let inner = Stmt::loop_(
+            "i",
+            Expr::int(3),
+            Stmt::store("C", Expr::var("i"), FExpr::constant(1.0)),
+        );
+        let body = Stmt::store("B", Expr::var("i"), FExpr::constant(0.0))
+            .then(inner)
+            .then(Stmt::store("D", Expr::var("i"), FExpr::constant(2.0)));
+        let s = Stmt::loop_("i", Expr::int(2), body);
+        differential(
+            &s,
+            |m| {
+                m.set_fbuffer("B", vec![9.0; 2]);
+                m.set_fbuffer("C", vec![9.0; 3]);
+                m.set_fbuffer("D", vec![9.0; 2]);
+            },
+            &["B", "C", "D"],
+        );
+    }
+
+    #[test]
+    fn empty_and_negative_extents_run_zero_iterations() {
+        let body = Stmt::store("B", Expr::int(0), FExpr::constant(1.0));
+        let s = Stmt::loop_("i", Expr::int(0), body.clone()).then(Stmt::loop_(
+            "j",
+            Expr::int(-3),
+            body,
+        ));
+        let (stats, outs) = differential(
+            &s,
+            |m| {
+                m.set_fbuffer("B", vec![0.0]);
+            },
+            &["B"],
+        );
+        assert_eq!(outs[0], vec![0.0]);
+        assert_eq!(stats.stores, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing float buffer `A`")]
+    fn unbound_input_panics() {
+        let s = Stmt::store("B", Expr::int(0), FExpr::load("A", Expr::int(0)));
+        let prog = compile(&s);
+        let mut vm = prog.machine();
+        vm.set_fbuffer("B", vec![0.0]);
+        vm.run();
+    }
+
+    #[test]
+    fn program_len_reports_flattened_size() {
+        let s = Stmt::loop_(
+            "i",
+            Expr::int(4),
+            Stmt::store("B", Expr::var("i"), FExpr::constant(1.0)),
+        );
+        let p = compile(&s);
+        assert!(!p.is_empty());
+        assert!(
+            p.len() >= 6,
+            "loop + store should flatten to several instrs"
+        );
+        assert!(compile(&Stmt::Nop).is_empty());
+        assert_eq!(p.slots().free_fbufs.names(), &["B".to_string()]);
+    }
+}

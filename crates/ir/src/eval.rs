@@ -48,6 +48,16 @@ impl Env {
         self.bufs.get(name).map(|v| v.as_slice())
     }
 
+    /// Iterates over every bound variable.
+    pub fn vars(&self) -> impl Iterator<Item = (&str, i64)> + '_ {
+        self.vars.iter().map(|(n, &v)| (n.as_str(), v))
+    }
+
+    /// Iterates over every installed auxiliary buffer.
+    pub fn buffers(&self) -> impl Iterator<Item = (&str, &[i64])> + '_ {
+        self.bufs.iter().map(|(n, v)| (n.as_str(), v.as_slice()))
+    }
+
     /// Mutable access to the uninterpreted-function tables.
     pub fn uf_table_mut(&mut self) -> &mut UfTable {
         &mut self.ufs

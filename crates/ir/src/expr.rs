@@ -290,9 +290,24 @@ pub fn floor_div_i64(a: i64, b: i64) -> i64 {
     }
 }
 
-/// Floor modulo for `i64` matching [`ExprKind::FloorMod`] semantics.
+/// Floor modulo for `i64` matching [`ExprKind::FloorMod`] semantics
+/// (result has the divisor's sign).
+///
+/// Computed without the `a - floor_div(a, b) * b` intermediates, which
+/// overflow for dividends near `i64::MIN` even though the result always
+/// fits.
 pub fn floor_mod_i64(a: i64, b: i64) -> i64 {
-    a - floor_div_i64(a, b) * b
+    debug_assert!(b != 0, "modulo by zero in index arithmetic");
+    if b == -1 {
+        // Also avoids `i64::MIN.rem_euclid(-1)` overflowing.
+        return 0;
+    }
+    let r = a.rem_euclid(b);
+    if r != 0 && b < 0 {
+        r + b
+    } else {
+        r
+    }
 }
 
 impl fmt::Debug for Expr {

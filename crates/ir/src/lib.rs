@@ -18,6 +18,7 @@ pub mod fexpr;
 pub mod interval;
 pub mod printer;
 pub mod simplify;
+pub mod slots;
 pub mod solve;
 pub mod stmt;
 pub mod ufunc;
@@ -27,6 +28,7 @@ pub use eval::Env;
 pub use expr::{Cond, CondKind, Expr, ExprKind};
 pub use fexpr::{FExpr, FExprKind, FUnaryOp};
 pub use interval::{Interval, RangeMap};
+pub use slots::StmtSlots;
 pub use solve::Solver;
 pub use stmt::{ForKind, Stmt, StoreKind};
-pub use ufunc::{FusedTriple, UfEval, UfProperties, UfRef, UfRegistry, UfTable};
+pub use ufunc::{FusedTriple, UfEval, UfHandle, UfProperties, UfRef, UfRegistry, UfTable};

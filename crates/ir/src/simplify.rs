@@ -117,17 +117,25 @@ fn fold_cmp(
     }
 }
 
+// Constant folding uses checked arithmetic throughout: adversarial
+// constants near `i64::MAX`/`i64::MIN` must leave the node unsimplified
+// instead of panicking in debug builds (or silently wrapping in release).
+
 fn simplify_add(a: Expr, b: Expr) -> Expr {
     match (a.as_int(), b.as_int()) {
-        (Some(x), Some(y)) => return Expr::int(x + y),
+        (Some(x), Some(y)) => {
+            if let Some(v) = x.checked_add(y) {
+                return Expr::int(v);
+            }
+        }
         (Some(0), _) => return b,
         (_, Some(0)) => return a,
         _ => {}
     }
     // (x + c1) + c2 -> x + (c1+c2): keeps offset chains shallow.
     if let (ExprKind::Add(x, c1), Some(c2)) = (a.kind(), b.as_int()) {
-        if let Some(c1v) = c1.as_int() {
-            return simplify_add(x.clone(), Expr::int(c1v + c2));
+        if let Some(c) = c1.as_int().and_then(|c1v| c1v.checked_add(c2)) {
+            return simplify_add(x.clone(), Expr::int(c));
         }
     }
     a + b
@@ -138,7 +146,10 @@ fn simplify_sub(a: Expr, b: Expr) -> Expr {
         return Expr::int(0);
     }
     match (a.as_int(), b.as_int()) {
-        (Some(x), Some(y)) => Expr::int(x - y),
+        (Some(x), Some(y)) => match x.checked_sub(y) {
+            Some(v) => Expr::int(v),
+            None => a - b,
+        },
         (_, Some(0)) => a,
         _ => a - b,
     }
@@ -146,7 +157,11 @@ fn simplify_sub(a: Expr, b: Expr) -> Expr {
 
 fn simplify_mul(a: Expr, b: Expr) -> Expr {
     match (a.as_int(), b.as_int()) {
-        (Some(x), Some(y)) => return Expr::int(x * y),
+        (Some(x), Some(y)) => {
+            if let Some(v) = x.checked_mul(y) {
+                return Expr::int(v);
+            }
+        }
         (Some(0), _) | (_, Some(0)) => return Expr::int(0),
         (Some(1), _) => return b,
         (_, Some(1)) => return a,
@@ -157,7 +172,8 @@ fn simplify_mul(a: Expr, b: Expr) -> Expr {
 
 fn simplify_div(a: Expr, b: Expr) -> Expr {
     if let (Some(x), Some(y)) = (a.as_int(), b.as_int()) {
-        if y != 0 {
+        // `i64::MIN / -1` is the one overflowing division.
+        if y != 0 && !(x == i64::MIN && y == -1) {
             return Expr::int(floor_div_i64(x, y));
         }
     }
@@ -180,6 +196,7 @@ fn simplify_div(a: Expr, b: Expr) -> Expr {
 
 fn simplify_mod(a: Expr, b: Expr) -> Expr {
     if let (Some(x), Some(y)) = (a.as_int(), b.as_int()) {
+        // floor_mod_i64 is overflow-free for every non-zero divisor.
         if y != 0 {
             return Expr::int(floor_mod_i64(x, y));
         }
@@ -280,6 +297,27 @@ mod tests {
         assert_eq!(simplify(&e, &reg), x);
         let m = (Expr::var("x") * 8).floor_mod(Expr::int(8));
         assert_eq!(simplify(&m, &reg).as_int(), Some(0));
+    }
+
+    #[test]
+    fn overflowing_constants_stay_unfolded() {
+        let reg = UfRegistry::new();
+        assert_eq!(simplify(&(Expr::int(i64::MAX) + 1), &reg).as_int(), None);
+        assert_eq!(simplify(&(Expr::int(i64::MIN) - 1), &reg).as_int(), None);
+        assert_eq!(simplify(&(Expr::int(i64::MAX) * 2), &reg).as_int(), None);
+        let d = Expr::int(i64::MIN).floor_div(Expr::int(-1));
+        assert_eq!(simplify(&d, &reg).as_int(), None);
+        // Modulo is total for non-zero divisors: MIN % -1 folds to 0.
+        let m = Expr::int(i64::MIN).floor_mod(Expr::int(-1));
+        assert_eq!(simplify(&m, &reg).as_int(), Some(0));
+        let m2 = Expr::int(i64::MIN).floor_mod(Expr::int(3));
+        assert_eq!(
+            simplify(&m2, &reg).as_int(),
+            Some(floor_mod_i64(i64::MIN, 3))
+        );
+        // The (x + c1) + c2 reassociation must also refuse to overflow.
+        let r = simplify(&((Expr::var("x") + i64::MAX) + 1), &reg);
+        assert_eq!(format!("{r}"), "((x + 9223372036854775807) + 1)");
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! Slot resolution: interning every name a lowered statement references
+//! into dense indices.
+//!
+//! The tree-walking interpreter resolves variables, auxiliary buffers,
+//! float buffers and uninterpreted functions through `HashMap<String, _>`
+//! lookups on every access. A compiled execution tier cannot afford that,
+//! so [`StmtSlots::resolve`] walks a [`Stmt`] once and produces a census
+//! of the four runtime namespaces:
+//!
+//! * **free integer variables** — referenced but never bound by an
+//!   enclosing `For`/`LetInt` (e.g. fused-extent parameters like
+//!   `F_o_i_f`); these must be bound externally before execution,
+//! * **integer auxiliary buffers** — always external (row offsets,
+//!   extent tables, fusion maps built by the prelude),
+//! * **free float buffers** — kernel inputs and outputs; buffers
+//!   introduced by `Alloc` are scoped scratch and excluded,
+//! * **uninterpreted functions** — opaque symbols resolved to runtime
+//!   tables.
+//!
+//! Each namespace is a dense [`Interner`], so an executor can replace
+//! string hashing with direct `Vec` indexing. Binding sites (`For`,
+//! `LetInt`, `Alloc`) are *counted* rather than interned: the bytecode
+//! compiler alpha-renames each site to its own fresh slot past the free
+//! range, which makes shadowing need no save/restore at run time.
+
+use std::collections::HashMap;
+
+use crate::expr::{Cond, CondKind, Expr, ExprKind};
+use crate::fexpr::{FExpr, FExprKind};
+use crate::stmt::Stmt;
+use crate::ufunc::UfRef;
+
+/// A dense string interner for one namespace: names map to stable
+/// `u32` slots in first-seen order.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the slot for `name`, interning it if new.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("more than u32::MAX interned names");
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Returns the slot for `name` if already interned.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// All interned names, indexed by slot.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Census of every name a statement references, split by namespace.
+///
+/// Produced by [`StmtSlots::resolve`]; consumed by the bytecode compiler
+/// in `cora-exec` and by binding-validation logic.
+#[derive(Debug, Default, Clone)]
+pub struct StmtSlots {
+    /// Free integer variables (must be bound before execution).
+    pub free_vars: Interner,
+    /// Integer auxiliary buffers (always external).
+    pub ibufs: Interner,
+    /// Free float buffers (inputs/outputs; `Alloc` scratch excluded).
+    pub free_fbufs: Interner,
+    /// Uninterpreted functions referenced by the statement.
+    pub ufs: Interner,
+    /// Arity of each uninterpreted function, indexed like [`Self::ufs`].
+    pub uf_arities: Vec<usize>,
+    /// Number of `For`/`LetInt` binding sites (each gets a fresh slot).
+    pub binding_sites: usize,
+    /// Number of `Alloc` sites (each gets a fresh float-buffer slot).
+    pub alloc_sites: usize,
+}
+
+impl StmtSlots {
+    /// Walks `s` and resolves every referenced name into its namespace.
+    pub fn resolve(s: &Stmt) -> StmtSlots {
+        let mut r = Resolver {
+            slots: StmtSlots::default(),
+            var_scope: Vec::new(),
+            fbuf_scope: Vec::new(),
+        };
+        r.stmt(s);
+        r.slots
+    }
+
+    /// Total integer-variable slots an executor needs (free + bound).
+    pub fn var_slot_count(&self) -> usize {
+        self.free_vars.len() + self.binding_sites
+    }
+
+    /// Total float-buffer slots an executor needs (free + allocated).
+    pub fn fbuf_slot_count(&self) -> usize {
+        self.free_fbufs.len() + self.alloc_sites
+    }
+}
+
+struct Resolver {
+    slots: StmtSlots,
+    var_scope: Vec<String>,
+    fbuf_scope: Vec<String>,
+}
+
+impl Resolver {
+    fn var_use(&mut self, name: &str) {
+        if !self.var_scope.iter().any(|v| v == name) {
+            self.slots.free_vars.intern(name);
+        }
+    }
+
+    fn fbuf_use(&mut self, name: &str) {
+        if !self.fbuf_scope.iter().any(|b| b == name) {
+            self.slots.free_fbufs.intern(name);
+        }
+    }
+
+    fn uf_use(&mut self, f: &UfRef) {
+        let before = self.slots.ufs.len();
+        let id = self.slots.ufs.intern(f.name());
+        if id as usize == before {
+            self.slots.uf_arities.push(f.arity());
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e.kind() {
+            ExprKind::Int(_) => {}
+            ExprKind::Var(n) => self.var_use(n),
+            ExprKind::Add(a, b)
+            | ExprKind::Sub(a, b)
+            | ExprKind::Mul(a, b)
+            | ExprKind::FloorDiv(a, b)
+            | ExprKind::FloorMod(a, b)
+            | ExprKind::Min(a, b)
+            | ExprKind::Max(a, b) => {
+                self.expr(a);
+                self.expr(b);
+            }
+            ExprKind::Select(c, a, b) => {
+                self.cond(c);
+                self.expr(a);
+                self.expr(b);
+            }
+            ExprKind::Uf(f, args) => {
+                self.uf_use(f);
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            ExprKind::Load(buf, idx) => {
+                self.slots.ibufs.intern(buf);
+                self.expr(idx);
+            }
+        }
+    }
+
+    fn cond(&mut self, c: &Cond) {
+        match c.kind() {
+            CondKind::Const(_) => {}
+            CondKind::Lt(a, b) | CondKind::Le(a, b) | CondKind::Eq(a, b) | CondKind::Ne(a, b) => {
+                self.expr(a);
+                self.expr(b);
+            }
+            CondKind::And(a, b) | CondKind::Or(a, b) => {
+                self.cond(a);
+                self.cond(b);
+            }
+            CondKind::Not(a) => self.cond(a),
+        }
+    }
+
+    fn fexpr(&mut self, e: &FExpr) {
+        match e.kind() {
+            FExprKind::Const(_) => {}
+            FExprKind::Load(buf, idx) => {
+                self.fbuf_use(buf);
+                self.expr(idx);
+            }
+            FExprKind::Cast(i) => self.expr(i),
+            FExprKind::Add(a, b)
+            | FExprKind::Sub(a, b)
+            | FExprKind::Mul(a, b)
+            | FExprKind::Div(a, b)
+            | FExprKind::Max(a, b) => {
+                self.fexpr(a);
+                self.fexpr(b);
+            }
+            FExprKind::Unary(_, a) => self.fexpr(a),
+            FExprKind::Select(c, a, b) => {
+                self.cond(c);
+                self.fexpr(a);
+                self.fexpr(b);
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::For {
+                var,
+                min,
+                extent,
+                body,
+                kind: _,
+            } => {
+                // Bounds are evaluated in the enclosing scope, before the
+                // iteration variable is bound (interpreter order).
+                self.expr(min);
+                self.expr(extent);
+                self.slots.binding_sites += 1;
+                self.var_scope.push(var.clone());
+                self.stmt(body);
+                self.var_scope.pop();
+            }
+            Stmt::LetInt { var, value, body } => {
+                self.expr(value);
+                self.slots.binding_sites += 1;
+                self.var_scope.push(var.clone());
+                self.stmt(body);
+                self.var_scope.pop();
+            }
+            Stmt::Store {
+                buffer,
+                index,
+                value,
+                kind: _,
+            } => {
+                self.expr(index);
+                self.fexpr(value);
+                self.fbuf_use(buffer);
+            }
+            Stmt::If { cond, then_, else_ } => {
+                self.cond(cond);
+                self.stmt(then_);
+                if let Some(e) = else_ {
+                    self.stmt(e);
+                }
+            }
+            Stmt::Seq(items) => {
+                for i in items {
+                    self.stmt(i);
+                }
+            }
+            Stmt::Alloc { buffer, size, body } => {
+                self.expr(size);
+                self.slots.alloc_sites += 1;
+                self.fbuf_scope.push(buffer.clone());
+                self.stmt(body);
+                self.fbuf_scope.pop();
+            }
+            Stmt::Nop => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fexpr::FExpr;
+
+    #[test]
+    fn interner_is_stable_and_dedups() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("a"), 0);
+        assert_eq!(i.intern("b"), 1);
+        assert_eq!(i.intern("a"), 0);
+        assert_eq!(i.get("b"), Some(1));
+        assert_eq!(i.get("c"), None);
+        assert_eq!(i.names(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(i.len(), 2);
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn loop_vars_are_bound_params_are_free() {
+        // for o in 0..row[p] { B[row[o]+i_free] = A[o] }
+        let idx = Expr::load("row", Expr::var("o")) + Expr::var("i_free");
+        let body = Stmt::store("B", idx.clone(), FExpr::load("A", Expr::var("o")));
+        let nest = Stmt::loop_("o", Expr::load("row", Expr::var("p")), body);
+        let slots = StmtSlots::resolve(&nest);
+        assert_eq!(
+            slots.free_vars.names(),
+            &["p".to_string(), "i_free".to_string()]
+        );
+        assert_eq!(slots.ibufs.names(), &["row".to_string()]);
+        // Store resolution order: index, value (A), then the destination.
+        assert_eq!(
+            slots.free_fbufs.names(),
+            &["A".to_string(), "B".to_string()]
+        );
+        assert_eq!(slots.binding_sites, 1);
+        assert_eq!(slots.var_slot_count(), 3);
+    }
+
+    #[test]
+    fn alloc_scratch_is_not_free() {
+        let body = Stmt::store("tile", Expr::int(0), FExpr::constant(1.0)).then(Stmt::store(
+            "out",
+            Expr::int(0),
+            FExpr::load("tile", Expr::int(0)),
+        ));
+        let s = Stmt::Alloc {
+            buffer: "tile".into(),
+            size: Expr::int(8),
+            body: Box::new(body),
+        };
+        let slots = StmtSlots::resolve(&s);
+        assert_eq!(slots.free_fbufs.names(), &["out".to_string()]);
+        assert_eq!(slots.alloc_sites, 1);
+        assert_eq!(slots.fbuf_slot_count(), 2);
+    }
+
+    #[test]
+    fn ufs_record_arity() {
+        let s = crate::ufunc::UfRef::new("s", 1);
+        let nest = Stmt::loop_(
+            "o",
+            Expr::uf(s, vec![Expr::var("o2")]),
+            Stmt::store("B", Expr::var("o"), FExpr::constant(0.0)),
+        );
+        let slots = StmtSlots::resolve(&nest);
+        assert_eq!(slots.ufs.names(), &["s".to_string()]);
+        assert_eq!(slots.uf_arities, vec![1]);
+    }
+}

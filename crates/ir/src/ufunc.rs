@@ -178,10 +178,31 @@ impl UfFn for Rows2D {
     }
 }
 
+/// A cheap, callable handle to one tabulated uninterpreted function,
+/// resolved by name once so executors can call it without hashing.
+#[derive(Debug, Clone)]
+pub struct UfHandle(Rc<dyn UfFn>);
+
+impl UfHandle {
+    /// Evaluates the function on `args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args` are outside the tabulated domain.
+    pub fn call(&self, args: &[i64]) -> i64 {
+        self.0.call(args)
+    }
+}
+
 impl UfTable {
     /// Creates an empty table set.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Resolves `name` to a callable handle, if implemented.
+    pub fn handle(&self, name: &str) -> Option<UfHandle> {
+        self.funcs.get(name).map(|f| UfHandle(Rc::clone(f)))
     }
 
     /// Registers a unary function backed by `values` (domain `0..len`).

@@ -166,6 +166,42 @@ pub fn free_vars_cond(c: &Cond, out: &mut BTreeSet<String>) {
     }
 }
 
+/// Counts auxiliary-buffer loads in `e` without allocating.
+///
+/// Same convention as [`collect_loads`]: both branches of a
+/// [`ExprKind::Select`] are counted, its condition is not. This is the
+/// *static* per-expression count the interpreter charges to
+/// `InterpStats.aux_loads` and the bytecode compiler bakes into
+/// instruction metadata, so both execution tiers account identically.
+pub fn count_loads(e: &Expr) -> u64 {
+    match e.kind() {
+        ExprKind::Int(_) | ExprKind::Var(_) => 0,
+        ExprKind::Add(a, b)
+        | ExprKind::Sub(a, b)
+        | ExprKind::Mul(a, b)
+        | ExprKind::FloorDiv(a, b)
+        | ExprKind::FloorMod(a, b)
+        | ExprKind::Min(a, b)
+        | ExprKind::Max(a, b)
+        | ExprKind::Select(_, a, b) => count_loads(a) + count_loads(b),
+        ExprKind::Uf(_, args) => args.iter().map(count_loads).sum(),
+        ExprKind::Load(_, idx) => 1 + count_loads(idx),
+    }
+}
+
+/// Counts auxiliary-buffer loads in a condition without allocating
+/// (both sides of comparisons, through `&&`/`||`/`!`).
+pub fn count_cond_loads(c: &Cond) -> u64 {
+    match c.kind() {
+        CondKind::Const(_) => 0,
+        CondKind::Lt(a, b) | CondKind::Le(a, b) | CondKind::Eq(a, b) | CondKind::Ne(a, b) => {
+            count_loads(a) + count_loads(b)
+        }
+        CondKind::And(a, b) | CondKind::Or(a, b) => count_cond_loads(a) + count_cond_loads(b),
+        CondKind::Not(a) => count_cond_loads(a),
+    }
+}
+
 /// Collects all auxiliary-buffer loads (`buffer`, `index`) appearing in `e`.
 pub fn collect_loads(e: &Expr, out: &mut Vec<(String, Expr)>) {
     match e.kind() {
@@ -546,6 +582,24 @@ mod tests {
             }
         }
         panic!("unexpected shape");
+    }
+
+    #[test]
+    fn count_loads_matches_collect_convention() {
+        // Nested loads count transitively; Select counts both branches but
+        // not the condition — the exact convention `collect_loads` uses.
+        let e = Expr::load("a", Expr::load("b", Expr::var("i")))
+            + Expr::select(
+                Expr::load("c", Expr::int(0)).lt(Expr::int(1)),
+                Expr::load("d", Expr::int(2)),
+                Expr::int(0),
+            );
+        let mut v = Vec::new();
+        collect_loads(&e, &mut v);
+        assert_eq!(count_loads(&e), v.len() as u64);
+        assert_eq!(count_loads(&e), 3);
+        let c = Expr::load("x", Expr::int(0)).lt(Expr::load("y", Expr::int(1)));
+        assert_eq!(count_cond_loads(&c.clone().and(!c)), 4);
     }
 
     #[test]

@@ -17,6 +17,15 @@ pub fn softmax_row(row: &mut [f32], valid: usize) {
     for &v in &row[..valid] {
         maxv = maxv.max(v);
     }
+    if maxv == f32::NEG_INFINITY {
+        // Fully masked prefix (every score -inf, e.g. an empty sequence
+        // under causal masking): `v - maxv` would be NaN. No token may
+        // carry probability mass, so the row is all zeros.
+        for v in row.iter_mut() {
+            *v = 0.0;
+        }
+        return;
+    }
     let mut sum = 0.0f32;
     for v in &mut row[..valid] {
         *v = (*v - maxv).exp();
@@ -86,6 +95,23 @@ mod tests {
         let mut r = vec![3.0, 4.0];
         softmax_row(&mut r, 0);
         assert_eq!(r, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn fully_masked_prefix_is_all_zero_not_nan() {
+        // All valid entries -inf (a fully masked row): the old code
+        // produced NaN everywhere via (-inf) - (-inf).
+        let mut r = vec![f32::NEG_INFINITY, f32::NEG_INFINITY, 7.0];
+        softmax_row(&mut r, 2);
+        assert_eq!(r, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn partially_masked_prefix_still_normalizes() {
+        let mut r = vec![f32::NEG_INFINITY, 1.0, 1.0];
+        softmax_row(&mut r, 3);
+        assert_eq!(r[0], 0.0);
+        assert!((r[1] - 0.5).abs() < 1e-6 && (r[2] - 0.5).abs() < 1e-6);
     }
 
     #[test]

@@ -92,7 +92,9 @@ fn masked_sdpa_seq_padded(
                     f32::NEG_INFINITY
                 };
             }
-            let valid = (i + 1).min(valid_len.max(1));
+            // valid_len == 0 (an empty sequence in the batch) makes every
+            // score -inf; softmax_row zeroes fully-masked rows.
+            let valid = (i + 1).min(valid_len);
             softmax_row(&mut row, valid.min(lp));
             let o = i * h + head * hd;
             for d in 0..hd {
@@ -186,6 +188,33 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f32, f32::max);
         assert!(worst < 1e-3, "masked MHA divergence {worst}");
+    }
+
+    #[test]
+    fn empty_sequence_in_batch_is_nan_free_and_matches_ragged() {
+        // A zero-length sequence makes every padded attention score -inf;
+        // the old softmax produced all-NaN rows for it. Fixed: fully
+        // masked rows carry no probability mass, outputs stay finite, and
+        // the ragged/padded paths still agree on valid rows.
+        let cfg = EncoderConfig::scaled(8);
+        let w = EncoderWeights::random(&cfg, 19);
+        let lens = vec![4usize, 0, 3];
+        let max_len = 4;
+        let pool = CpuPool::new(2);
+        let x = RaggedBatch::random(&lens, cfg.hidden, 20);
+        let p = masked_mha_padded(&pool, &cfg, &w, &lens, max_len, &x.to_padded(max_len));
+        assert!(
+            p.iter().all(|v| v.is_finite()),
+            "padded masked MHA output must be NaN-free with an empty sequence"
+        );
+        let r = masked_mha_ragged(&pool, &cfg, &w, &x);
+        let pv = unpad(&p, &lens, max_len, cfg.hidden);
+        let worst = r
+            .iter()
+            .zip(&pv)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(worst < 1e-3, "masked MHA divergence {worst} with len-0 seq");
     }
 
     #[test]

@@ -31,6 +31,48 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     })
 }
 
+/// Adversarial constants clustered at the `i64` boundaries.
+fn edge_const() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        Just(i64::MAX),
+        Just(i64::MAX - 1),
+        Just(i64::MIN),
+        Just(i64::MIN + 1),
+        Just(-1i64),
+        Just(0i64),
+        Just(1i64),
+        Just(2i64),
+        -100i64..100,
+    ]
+}
+
+/// Overflow-aware reference evaluation of constant expressions: `None`
+/// when any step would overflow or divide by zero.
+fn checked_eval(e: &Expr) -> Option<i64> {
+    use cora::ir::ExprKind as K;
+    match e.kind() {
+        K::Int(v) => Some(*v),
+        K::Add(a, b) => checked_eval(a)?.checked_add(checked_eval(b)?),
+        K::Sub(a, b) => checked_eval(a)?.checked_sub(checked_eval(b)?),
+        K::Mul(a, b) => checked_eval(a)?.checked_mul(checked_eval(b)?),
+        K::FloorDiv(a, b) => {
+            let (x, y) = (checked_eval(a)?, checked_eval(b)?);
+            if y == 0 || (x == i64::MIN && y == -1) {
+                return None;
+            }
+            Some(cora::ir::expr::floor_div_i64(x, y))
+        }
+        K::FloorMod(a, b) => {
+            let (x, y) = (checked_eval(a)?, checked_eval(b)?);
+            if y == 0 {
+                return None;
+            }
+            Some(cora::ir::expr::floor_mod_i64(x, y))
+        }
+        _ => None,
+    }
+}
+
 proptest! {
     /// The simplifier never changes an expression's value.
     #[test]
@@ -161,6 +203,33 @@ proptest! {
             for j in 0..4 {
                 prop_assert_eq!(m.get(i, j), dense[i * 4 + j]);
             }
+        }
+    }
+
+    /// Constant folding uses checked arithmetic: adversarial constants
+    /// near the `i64` boundaries must never overflow-panic, and wherever
+    /// both the original and simplified expressions evaluate without
+    /// overflow, they agree.
+    #[test]
+    fn simplify_constant_folding_never_overflows(
+        a in edge_const(),
+        b in edge_const(),
+        c in edge_const(),
+        op1 in 0usize..5,
+        op2 in 0usize..5,
+    ) {
+        let build = |op: usize, x: Expr, y: Expr| match op {
+            0 => x + y,
+            1 => x - y,
+            2 => x * y,
+            3 => x.floor_div(y),
+            _ => x.floor_mod(y),
+        };
+        let e = build(op2, build(op1, Expr::int(a), Expr::int(b)), Expr::int(c));
+        let solver = Solver::new();
+        let s = solver.simplify(&e); // must not panic
+        if let (Some(x), Some(y)) = (checked_eval(&e), checked_eval(&s)) {
+            prop_assert_eq!(x, y, "expr {} vs {}", e, s);
         }
     }
 

@@ -1,0 +1,180 @@
+//! Differential properties: the bytecode VM must match the tree-walking
+//! interpreter bit-for-bit — outputs *and* instruction-mix statistics —
+//! across random operators, raggedness patterns and schedules.
+//!
+//! The interpreter is the semantic ground truth; `Program::run_compiled`
+//! is the fast tier. Any divergence (values, flops, guards, aux loads,
+//! stores) is a compiler bug by definition.
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use cora::core::prelude::*;
+use cora::ragged::{Dim, RaggedLayout};
+
+fn ragged_2d(name: &str, lens: &[usize], pad: usize) -> TensorRef {
+    let b = Dim::new("batch");
+    let l = Dim::new("len");
+    TensorRef::new(
+        name,
+        RaggedLayout::builder()
+            .cdim(b.clone(), lens.len())
+            .vdim(l, &b, lens.to_vec())
+            .pad(pad)
+            .build()
+            .unwrap(),
+    )
+}
+
+/// Builds `B[o,i] = f(A[o,i])` with one of three body shapes chosen to
+/// exercise distinct instruction mixes: plain affine, a guarded select
+/// with a transcendental (float `Select` + `Unary`), and max/cast.
+fn make_op(lens: &[usize], pad: usize, body_kind: usize) -> Operator {
+    let a = ragged_2d("A", lens, pad);
+    let out = ragged_2d("B", lens, pad);
+    let a2 = a.clone();
+    let body: BodyFn = match body_kind {
+        0 => Rc::new(move |args| a2.at(args) * 2.0 + 1.0),
+        1 => Rc::new(move |args| {
+            FExpr::select(
+                args[1].clone().lt(Expr::int(3)),
+                a2.at(args) * 0.5,
+                (a2.at(args) * 0.1).exp(),
+            )
+        }),
+        _ => Rc::new(move |args| a2.at(args).max(FExpr::cast(args[1].clone())) * 0.25),
+    };
+    Operator::new(
+        "vmdiff",
+        vec![
+            LoopSpec::fixed("o", lens.len()),
+            LoopSpec::variable("i", 0, lens.to_vec()),
+        ],
+        vec![],
+        out,
+        vec![a],
+        body,
+    )
+}
+
+/// Applies one of six always-legal schedules.
+fn apply_schedule(op: &mut Operator, sched: usize, pad: usize) {
+    match sched {
+        0 => {}
+        1 => {
+            // Loop padding covered by the (equal) storage padding.
+            op.schedule_mut().pad_loop("i", pad);
+        }
+        2 => {
+            op.schedule_mut().fuse_loops("o", "i");
+        }
+        3 => {
+            op.schedule_mut().hoist_loads();
+        }
+        4 => {
+            // Pad then split by the same factor: divisible, guard-free.
+            op.schedule_mut().pad_loop("i", pad).split("i", pad);
+        }
+        _ => {
+            op.schedule_mut().fuse_loops("o", "i").hoist_loads();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random raggedness × storage padding × body × schedule: the VM and
+    /// the interpreter agree bit-for-bit on outputs and exactly on stats.
+    #[test]
+    fn vm_matches_interpreter(
+        lens in prop::collection::vec(0usize..12, 1..7),
+        pad in 1usize..5,
+        body_kind in 0usize..3,
+        sched in 0usize..6,
+    ) {
+        let mut op = make_op(&lens, pad, body_kind);
+        apply_schedule(&mut op, sched, pad);
+        let p = lower(&op).unwrap();
+        let input: Vec<f32> = (0..p.output_size())
+            .map(|x| x as f32 * 0.25 - 3.0)
+            .collect();
+        let r1 = p.run(&[("A", input.clone())]);
+        let r2 = p.run_compiled(&[("A", input)]);
+        prop_assert_eq!(r1.output.len(), r2.output.len());
+        for (i, (a, b)) in r1.output.iter().zip(&r2.output).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "element {} diverges: interp {} vs vm {}", i, a, b
+            );
+        }
+        prop_assert_eq!(r1.stats, r2.stats);
+    }
+
+    /// Ragged reductions (`AddAssign` stores) agree across tiers.
+    #[test]
+    fn vm_matches_interpreter_on_reductions(
+        lens in prop::collection::vec(0usize..10, 1..6),
+    ) {
+        let a = ragged_2d("A", &lens, 1);
+        let out = TensorRef::new("S", RaggedLayout::dense(&[lens.len()]));
+        let a2 = a.clone();
+        let body: BodyFn = Rc::new(move |args| a2.at(args));
+        let op = Operator::new(
+            "rowsum",
+            vec![LoopSpec::fixed("o", lens.len())],
+            vec![LoopSpec::variable("i", 0, lens.to_vec())],
+            out,
+            vec![a],
+            body,
+        );
+        let p = lower(&op).unwrap();
+        let n: usize = lens.iter().sum();
+        let input: Vec<f32> = (0..n).map(|x| x as f32 - 7.0).collect();
+        let r1 = p.run(&[("A", input.clone())]);
+        let r2 = p.run_compiled(&[("A", input)]);
+        for (a, b) in r1.output.iter().zip(&r2.output) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(r1.stats, r2.stats);
+    }
+}
+
+#[test]
+fn compiled_program_is_reusable_and_matches_run() {
+    let lens = [5usize, 0, 3, 8];
+    let op = make_op(&lens, 1, 0);
+    let p = lower(&op).unwrap();
+    let c = p.compile();
+    let input: Vec<f32> = (0..p.output_size()).map(|x| x as f32 - 4.0).collect();
+    let r1 = c.run(&[("A", input.clone())]);
+    let r2 = c.run(&[("A", input.clone())]);
+    assert_eq!(r1.output, r2.output, "compiled runs must be deterministic");
+    assert_eq!(r1.stats, r2.stats);
+    let ri = p.run(&[("A", input)]);
+    assert_eq!(ri.output, r2.output);
+    assert_eq!(ri.stats, r2.stats);
+}
+
+#[test]
+fn hoisting_cuts_aux_loads_identically_in_both_tiers() {
+    // The For-extent accounting fix and LetInt hoist bindings must agree:
+    // hoisting reduces aux loads, and both tiers report the same number.
+    let lens = [32usize, 16, 48];
+    let plain = lower(&make_op(&lens, 1, 0)).unwrap();
+    let mut hop = make_op(&lens, 1, 0);
+    hop.schedule_mut().hoist_loads();
+    let hoisted = lower(&hop).unwrap();
+    let input: Vec<f32> = (0..plain.output_size()).map(|x| x as f32).collect();
+    let rp = plain.run_compiled(&[("A", input.clone())]);
+    let rh = hoisted.run_compiled(&[("A", input.clone())]);
+    assert_eq!(rp.stats, plain.run(&[("A", input.clone())]).stats);
+    assert_eq!(rh.stats, hoisted.run(&[("A", input)]).stats);
+    assert!(
+        rh.stats.aux_loads < rp.stats.aux_loads,
+        "hoisting should cut aux loads: {} vs {}",
+        rh.stats.aux_loads,
+        rp.stats.aux_loads
+    );
+}
