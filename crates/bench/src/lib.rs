@@ -54,6 +54,22 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Times `f` over `reps` calls and returns nanoseconds per call, with
+/// one untimed warm-up call (caches, page faults, lazy pools).
+///
+/// Execution-tier benches must pass a closure that *only executes*:
+/// hoist `Program::compile()` (and any other setup) out of the closure,
+/// or the measurement charges compilation to the execution tier.
+pub fn time_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    assert!(reps > 0, "reps must be positive");
+    f();
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / reps as f64
+}
+
 /// Formats a float with 3 decimal places.
 pub fn f3(v: f64) -> String {
     format!("{v:.3}")

@@ -174,6 +174,12 @@ pub struct Operator {
     /// second half iterates `[s1(o), s(o))` — represented as extent
     /// `s(o) - s1(o)` plus a shift of `s1(o)`).
     pub shifts: Vec<LoopShift>,
+    /// Extra integer auxiliary tables the prelude must materialise, for
+    /// bodies that index through structures the layouts do not describe
+    /// (e.g. the per-row sequence-start table of a flattened masked
+    /// attention kernel). Each entry becomes a bound aux buffer the body
+    /// can `Expr::load` from.
+    pub aux_tables: Vec<(String, LengthFn)>,
 }
 
 /// A per-loop index shift: the loop variable is offset by a table lookup
@@ -221,12 +227,24 @@ impl Operator {
             init: 0.0,
             schedule: Schedule::default(),
             shifts: Vec::new(),
+            aux_tables: Vec::new(),
         }
     }
 
     /// Mutable access to the schedule.
     pub fn schedule_mut(&mut self) -> &mut Schedule {
         &mut self.schedule
+    }
+
+    /// Declares an extra auxiliary table (see [`Operator::aux_tables`]);
+    /// the body may then `Expr::load(name, idx)` from it.
+    pub fn add_aux_table(
+        &mut self,
+        name: impl Into<String>,
+        values: impl Into<LengthFn>,
+    ) -> &mut Self {
+        self.aux_tables.push((name.into(), values.into()));
+        self
     }
 
     /// Finds a loop (spatial or reduction) by name.

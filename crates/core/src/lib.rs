@@ -12,10 +12,13 @@
 //! * [`bounds`] — iteration-variable range translation across fused
 //!   vloops (Fig. 7).
 //! * [`mod@lower`] — the lowering pipeline to statement IR + prelude spec.
+//! * [`outline`] — the parallel outlining pass: hoists the outermost
+//!   block-bound loop into a block-indexed entry point for the CPU
+//!   runtime.
 //! * [`prelude_gen`] — prelude planning and host-side construction of
 //!   auxiliary structures.
-//! * [`program`] — compiled programs: C/CUDA source, numeric execution,
-//!   simulated-GPU kernels.
+//! * [`program`] — compiled programs: C/CUDA source, numeric execution
+//!   (serial and block-parallel), simulated-GPU kernels.
 //! * [`builder`] — a compact facade for common operator shapes.
 
 #![warn(missing_docs)]
@@ -25,6 +28,7 @@ pub mod bounds;
 pub mod builder;
 pub mod lower;
 pub mod opsplit;
+pub mod outline;
 pub mod prelude_gen;
 pub mod program;
 pub mod schedule;
@@ -35,9 +39,11 @@ pub mod prelude {
     pub use crate::builder::{BuildError, BuiltOp, OpBuilder};
     pub use crate::lower::lower;
     pub use crate::opsplit::{hfuse_sim, split_operation};
+    pub use crate::outline::{outline, BlockOutline};
     pub use crate::prelude_gen::{FusionSpec, PreludeData, PreludeSpec};
-    pub use crate::program::{CompiledProgram, Program, RunResult};
+    pub use crate::program::{CompiledProgram, ParallelSession, Program, RunResult};
     pub use crate::schedule::{Directive, RemapPolicy, Schedule, ScheduleError};
+    pub use cora_exec::CpuPool;
     pub use cora_ir::{Expr, FExpr, ForKind};
 }
 

@@ -392,6 +392,9 @@ pub fn lower(op: &Operator) -> Result<Program, ScheduleError> {
             prelude.add_loop_table(buffer, lens.clone());
         }
     }
+    for (name, values) in &op.aux_tables {
+        prelude.add_loop_table(name, values.clone());
+    }
     for f in fusions {
         prelude.add_fusion(f);
     }

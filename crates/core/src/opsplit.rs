@@ -86,6 +86,7 @@ fn clone_operator(op: &Operator, name: &str) -> Operator {
         init: op.init,
         schedule: crate::schedule::Schedule::default(),
         shifts: op.shifts.clone(),
+        aux_tables: op.aux_tables.clone(),
     }
 }
 

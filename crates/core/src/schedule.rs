@@ -121,6 +121,17 @@ pub enum ScheduleError {
         /// Requested split factor.
         factor: usize,
     },
+    /// A loop bound to a GPU block axis sits where the parallel outliner
+    /// cannot hoist it — nested inside a serial loop, guard, statement
+    /// sequence or allocation, or storing in a way whose disjointness
+    /// across blocks cannot be established. The compiled-parallel tier
+    /// surfaces this instead of silently running serially.
+    BlockAxisNotOutlinable {
+        /// The block-bound loop at fault.
+        loop_name: String,
+        /// Why outlining is impossible.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ScheduleError {
@@ -145,6 +156,10 @@ impl std::fmt::Display for ScheduleError {
             ScheduleError::SplitUnpaddedVloop { loop_name, factor } => write!(
                 f,
                 "vloop `{loop_name}` must be padded to a multiple of {factor} before splitting by {factor}"
+            ),
+            ScheduleError::BlockAxisNotOutlinable { loop_name, reason } => write!(
+                f,
+                "block-bound loop `{loop_name}` cannot be outlined for parallel execution: {reason}"
             ),
         }
     }

@@ -160,21 +160,12 @@ impl CpuPool {
         }
         // Pack into batches of roughly equal total cost, preserving order
         // (sorted batches keep heavy rows scheduling first).
-        let target = total.div_ceil(self.threads * 4).max(1);
-        let mut batches: Vec<Mutex<RowBatch<'_>>> = Vec::new();
-        let mut cur: RowBatch<'_> = Vec::new();
-        let mut cost = 0usize;
-        for (i, row) in rows {
-            cost += row.len().max(1);
-            cur.push((i, row));
-            if cost >= target {
-                batches.push(Mutex::new(std::mem::take(&mut cur)));
-                cost = 0;
-            }
-        }
-        if !cur.is_empty() {
-            batches.push(Mutex::new(cur));
-        }
+        let costs: Vec<f64> = row_lens.iter().map(|&l| l as f64).collect();
+        let mut rows_iter = rows.into_iter();
+        let batches: Vec<Mutex<RowBatch<'_>>> = cost_balanced_batches(&costs, self.threads)
+            .into_iter()
+            .map(|range| Mutex::new(rows_iter.by_ref().take(range.len()).collect()))
+            .collect();
         let run_batch = |b: usize| {
             let batch = std::mem::take(&mut *batches[b].lock().unwrap_or_else(|e| e.into_inner()));
             for (i, row) in batch {
@@ -217,6 +208,38 @@ impl CpuPool {
             }
         });
     }
+}
+
+/// Cuts a cost sequence (one entry per work item, in dispatch order)
+/// into consecutive batches of roughly equal total cost, targeting ~4
+/// batches per thread so dynamic stealing can still rebalance. Every
+/// batch is non-empty; zero- or negative-cost items count as cost 1 so
+/// they batch with their neighbours instead of degenerating.
+///
+/// Shared by [`CpuPool::parallel_rows`] and the compiled-program
+/// parallel tier (which packs thread blocks by their FLOP estimates in
+/// remap-policy dispatch order).
+pub fn cost_balanced_batches(costs: &[f64], threads: usize) -> Vec<std::ops::Range<usize>> {
+    if costs.is_empty() {
+        return Vec::new();
+    }
+    let total: f64 = costs.iter().map(|c| c.max(1.0)).sum();
+    let target = (total / (threads.max(1) * 4) as f64).max(1.0);
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0.0f64;
+    for (i, c) in costs.iter().enumerate() {
+        acc += c.max(1.0);
+        if acc >= target {
+            out.push(start..i + 1);
+            start = i + 1;
+            acc = 0.0;
+        }
+    }
+    if start < costs.len() {
+        out.push(start..costs.len());
+    }
+    out
 }
 
 /// The pre-runtime dynamic executor: spawns a fresh scoped thread team
@@ -356,6 +379,27 @@ mod tests {
                 pool.backend()
             );
         }
+    }
+
+    #[test]
+    fn cost_batches_cover_everything_in_order() {
+        for costs in [
+            vec![1.0; 100],
+            (0..64).map(|i| (64 - i) as f64 * 10.0).collect::<Vec<_>>(),
+            vec![0.0; 7],
+            vec![1e9],
+        ] {
+            let batches = cost_balanced_batches(&costs, 4);
+            assert!(!batches.is_empty());
+            let mut next = 0usize;
+            for r in &batches {
+                assert_eq!(r.start, next, "batches must be consecutive");
+                assert!(!r.is_empty());
+                next = r.end;
+            }
+            assert_eq!(next, costs.len(), "batches must cover every item");
+        }
+        assert!(cost_balanced_batches(&[], 4).is_empty());
     }
 
     #[test]

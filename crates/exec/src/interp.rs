@@ -25,6 +25,27 @@ pub struct InterpStats {
     pub stores: u64,
 }
 
+impl std::ops::AddAssign for InterpStats {
+    fn add_assign(&mut self, o: InterpStats) {
+        self.flops += o.flops;
+        self.guards += o.guards;
+        self.aux_loads += o.aux_loads;
+        self.stores += o.stores;
+    }
+}
+
+/// Statistics are plain event counts, so addition is exact and
+/// order-independent: summing per-worker accumulators from a parallel
+/// run reproduces the serial totals bit-for-bit.
+impl std::ops::Add for InterpStats {
+    type Output = InterpStats;
+
+    fn add(mut self, o: InterpStats) -> InterpStats {
+        self += o;
+        self
+    }
+}
+
 /// The interpreter's mutable machine state: float buffers plus the integer
 /// environment (vars, int buffers, UF tables).
 #[derive(Debug, Default)]

@@ -16,7 +16,9 @@
 //! * [`vm`] — a slot-resolved bytecode VM: the compiled execution tier,
 //!   bit-identical to the interpreter (outputs *and* statistics) but
 //!   free of string hashing, tree recursion and per-expression
-//!   allocation.
+//!   allocation. A compiled [`VmProgram`] is `Sync`; [`VmShared`] holds
+//!   the immutable per-run bindings and dispatches outlined thread
+//!   blocks across a [`CpuPool`] with per-worker machine state.
 //! * [`cost`] — the analytic cost model shared by the simulator and the
 //!   benchmark harnesses.
 //! * [`profile`] — per-operator breakdown accounting.
@@ -58,4 +60,4 @@ pub use gpu::{GpuRunReport, GpuSim, KernelReport, SimKernel};
 pub use interp::{InterpStats, Machine};
 pub use profile::Profiler;
 pub use runtime::{Runtime, Schedule};
-pub use vm::{VmMachine, VmProgram};
+pub use vm::{VmMachine, VmProgram, VmShared};

@@ -34,8 +34,10 @@
 //!
 //! # Safety
 //!
-//! The workspace denies `unsafe_code`; this module is the single, narrowly
-//! scoped exception (see the `allow` below). Persistent workers must call
+//! The workspace denies `unsafe_code`; this module and the VM's shared
+//! output cell (`SharedOut` in [`crate::vm`], which carries its own
+//! disjoint-store safety argument) are the two narrowly scoped
+//! exceptions. Persistent workers must call
 //! a borrowed closure (`&dyn Fn(usize) + Sync`) that is **not** `'static`,
 //! which no safe std API permits — `std::thread::scope` exists precisely
 //! to tie such borrows to a scope, and re-entering a scope per region is

@@ -27,6 +27,34 @@
 //!   [`InterpStats`] to the tree walker by construction. The interpreter
 //!   stays as semantic ground truth; differential tests assert
 //!   bit-identical outputs and stats between the two tiers.
+//!
+//! # Parallel execution
+//!
+//! A [`VmProgram`] is immutable after compilation and `Sync`
+//! (compile-time asserted below), so one compiled artefact can back many
+//! concurrent executions. The split mirrors that:
+//!
+//! * [`VmShared`] holds the *shared, immutable* per-run bindings — free
+//!   variables, auxiliary buffers, read-only float inputs, UF tables —
+//!   bound once on the calling thread;
+//! * each worker carries only *cheap private* state (register files, loop
+//!   variables, `Alloc` scratch, an [`InterpStats`] accumulator), created
+//!   per batch by [`VmShared::run_blocks`];
+//! * the single written buffer (the kernel output) is shared through
+//!   `SharedOut`, whose soundness rests on the outliner's guarantee
+//!   that different block indices store to disjoint output elements.
+//!
+//! Statistics are plain counters, so summing the per-worker accumulators
+//! reproduces the serial run's numbers exactly, regardless of how blocks
+//! were scheduled.
+//!
+//! The disassembler ([`VmProgram`]'s `Display` impl) prints one
+//! instruction per line with every slot resolved back to its source name,
+//! so golden tests can diff the compiled form of a kernel.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::Mutex;
 
 use cora_ir::fexpr::apply_unary;
 use cora_ir::slots::StmtSlots;
@@ -35,6 +63,7 @@ use cora_ir::{
     Cond, CondKind, Env, Expr, ExprKind, FExpr, FExprKind, FUnaryOp, Stmt, StoreKind, UfHandle,
 };
 
+use crate::cpu::CpuPool;
 use crate::interp::InterpStats;
 
 /// Integer ALU operations (mirror [`ExprKind`] binary nodes).
@@ -185,13 +214,31 @@ enum Instr {
 }
 
 /// A lowered statement compiled to slot-resolved bytecode.
+///
+/// Immutable after compilation and `Sync`: one program may back any
+/// number of concurrent [`VmMachine`]s / parallel workers.
 #[derive(Debug, Clone)]
 pub struct VmProgram {
     code: Vec<Instr>,
     n_iregs: usize,
     n_fregs: usize,
     slots: StmtSlots,
+    /// Source name of each alpha-renamed `For`/`LetInt` binding slot,
+    /// indexed by `slot - slots.free_vars.len()` (disassembly only).
+    var_slot_names: Vec<String>,
+    /// Source name of each `Alloc` scratch slot, indexed by
+    /// `slot - slots.free_fbufs.len()` (disassembly only).
+    fbuf_slot_names: Vec<String>,
 }
+
+/// Compile-time proof that a compiled program (and the shared binding
+/// state built on top of it) can be handed to worker threads by
+/// reference.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<VmProgram>();
+    assert_sync::<VmShared<'static>>();
+};
 
 /// Compiles a lowered statement to bytecode.
 ///
@@ -208,6 +255,8 @@ pub fn compile(stmt: &Stmt) -> VmProgram {
         fbuf_scope: Vec::new(),
         next_var_slot: u32::try_from(slots.free_vars.len()).expect("var census fits u32"),
         next_fbuf_slot: u32::try_from(slots.free_fbufs.len()).expect("fbuf census fits u32"),
+        var_slot_names: Vec::new(),
+        fbuf_slot_names: Vec::new(),
         slots,
     };
     c.stmt(stmt);
@@ -247,6 +296,174 @@ impl VmProgram {
             uf_args: Vec::new(),
             stats: InterpStats::default(),
         }
+    }
+
+    /// Creates the shared, immutable binding table for parallel block
+    /// execution ([`VmShared::run_blocks`]): bind everything once on the
+    /// calling thread, then dispatch blocks across a [`CpuPool`].
+    pub fn shared(&self) -> VmShared<'_> {
+        let s = &self.slots;
+        VmShared {
+            prog: self,
+            vars: vec![0; s.var_slot_count()],
+            var_bound: vec![false; s.free_vars.len()],
+            ibufs: vec![Vec::new(); s.ibufs.len()],
+            ibuf_bound: vec![false; s.ibufs.len()],
+            fbufs: vec![Vec::new(); s.free_fbufs.len()],
+            fbuf_bound: vec![false; s.free_fbufs.len()],
+            ufs: vec![None; s.ufs.len()],
+        }
+    }
+
+    /// Resolves a variable slot back to a source name for diagnostics and
+    /// disassembly: free variables print bare, alpha-renamed binding
+    /// slots print as `name@slot`.
+    fn var_name(&self, slot: u32) -> String {
+        let free = self.slots.free_vars.len();
+        match self.slots.free_vars.names().get(slot as usize) {
+            Some(n) => n.clone(),
+            None => format!("{}@{slot}", self.var_slot_names[slot as usize - free]),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Disassembler
+// ---------------------------------------------------------------------
+
+/// Disassembly: one instruction per line (`pc  mnemonic operands`), with
+/// every variable, buffer and UF slot resolved back to its source name.
+/// Alpha-renamed binding slots print as `name@slot` so shadowed loops
+/// stay distinguishable. Golden tests diff this text to catch bytecode
+/// and outlining regressions.
+impl fmt::Display for VmProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ibin = |op: IBinOp| match op {
+            IBinOp::Add => "iadd",
+            IBinOp::Sub => "isub",
+            IBinOp::Mul => "imul",
+            IBinOp::FloorDiv => "idiv",
+            IBinOp::FloorMod => "imod",
+            IBinOp::Min => "imin",
+            IBinOp::Max => "imax",
+        };
+        let fbin = |op: FBinOp| match op {
+            FBinOp::Add => "fadd",
+            FBinOp::Sub => "fsub",
+            FBinOp::Mul => "fmul",
+            FBinOp::Div => "fdiv",
+            FBinOp::Max => "fmax",
+        };
+        let cmp = |op: CmpOp| match op {
+            CmpOp::Lt => "br.lt",
+            CmpOp::Le => "br.le",
+            CmpOp::Eq => "br.eq",
+            CmpOp::Ne => "br.ne",
+        };
+        let var = |slot: u32| self.var_name(slot);
+        let ibuf = |slot: u32| self.slots.ibufs.names()[slot as usize].clone();
+        let fbuf = |slot: u32| fbuf_name(self, slot);
+        for (pc, instr) in self.code.iter().enumerate() {
+            let line = match instr {
+                Instr::IConst { dst, v } => format!("iconst   r{dst}, {v}"),
+                Instr::IVar { dst, slot } => format!("ivar     r{dst}, {}", var(*slot)),
+                Instr::ICopy { dst, src } => format!("icopy    r{dst}, r{src}"),
+                Instr::IBin { op, dst, a, b } => {
+                    format!("{:<8} r{dst}, r{a}, r{b}", ibin(*op))
+                }
+                Instr::IBinC { op, dst, a, c } => {
+                    format!("{:<8} r{dst}, r{a}, #{c}", format!("{}.c", ibin(*op)))
+                }
+                Instr::IBinV { op, dst, a, vslot } => {
+                    format!(
+                        "{:<8} r{dst}, r{a}, {}",
+                        format!("{}.v", ibin(*op)),
+                        var(*vslot)
+                    )
+                }
+                Instr::ILoad { dst, buf, idx } => {
+                    format!("iload    r{dst}, {}[r{idx}]", ibuf(*buf))
+                }
+                Instr::ILoadV { dst, buf, vslot } => {
+                    format!("iload.v  r{dst}, {}[{}]", ibuf(*buf), var(*vslot))
+                }
+                Instr::IUf { dst, uf, args } => {
+                    let args: Vec<String> = args.iter().map(|a| format!("r{a}")).collect();
+                    format!(
+                        "iuf      r{dst}, {}({})",
+                        self.slots.ufs.names()[*uf as usize],
+                        args.join(", ")
+                    )
+                }
+                Instr::SetVar { slot, src } => format!("setvar   {}, r{src}", var(*slot)),
+                Instr::LetVar { slot, src, aux } => {
+                    format!("letvar   {}, r{src}, aux={aux}", var(*slot))
+                }
+                Instr::BrVarGe { slot, lim, to } => {
+                    format!("br.ge    {}, r{lim} -> {to}", var(*slot))
+                }
+                Instr::LoopNext { slot, lim, back } => {
+                    format!("loop     {}, r{lim} -> {back}", var(*slot))
+                }
+                Instr::BrCmp {
+                    op,
+                    a,
+                    b,
+                    on_true,
+                    on_false,
+                } => format!("{:<8} r{a}, r{b} -> {on_true}, {on_false}", cmp(*op)),
+                Instr::Jump { to } => format!("jump     -> {to}"),
+                Instr::Guard { aux } => format!("guard    aux={aux}"),
+                Instr::BumpAux { n } => format!("bumpaux  n={n}"),
+                Instr::FConst { dst, v } => format!("fconst   f{dst}, {v:?}"),
+                Instr::FLoad { dst, buf, idx, aux } => {
+                    format!("fload    f{dst}, {}[r{idx}], aux={aux}", fbuf(*buf))
+                }
+                Instr::FCast { dst, src, aux } => {
+                    format!("fcast    f{dst}, r{src}, aux={aux}")
+                }
+                Instr::FCopy { dst, src } => format!("fcopy    f{dst}, f{src}"),
+                Instr::FBin { op, dst, a, b } => {
+                    format!("{:<8} f{dst}, f{a}, f{b}", fbin(*op))
+                }
+                Instr::FBinC { op, dst, a, c } => {
+                    format!("{:<8} f{dst}, f{a}, #{c:?}", format!("{}.c", fbin(*op)))
+                }
+                Instr::FBinCL { op, dst, c, b } => {
+                    format!("{:<8} f{dst}, #{c:?}, f{b}", format!("{}.cl", fbin(*op)))
+                }
+                Instr::FUn { op, dst, a } => {
+                    let name = match op {
+                        FUnaryOp::Neg => "f.neg",
+                        FUnaryOp::Exp => "f.exp",
+                        FUnaryOp::Sqrt => "f.sqrt",
+                        FUnaryOp::Recip => "f.recip",
+                        FUnaryOp::Tanh => "f.tanh",
+                        FUnaryOp::Relu => "f.relu",
+                    };
+                    format!("{name:<8} f{dst}, f{a}")
+                }
+                Instr::FStore {
+                    buf,
+                    idx,
+                    val,
+                    kind,
+                    aux,
+                } => {
+                    let k = match kind {
+                        StoreKind::Assign => "assign",
+                        StoreKind::AddAssign => "add",
+                        StoreKind::MaxAssign => "max",
+                    };
+                    format!("fstore   {}[r{idx}], f{val}, {k}, aux={aux}", fbuf(*buf))
+                }
+                Instr::FAlloc { slot, size, aux } => {
+                    format!("falloc   {}, r{size}, aux={aux}", fbuf(*slot))
+                }
+            };
+            writeln!(f, "{pc:>4}  {line}")?;
+        }
+        Ok(())
     }
 }
 
@@ -293,6 +510,10 @@ struct Compiler {
     fbuf_scope: Vec<(String, u32)>,
     next_var_slot: u32,
     next_fbuf_slot: u32,
+    /// Source names of alpha-renamed binding slots, in slot order.
+    var_slot_names: Vec<String>,
+    /// Source names of `Alloc` scratch slots, in slot order.
+    fbuf_slot_names: Vec<String>,
     slots: StmtSlots,
 }
 
@@ -335,6 +556,7 @@ impl Compiler {
         let slot = self.next_var_slot;
         self.next_var_slot += 1;
         self.var_scope.push((name.to_string(), slot));
+        self.var_slot_names.push(name.to_string());
         slot
     }
 
@@ -342,6 +564,7 @@ impl Compiler {
         let slot = self.next_fbuf_slot;
         self.next_fbuf_slot += 1;
         self.fbuf_scope.push((name.to_string(), slot));
+        self.fbuf_slot_names.push(name.to_string());
         slot
     }
 
@@ -802,6 +1025,8 @@ impl Compiler {
             n_iregs: self.iregs.max as usize,
             n_fregs: self.fregs.max as usize,
             slots: self.slots,
+            var_slot_names: self.var_slot_names,
+            fbuf_slot_names: self.fbuf_slot_names,
         }
     }
 }
@@ -951,11 +1176,8 @@ impl VmMachine<'_> {
     /// lowering bugs by definition, matching interpreter behaviour.
     pub fn run(&mut self) {
         self.check_bound();
-        let prog = self.prog;
-        let code = prog.code.as_slice();
-        // Destructure into locals so the dispatch loop indexes flat
-        // slices directly and keeps the statistics in registers.
         let VmMachine {
+            prog,
             vars,
             ibufs,
             fbufs,
@@ -966,184 +1188,264 @@ impl VmMachine<'_> {
             stats,
             ..
         } = self;
-        let mut st = *stats;
-        let mut pc = 0usize;
-        while pc < code.len() {
-            match &code[pc] {
-                Instr::IConst { dst, v } => iregs[*dst as usize] = *v,
-                Instr::IVar { dst, slot } => {
-                    iregs[*dst as usize] = vars[*slot as usize];
+        dispatch(
+            prog,
+            ibufs,
+            ufs,
+            &mut Regs {
+                vars,
+                iregs,
+                fregs,
+                uf_args,
+            },
+            &mut OwnedBufs(fbufs),
+            stats,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch loop (shared by the serial machine and parallel workers)
+// ---------------------------------------------------------------------
+
+/// Float-buffer access abstraction for the dispatch loop. The serial
+/// machine owns every buffer ([`OwnedBufs`]); a parallel worker layers
+/// private `Alloc` scratch over shared read-only inputs and the shared
+/// output ([`WorkerBufs`]). Both monomorphize to direct indexing.
+trait FloatBufs {
+    fn get(&self, slot: u32, idx: usize) -> f32;
+    fn set(&mut self, slot: u32, idx: usize, v: f32);
+    fn rmw<F: FnOnce(f32) -> f32>(&mut self, slot: u32, idx: usize, f: F);
+    fn alloc(&mut self, slot: u32, n: usize);
+}
+
+/// The serial machine's float buffers: one owned `Vec` per slot.
+struct OwnedBufs<'a>(&'a mut Vec<Vec<f32>>);
+
+impl FloatBufs for OwnedBufs<'_> {
+    #[inline]
+    fn get(&self, slot: u32, idx: usize) -> f32 {
+        self.0[slot as usize][idx]
+    }
+
+    #[inline]
+    fn set(&mut self, slot: u32, idx: usize, v: f32) {
+        self.0[slot as usize][idx] = v;
+    }
+
+    #[inline]
+    fn rmw<F: FnOnce(f32) -> f32>(&mut self, slot: u32, idx: usize, f: F) {
+        let cell = &mut self.0[slot as usize][idx];
+        *cell = f(*cell);
+    }
+
+    fn alloc(&mut self, slot: u32, n: usize) {
+        let buf = &mut self.0[slot as usize];
+        buf.clear();
+        buf.resize(n, 0.0);
+    }
+}
+
+/// Mutable per-execution register state handed to the dispatch loop.
+struct Regs<'a> {
+    vars: &'a mut [i64],
+    iregs: &'a mut [i64],
+    fregs: &'a mut [f32],
+    uf_args: &'a mut Vec<i64>,
+}
+
+/// Executes `prog` to completion over the given state. Statistics are
+/// batched in a local and published on normal return, so `stats` is not
+/// updated if execution panics mid-kernel.
+fn dispatch<B: FloatBufs>(
+    prog: &VmProgram,
+    ibufs: &[Vec<i64>],
+    ufs: &[Option<UfHandle>],
+    regs: &mut Regs<'_>,
+    fbufs: &mut B,
+    stats: &mut InterpStats,
+) {
+    let code = prog.code.as_slice();
+    let Regs {
+        vars,
+        iregs,
+        fregs,
+        uf_args,
+    } = regs;
+    let mut st = *stats;
+    let mut pc = 0usize;
+    while pc < code.len() {
+        match &code[pc] {
+            Instr::IConst { dst, v } => iregs[*dst as usize] = *v,
+            Instr::IVar { dst, slot } => {
+                iregs[*dst as usize] = vars[*slot as usize];
+            }
+            Instr::ICopy { dst, src } => {
+                iregs[*dst as usize] = iregs[*src as usize];
+            }
+            Instr::IBin { op, dst, a, b } => {
+                let x = iregs[*a as usize];
+                let y = iregs[*b as usize];
+                iregs[*dst as usize] = ibin_apply(*op, x, y);
+            }
+            Instr::IBinC { op, dst, a, c } => {
+                let x = iregs[*a as usize];
+                iregs[*dst as usize] = ibin_apply(*op, x, *c);
+            }
+            Instr::IBinV { op, dst, a, vslot } => {
+                let x = iregs[*a as usize];
+                let y = vars[*vslot as usize];
+                iregs[*dst as usize] = ibin_apply(*op, x, y);
+            }
+            Instr::ILoad { dst, buf, idx } => {
+                let i = iregs[*idx as usize];
+                let iu = usize::try_from(i).unwrap_or_else(|_| {
+                    panic!(
+                        "negative index {i} into buffer `{}`",
+                        prog.slots.ibufs.names()[*buf as usize]
+                    )
+                });
+                iregs[*dst as usize] = ibufs[*buf as usize][iu];
+            }
+            Instr::ILoadV { dst, buf, vslot } => {
+                let i = vars[*vslot as usize];
+                let iu = usize::try_from(i).unwrap_or_else(|_| {
+                    panic!(
+                        "negative index {i} into buffer `{}`",
+                        prog.slots.ibufs.names()[*buf as usize]
+                    )
+                });
+                iregs[*dst as usize] = ibufs[*buf as usize][iu];
+            }
+            Instr::IUf { dst, uf, args } => {
+                uf_args.clear();
+                for &a in args.iter() {
+                    uf_args.push(iregs[a as usize]);
                 }
-                Instr::ICopy { dst, src } => {
-                    iregs[*dst as usize] = iregs[*src as usize];
-                }
-                Instr::IBin { op, dst, a, b } => {
-                    let x = iregs[*a as usize];
-                    let y = iregs[*b as usize];
-                    iregs[*dst as usize] = ibin_apply(*op, x, y);
-                }
-                Instr::IBinC { op, dst, a, c } => {
-                    let x = iregs[*a as usize];
-                    iregs[*dst as usize] = ibin_apply(*op, x, *c);
-                }
-                Instr::IBinV { op, dst, a, vslot } => {
-                    let x = iregs[*a as usize];
-                    let y = vars[*vslot as usize];
-                    iregs[*dst as usize] = ibin_apply(*op, x, y);
-                }
-                Instr::ILoad { dst, buf, idx } => {
-                    let i = iregs[*idx as usize];
-                    let iu = usize::try_from(i).unwrap_or_else(|_| {
-                        panic!(
-                            "negative index {i} into buffer `{}`",
-                            prog.slots.ibufs.names()[*buf as usize]
-                        )
-                    });
-                    iregs[*dst as usize] = ibufs[*buf as usize][iu];
-                }
-                Instr::ILoadV { dst, buf, vslot } => {
-                    let i = vars[*vslot as usize];
-                    let iu = usize::try_from(i).unwrap_or_else(|_| {
-                        panic!(
-                            "negative index {i} into buffer `{}`",
-                            prog.slots.ibufs.names()[*buf as usize]
-                        )
-                    });
-                    iregs[*dst as usize] = ibufs[*buf as usize][iu];
-                }
-                Instr::IUf { dst, uf, args } => {
-                    uf_args.clear();
-                    for &a in args.iter() {
-                        uf_args.push(iregs[a as usize]);
-                    }
-                    let h = ufs[*uf as usize].as_ref().expect("checked bound");
-                    iregs[*dst as usize] = h.call(uf_args);
-                }
-                Instr::SetVar { slot, src } => {
-                    vars[*slot as usize] = iregs[*src as usize];
-                }
-                Instr::LetVar { slot, src, aux } => {
-                    vars[*slot as usize] = iregs[*src as usize];
-                    st.aux_loads += u64::from(*aux);
-                }
-                Instr::BrVarGe { slot, lim, to } => {
-                    if vars[*slot as usize] >= iregs[*lim as usize] {
-                        pc = *to as usize;
-                        continue;
-                    }
-                }
-                Instr::LoopNext { slot, lim, back } => {
-                    let v = vars[*slot as usize] + 1;
-                    vars[*slot as usize] = v;
-                    if v < iregs[*lim as usize] {
-                        pc = *back as usize;
-                        continue;
-                    }
-                }
-                Instr::BrCmp {
-                    op,
-                    a,
-                    b,
-                    on_true,
-                    on_false,
-                } => {
-                    let x = iregs[*a as usize];
-                    let y = iregs[*b as usize];
-                    let t = match op {
-                        CmpOp::Lt => x < y,
-                        CmpOp::Le => x <= y,
-                        CmpOp::Eq => x == y,
-                        CmpOp::Ne => x != y,
-                    };
-                    pc = if t { *on_true } else { *on_false } as usize;
-                    continue;
-                }
-                Instr::Jump { to } => {
+                let h = ufs[*uf as usize].as_ref().expect("checked bound");
+                iregs[*dst as usize] = h.call(uf_args);
+            }
+            Instr::SetVar { slot, src } => {
+                vars[*slot as usize] = iregs[*src as usize];
+            }
+            Instr::LetVar { slot, src, aux } => {
+                vars[*slot as usize] = iregs[*src as usize];
+                st.aux_loads += u64::from(*aux);
+            }
+            Instr::BrVarGe { slot, lim, to } => {
+                if vars[*slot as usize] >= iregs[*lim as usize] {
                     pc = *to as usize;
                     continue;
                 }
-                Instr::Guard { aux } => {
-                    st.guards += 1;
-                    st.aux_loads += u64::from(*aux);
-                }
-                Instr::BumpAux { n } => st.aux_loads += u64::from(*n),
-                Instr::FConst { dst, v } => fregs[*dst as usize] = *v,
-                Instr::FLoad { dst, buf, idx, aux } => {
-                    st.aux_loads += u64::from(*aux);
-                    let i = iregs[*idx as usize];
-                    let iu = usize::try_from(i).unwrap_or_else(|_| {
-                        panic!("negative load index {i} into `{}`", fbuf_name(prog, *buf))
-                    });
-                    fregs[*dst as usize] = fbufs[*buf as usize][iu];
-                }
-                Instr::FCast { dst, src, aux } => {
-                    st.aux_loads += u64::from(*aux);
-                    fregs[*dst as usize] = iregs[*src as usize] as f32;
-                }
-                Instr::FCopy { dst, src } => {
-                    fregs[*dst as usize] = fregs[*src as usize];
-                }
-                Instr::FBin { op, dst, a, b } => {
-                    let x = fregs[*a as usize];
-                    let y = fregs[*b as usize];
-                    fregs[*dst as usize] = fbin_apply(*op, x, y);
-                    st.flops += 1;
-                }
-                Instr::FBinC { op, dst, a, c } => {
-                    let x = fregs[*a as usize];
-                    fregs[*dst as usize] = fbin_apply(*op, x, *c);
-                    st.flops += 1;
-                }
-                Instr::FBinCL { op, dst, c, b } => {
-                    let y = fregs[*b as usize];
-                    fregs[*dst as usize] = fbin_apply(*op, *c, y);
-                    st.flops += 1;
-                }
-                Instr::FUn { op, dst, a } => {
-                    fregs[*dst as usize] = apply_unary(*op, fregs[*a as usize]);
-                    st.flops += 1;
-                }
-                Instr::FStore {
-                    buf,
-                    idx,
-                    val,
-                    kind,
-                    aux,
-                } => {
-                    st.aux_loads += u64::from(*aux);
-                    let i = iregs[*idx as usize];
-                    let v = fregs[*val as usize];
-                    let iu = usize::try_from(i).unwrap_or_else(|_| {
-                        panic!("negative store index {i} into `{}`", fbuf_name(prog, *buf))
-                    });
-                    let cell = &mut fbufs[*buf as usize][iu];
-                    match kind {
-                        StoreKind::Assign => *cell = v,
-                        StoreKind::AddAssign => {
-                            *cell += v;
-                            st.flops += 1;
-                        }
-                        StoreKind::MaxAssign => {
-                            *cell = cell.max(v);
-                            st.flops += 1;
-                        }
-                    }
-                    st.stores += 1;
-                }
-                Instr::FAlloc { slot, size, aux } => {
-                    st.aux_loads += u64::from(*aux);
-                    let n = iregs[*size as usize];
-                    let nu = usize::try_from(n)
-                        .unwrap_or_else(|_| panic!("negative alloc size {n} for scratch buffer"));
-                    let buf = &mut fbufs[*slot as usize];
-                    buf.clear();
-                    buf.resize(nu, 0.0);
+            }
+            Instr::LoopNext { slot, lim, back } => {
+                let v = vars[*slot as usize] + 1;
+                vars[*slot as usize] = v;
+                if v < iregs[*lim as usize] {
+                    pc = *back as usize;
+                    continue;
                 }
             }
-            pc += 1;
+            Instr::BrCmp {
+                op,
+                a,
+                b,
+                on_true,
+                on_false,
+            } => {
+                let x = iregs[*a as usize];
+                let y = iregs[*b as usize];
+                let t = match op {
+                    CmpOp::Lt => x < y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                };
+                pc = if t { *on_true } else { *on_false } as usize;
+                continue;
+            }
+            Instr::Jump { to } => {
+                pc = *to as usize;
+                continue;
+            }
+            Instr::Guard { aux } => {
+                st.guards += 1;
+                st.aux_loads += u64::from(*aux);
+            }
+            Instr::BumpAux { n } => st.aux_loads += u64::from(*n),
+            Instr::FConst { dst, v } => fregs[*dst as usize] = *v,
+            Instr::FLoad { dst, buf, idx, aux } => {
+                st.aux_loads += u64::from(*aux);
+                let i = iregs[*idx as usize];
+                let iu = usize::try_from(i).unwrap_or_else(|_| {
+                    panic!("negative load index {i} into `{}`", fbuf_name(prog, *buf))
+                });
+                fregs[*dst as usize] = fbufs.get(*buf, iu);
+            }
+            Instr::FCast { dst, src, aux } => {
+                st.aux_loads += u64::from(*aux);
+                fregs[*dst as usize] = iregs[*src as usize] as f32;
+            }
+            Instr::FCopy { dst, src } => {
+                fregs[*dst as usize] = fregs[*src as usize];
+            }
+            Instr::FBin { op, dst, a, b } => {
+                let x = fregs[*a as usize];
+                let y = fregs[*b as usize];
+                fregs[*dst as usize] = fbin_apply(*op, x, y);
+                st.flops += 1;
+            }
+            Instr::FBinC { op, dst, a, c } => {
+                let x = fregs[*a as usize];
+                fregs[*dst as usize] = fbin_apply(*op, x, *c);
+                st.flops += 1;
+            }
+            Instr::FBinCL { op, dst, c, b } => {
+                let y = fregs[*b as usize];
+                fregs[*dst as usize] = fbin_apply(*op, *c, y);
+                st.flops += 1;
+            }
+            Instr::FUn { op, dst, a } => {
+                fregs[*dst as usize] = apply_unary(*op, fregs[*a as usize]);
+                st.flops += 1;
+            }
+            Instr::FStore {
+                buf,
+                idx,
+                val,
+                kind,
+                aux,
+            } => {
+                st.aux_loads += u64::from(*aux);
+                let i = iregs[*idx as usize];
+                let v = fregs[*val as usize];
+                let iu = usize::try_from(i).unwrap_or_else(|_| {
+                    panic!("negative store index {i} into `{}`", fbuf_name(prog, *buf))
+                });
+                match kind {
+                    StoreKind::Assign => fbufs.set(*buf, iu, v),
+                    StoreKind::AddAssign => {
+                        fbufs.rmw(*buf, iu, |c| c + v);
+                        st.flops += 1;
+                    }
+                    StoreKind::MaxAssign => {
+                        fbufs.rmw(*buf, iu, |c| c.max(v));
+                        st.flops += 1;
+                    }
+                }
+                st.stores += 1;
+            }
+            Instr::FAlloc { slot, size, aux } => {
+                st.aux_loads += u64::from(*aux);
+                let n = iregs[*size as usize];
+                let nu = usize::try_from(n)
+                    .unwrap_or_else(|_| panic!("negative alloc size {n} for scratch buffer"));
+                fbufs.alloc(*slot, nu);
+            }
         }
-        *stats = st;
+        pc += 1;
     }
+    *stats = st;
 }
 
 #[inline]
@@ -1173,16 +1475,435 @@ fn fbin_apply(op: FBinOp, x: f32, y: f32) -> f32 {
 /// Best-effort name for a float-buffer slot (free buffers have names;
 /// `Alloc` scratch slots are past the free range).
 fn fbuf_name(prog: &VmProgram, slot: u32) -> String {
-    prog.slots
-        .free_fbufs
-        .names()
-        .get(slot as usize)
-        .cloned()
-        .unwrap_or_else(|| format!("<scratch slot {slot}>"))
+    let free = prog.slots.free_fbufs.len();
+    match prog.slots.free_fbufs.names().get(slot as usize) {
+        Some(n) => n.clone(),
+        None => match prog.fbuf_slot_names.get(slot as usize - free) {
+            Some(n) => format!("{n}@{slot}"),
+            None => format!("<scratch slot {slot}>"),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parallel execution
+// ---------------------------------------------------------------------
+
+/// The kernel output buffer shared by every parallel worker.
+///
+/// Built safely from an exclusive `&mut [f32]` via
+/// [`Cell::from_mut`]/[`Cell::as_slice_of_cells`]; the only `unsafe` is
+/// the `Sync` impl and the raw-pointer cell accesses below.
+///
+/// # Safety
+///
+/// Unsynchronized writes through the cells are sound *given* the
+/// disjoint-store contract of [`VmShared::run_blocks`]: every store
+/// executed for block index `b` targets an output element owned by `b`,
+/// distinct blocks own disjoint element sets, and reads through
+/// `SharedOut::get` only observe elements owned by the reading block
+/// (read-modify-write reductions) — so no location is ever accessed
+/// from two threads without ordering. The exclusive borrow keeps all
+/// other access paths frozen for the region's lifetime, and
+/// [`CpuPool::parallel_for`] joins every worker before `run_blocks`
+/// returns.
+///
+/// The contract itself is the *caller's* obligation. The outliner in
+/// `cora-core` screens for it syntactically (output-only stores,
+/// no output read-back, store indices that depend on the block
+/// variable), but dependence is necessary, not sufficient, for
+/// disjointness — the guarantee ultimately rests on how CoRa's lowering
+/// builds output indices (each spatial coordinate is stored exactly
+/// once and the block axis partitions the spatial space). As
+/// defence-in-depth, debug builds track a per-element owning block and
+/// panic deterministically on any cross-block store overlap, so the
+/// differential test suites would catch a violated contract rather
+/// than race.
+struct SharedOut<'a>(&'a [Cell<f32>]);
+
+// SAFETY: see the type-level contract above — concurrent access is
+// restricted to disjoint cells by the outliner.
+#[allow(unsafe_code)]
+unsafe impl Sync for SharedOut<'_> {}
+
+impl<'a> SharedOut<'a> {
+    fn new(buf: &'a mut [f32]) -> SharedOut<'a> {
+        SharedOut(Cell::from_mut(buf).as_slice_of_cells())
+    }
+
+    #[inline]
+    #[allow(unsafe_code)]
+    fn get(&self, idx: usize) -> f32 {
+        // SAFETY: only the block owning this element accesses it (see the
+        // type-level contract), so the read cannot race a write.
+        unsafe { *self.0[idx].as_ptr() }
+    }
+
+    #[inline]
+    #[allow(unsafe_code)]
+    fn set(&self, idx: usize, v: f32) {
+        // SAFETY: as for `get` — this thread is the element's only
+        // accessor during the region.
+        unsafe { *self.0[idx].as_ptr() = v }
+    }
+}
+
+/// Debug-build enforcement of the disjoint-store contract: one atomic
+/// owner record per output element, claimed by the first block that
+/// stores there. A second block claiming the same element means the
+/// contract the `unsafe impl Sync` relies on is violated — panic
+/// deterministically (under test) instead of racing (in release).
+#[cfg(debug_assertions)]
+struct OutOwners(Vec<std::sync::atomic::AtomicI64>);
+
+#[cfg(debug_assertions)]
+impl OutOwners {
+    const UNCLAIMED: i64 = i64::MIN;
+
+    fn new(len: usize) -> OutOwners {
+        OutOwners(
+            (0..len)
+                .map(|_| std::sync::atomic::AtomicI64::new(Self::UNCLAIMED))
+                .collect(),
+        )
+    }
+
+    fn claim(&self, idx: usize, block: i64) {
+        use std::sync::atomic::Ordering;
+        if let Err(owner) = self.0[idx].compare_exchange(
+            Self::UNCLAIMED,
+            block,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            assert!(
+                owner == block,
+                "disjoint-store contract violated: blocks {owner} and {block} \
+                 both stored to output element {idx}"
+            );
+        }
+    }
+}
+
+/// A parallel worker's float-buffer view: shared read-only inputs, the
+/// shared output, and private `Alloc` scratch.
+struct WorkerBufs<'a> {
+    prog: &'a VmProgram,
+    /// Free-slot inputs, shared read-only (the output slot's entry is
+    /// unused).
+    shared: &'a [Vec<f32>],
+    out_slot: u32,
+    out: &'a SharedOut<'a>,
+    /// Number of free float-buffer slots; slots at or past this index are
+    /// per-worker `Alloc` scratch.
+    n_free: usize,
+    scratch: Vec<Vec<f32>>,
+    #[cfg(debug_assertions)]
+    owners: &'a OutOwners,
+    /// Block-variable value currently executing (owner records).
+    #[cfg(debug_assertions)]
+    cur_block: i64,
+}
+
+impl WorkerBufs<'_> {
+    #[inline]
+    fn out_bounds_check(&self, idx: usize) {
+        assert!(
+            idx < self.out.0.len(),
+            "index {idx} out of bounds for output `{}` (len {})",
+            fbuf_name(self.prog, self.out_slot),
+            self.out.0.len()
+        );
+    }
+
+    #[inline]
+    fn out_claim(&self, idx: usize) {
+        self.out_bounds_check(idx);
+        #[cfg(debug_assertions)]
+        self.owners.claim(idx, self.cur_block);
+    }
+}
+
+impl FloatBufs for WorkerBufs<'_> {
+    #[inline]
+    fn get(&self, slot: u32, idx: usize) -> f32 {
+        if slot == self.out_slot {
+            self.out_bounds_check(idx);
+            self.out.get(idx)
+        } else if (slot as usize) < self.n_free {
+            self.shared[slot as usize][idx]
+        } else {
+            self.scratch[slot as usize - self.n_free][idx]
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, slot: u32, idx: usize, v: f32) {
+        if slot == self.out_slot {
+            self.out_claim(idx);
+            self.out.set(idx, v);
+        } else if (slot as usize) >= self.n_free {
+            self.scratch[slot as usize - self.n_free][idx] = v;
+        } else {
+            // The outliner rejects such programs statically; reaching this
+            // arm means a compiler bug, not a user error.
+            panic!(
+                "parallel block stored to shared input buffer `{}`",
+                fbuf_name(self.prog, slot)
+            );
+        }
+    }
+
+    #[inline]
+    fn rmw<F: FnOnce(f32) -> f32>(&mut self, slot: u32, idx: usize, f: F) {
+        if slot == self.out_slot {
+            self.out_claim(idx);
+            self.out.set(idx, f(self.out.get(idx)));
+        } else if (slot as usize) >= self.n_free {
+            let cell = &mut self.scratch[slot as usize - self.n_free][idx];
+            *cell = f(*cell);
+        } else {
+            panic!(
+                "parallel block stored to shared input buffer `{}`",
+                fbuf_name(self.prog, slot)
+            );
+        }
+    }
+
+    fn alloc(&mut self, slot: u32, n: usize) {
+        assert!(
+            (slot as usize) >= self.n_free,
+            "alloc of non-scratch slot `{}`",
+            fbuf_name(self.prog, slot)
+        );
+        let buf = &mut self.scratch[slot as usize - self.n_free];
+        buf.clear();
+        buf.resize(n, 0.0);
+    }
+}
+
+/// Shared, immutable per-run bindings for parallel block execution.
+///
+/// Created by [`VmProgram::shared`]; bind free variables, auxiliary
+/// buffers, read-only float inputs and UF tables once, then execute the
+/// program once per block index with [`VmShared::run_blocks`]. The block
+/// variable and the output buffer stay unbound here — they are supplied
+/// per block / per region.
+#[derive(Debug)]
+pub struct VmShared<'p> {
+    prog: &'p VmProgram,
+    /// Free-variable values (binding-site slots stay zero; each worker
+    /// copies this file and writes its own loop variables).
+    vars: Vec<i64>,
+    var_bound: Vec<bool>,
+    ibufs: Vec<Vec<i64>>,
+    ibuf_bound: Vec<bool>,
+    /// Free float buffers only (workers keep private `Alloc` scratch).
+    fbufs: Vec<Vec<f32>>,
+    fbuf_bound: Vec<bool>,
+    ufs: Vec<Option<UfHandle>>,
+}
+
+impl VmShared<'_> {
+    /// Binds a free integer variable. Returns `false` if the program
+    /// never references `name` (the binding is ignored).
+    pub fn bind_var(&mut self, name: &str, v: i64) -> bool {
+        match self.prog.slots.free_vars.get(name) {
+            Some(slot) => {
+                self.vars[slot as usize] = v;
+                self.var_bound[slot as usize] = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Installs an integer auxiliary buffer. Returns `false` if unused.
+    pub fn set_ibuffer(&mut self, name: &str, data: Vec<i64>) -> bool {
+        match self.prog.slots.ibufs.get(name) {
+            Some(slot) => {
+                self.ibufs[slot as usize] = data;
+                self.ibuf_bound[slot as usize] = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Installs a read-only float input buffer. Returns `false` if
+    /// unused.
+    pub fn set_fbuffer(&mut self, name: &str, data: Vec<f32>) -> bool {
+        match self.prog.slots.free_fbufs.get(name) {
+            Some(slot) => {
+                self.fbufs[slot as usize] = data;
+                self.fbuf_bound[slot as usize] = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Installs an uninterpreted-function table. Returns `false` if
+    /// unused.
+    pub fn set_uf(&mut self, name: &str, h: UfHandle) -> bool {
+        match self.prog.slots.ufs.get(name) {
+            Some(slot) => {
+                self.ufs[slot as usize] = Some(h);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Verifies every external binding is present, except the block
+    /// variable and the output buffer (supplied by `run_blocks` itself).
+    fn check_bound(&self, block_slot: u32, out_slot: u32) {
+        let s = &self.prog.slots;
+        for (i, bound) in self.var_bound.iter().enumerate() {
+            assert!(
+                *bound || i == block_slot as usize,
+                "unbound variable `{}`",
+                s.free_vars.names()[i]
+            );
+        }
+        for (i, bound) in self.ibuf_bound.iter().enumerate() {
+            assert!(*bound, "missing auxiliary buffer `{}`", s.ibufs.names()[i]);
+        }
+        for (i, bound) in self.fbuf_bound.iter().enumerate() {
+            assert!(
+                *bound || i == out_slot as usize,
+                "missing float buffer `{}`",
+                s.free_fbufs.names()[i]
+            );
+        }
+        for (i, h) in self.ufs.iter().enumerate() {
+            assert!(
+                h.is_some(),
+                "no runtime table for uninterpreted function `{}`",
+                s.ufs.names()[i]
+            );
+        }
+    }
+
+    /// Executes the program once per block index, in parallel.
+    ///
+    /// `batches` holds *values of the block variable* (`min + b`), packed
+    /// into cost-balanced batches in dispatch order; each batch runs on
+    /// one participant of `pool`, with its own registers, loop variables
+    /// and `Alloc` scratch. All stores land in `out` (bound to the
+    /// `output` buffer slot); per-worker [`InterpStats`] are summed, so
+    /// the aggregate equals a serial run's statistics exactly (the
+    /// counters are plain sums).
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee the disjoint-store contract: across all
+    /// of `batches`, distinct block-variable values store to disjoint
+    /// elements of `out` and never load another block's elements (see
+    /// `SharedOut`). Two helpers reduce the obligation but do not
+    /// discharge it: in-place programs (output loaded *and* stored) are
+    /// rejected up front, and debug builds record each output element's
+    /// owning block, panicking deterministically on any cross-block
+    /// overlap — release builds run unchecked, so a violated contract is
+    /// a data race (undefined behaviour). The parallel outliner in
+    /// `cora-core` validates the programs it produces (stores confined
+    /// to the output, indices keyed by the block variable, one store per
+    /// spatial coordinate from lowering), which is how
+    /// `CompiledProgram::run_parallel` satisfies this contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_var` or `output` are unknown to the program, if
+    /// the program reads the output buffer back, if any other external
+    /// binding is missing, or if the program itself panics
+    /// (out-of-bounds access, negative index) — propagated after the
+    /// region drains.
+    #[allow(unsafe_code)] // the disjoint-store contract cannot be compiler-checked
+    pub unsafe fn run_blocks(
+        &self,
+        pool: &CpuPool,
+        block_var: &str,
+        output: &str,
+        out: &mut [f32],
+        batches: &[Vec<i64>],
+    ) -> InterpStats {
+        let s = &self.prog.slots;
+        let block_slot = s
+            .free_vars
+            .get(block_var)
+            .unwrap_or_else(|| panic!("unknown block variable `{block_var}`"));
+        let out_slot = s
+            .free_fbufs
+            .get(output)
+            .unwrap_or_else(|| panic!("unknown output buffer `{output}`"));
+        // An in-place program could read elements another block is
+        // writing — reject it here (not just in the outliner) so the
+        // race is unreachable through this public entry point.
+        assert!(
+            !s.fbuf_is_inplace(output),
+            "program both loads and stores output `{output}`; \
+             the parallel tier forbids in-place output access"
+        );
+        self.check_bound(block_slot, out_slot);
+        #[cfg(debug_assertions)]
+        let owners = OutOwners::new(out.len());
+        let shared_out = SharedOut::new(out);
+        let total = Mutex::new(InterpStats::default());
+        pool.parallel_for(batches.len(), |bi| {
+            let prog = self.prog;
+            let mut vars = self.vars.clone();
+            let mut iregs = vec![0i64; prog.n_iregs];
+            let mut fregs = vec![0.0f32; prog.n_fregs];
+            let mut uf_args = Vec::new();
+            let mut bufs = WorkerBufs {
+                prog,
+                shared: &self.fbufs,
+                out_slot,
+                out: &shared_out,
+                n_free: s.free_fbufs.len(),
+                scratch: vec![Vec::new(); s.alloc_sites],
+                #[cfg(debug_assertions)]
+                owners: &owners,
+                #[cfg(debug_assertions)]
+                cur_block: 0,
+            };
+            let mut stats = InterpStats::default();
+            for &bv in &batches[bi] {
+                vars[block_slot as usize] = bv;
+                #[cfg(debug_assertions)]
+                {
+                    bufs.cur_block = bv;
+                }
+                dispatch(
+                    prog,
+                    &self.ibufs,
+                    &self.ufs,
+                    &mut Regs {
+                        vars: &mut vars,
+                        iregs: &mut iregs,
+                        fregs: &mut fregs,
+                        uf_args: &mut uf_args,
+                    },
+                    &mut bufs,
+                    &mut stats,
+                );
+            }
+            let mut t = total.lock().unwrap_or_else(|e| e.into_inner());
+            *t += stats;
+        });
+        total.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    // Tests exercise the unsafe `run_blocks` entry point directly; each
+    // call either upholds the disjoint-store contract or deliberately
+    // violates it to check the guards, which fire before any racing
+    // write (in-place rejection up front; debug owner check before the
+    // store).
+    #![allow(unsafe_code)]
+
     use super::*;
     use crate::interp::Machine;
     use cora_ir::{Expr, ForKind, UfRef};
@@ -1432,5 +2153,229 @@ mod tests {
         );
         assert!(compile(&Stmt::Nop).is_empty());
         assert_eq!(p.slots().free_fbufs.names(), &["B".to_string()]);
+    }
+
+    /// The block body of a ragged doubling kernel, outlined: `b` is the
+    /// (free) block variable, `row` maps blocks to output rows.
+    fn outlined_doubling_body() -> Stmt {
+        let idx = Expr::load("row", Expr::var("b")) + Expr::var("i");
+        let body = Stmt::store("B", idx.clone(), FExpr::load("A", idx) * 2.0);
+        Stmt::loop_("i", Expr::load("lens", Expr::var("b")), body)
+    }
+
+    /// Runs `outlined_doubling_body` serially (block loop on one machine)
+    /// and in parallel over `batches`, asserting identical outputs and
+    /// stats.
+    fn parallel_matches_serial(pool: &CpuPool, batches: &[Vec<i64>]) {
+        let lens = vec![5i64, 0, 3, 2];
+        let row = vec![0i64, 5, 5, 8];
+        let n = 10usize;
+        let input: Vec<f32> = (0..n).map(|x| x as f32 - 4.5).collect();
+
+        // Serial reference: wrap the body in the block loop.
+        let serial = Stmt::loop_kind(
+            "b",
+            Expr::int(4),
+            ForKind::GpuBlockX,
+            outlined_doubling_body(),
+        );
+        let sp = compile(&serial);
+        let mut sm = sp.machine();
+        sm.set_ibuffer("lens", lens.clone());
+        sm.set_ibuffer("row", row.clone());
+        sm.set_fbuffer("A", input.clone());
+        sm.set_fbuffer("B", vec![0.0; n]);
+        sm.run();
+
+        // Parallel: compile only the body; `b` becomes a free variable.
+        let bp = compile(&outlined_doubling_body());
+        let mut shared = bp.shared();
+        shared.set_ibuffer("lens", lens);
+        shared.set_ibuffer("row", row);
+        shared.set_fbuffer("A", input);
+        let mut out = vec![0.0f32; n];
+        let stats = unsafe { shared.run_blocks(pool, "b", "B", &mut out, batches) };
+
+        assert_eq!(sm.fbuffer("B").unwrap(), out.as_slice());
+        // The serial program additionally charges the block loop's own
+        // bound evaluation (a constant here: zero aux loads), so the sums
+        // must line up exactly.
+        assert_eq!(sm.stats, stats);
+    }
+
+    #[test]
+    fn run_blocks_matches_serial_execution() {
+        let pool = CpuPool::new(4);
+        parallel_matches_serial(&pool, &[vec![0], vec![1], vec![2], vec![3]]);
+        parallel_matches_serial(&pool, &[vec![3, 1], vec![0, 2]]);
+        parallel_matches_serial(&pool, &[vec![0, 1, 2, 3]]);
+        // The spawn backend exercises real OS-thread concurrency even on
+        // single-core hosts.
+        let spawn = CpuPool::new(4).with_backend(crate::cpu::Backend::Spawn);
+        parallel_matches_serial(&spawn, &[vec![0], vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn run_blocks_zero_batches_is_noop() {
+        let bp = compile(&outlined_doubling_body());
+        let mut shared = bp.shared();
+        shared.set_ibuffer("lens", vec![1]);
+        shared.set_ibuffer("row", vec![0]);
+        shared.set_fbuffer("A", vec![1.0]);
+        let mut out = vec![7.0f32];
+        let stats = unsafe { shared.run_blocks(&CpuPool::new(2), "b", "B", &mut out, &[]) };
+        assert_eq!(stats, InterpStats::default());
+        assert_eq!(out, vec![7.0]);
+    }
+
+    #[test]
+    fn run_blocks_gives_each_worker_private_scratch() {
+        // Each block fills a scratch tile with its own block index and
+        // reduces it into its private output cell; racing scratch would
+        // corrupt the sums.
+        let fill = Stmt::loop_(
+            "i",
+            Expr::int(8),
+            Stmt::store("tile", Expr::var("i"), FExpr::cast(Expr::var("b"))),
+        );
+        let acc = Stmt::loop_(
+            "i",
+            Expr::int(8),
+            Stmt::Store {
+                buffer: "out".into(),
+                index: Expr::var("b"),
+                value: FExpr::load("tile", Expr::var("i")),
+                kind: StoreKind::AddAssign,
+            },
+        );
+        let body = Stmt::Alloc {
+            buffer: "tile".into(),
+            size: Expr::int(8),
+            body: Box::new(fill.then(acc)),
+        };
+        let bp = compile(&body);
+        let shared = bp.shared();
+        let mut out = vec![0.0f32; 16];
+        let batches: Vec<Vec<i64>> = (0..16).map(|b| vec![b]).collect();
+        let pool = CpuPool::new(4).with_backend(crate::cpu::Backend::Spawn);
+        unsafe { shared.run_blocks(&pool, "b", "out", &mut out, &batches) };
+        let want: Vec<f32> = (0..16).map(|b| 8.0 * b as f32).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "forbids in-place output access")]
+    fn run_blocks_rejects_inplace_output_programs() {
+        // out[b] = out[1 - b] * 2: block 0 would read the element block 1
+        // writes — rejected up front, in release builds too.
+        let body = Stmt::store(
+            "out",
+            Expr::var("b"),
+            FExpr::load("out", Expr::int(1) - Expr::var("b")) * 2.0,
+        );
+        let bp = compile(&body);
+        let shared = bp.shared();
+        let mut out = vec![0.0f32; 2];
+        unsafe { shared.run_blocks(&CpuPool::new(2), "b", "out", &mut out, &[vec![0], vec![1]]) };
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn cross_block_store_overlap_panics_in_debug() {
+        // Both blocks store to out[0]: the disjoint-store contract is
+        // violated, and debug builds must fail deterministically instead
+        // of racing.
+        let body = Stmt::store("out", Expr::int(0), FExpr::cast(Expr::var("b")));
+        let bp = compile(&body);
+        let shared = bp.shared();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut out = vec![0.0f32; 1];
+            unsafe {
+                shared.run_blocks(&CpuPool::new(2), "b", "out", &mut out, &[vec![0], vec![1]])
+            };
+        }));
+        let payload = r.expect_err("overlapping stores must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("disjoint-store contract violated"),
+            "unexpected panic payload: {msg}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "missing auxiliary buffer `lens`")]
+    fn run_blocks_checks_bindings() {
+        let bp = compile(&outlined_doubling_body());
+        let mut shared = bp.shared();
+        shared.set_ibuffer("row", vec![0]);
+        shared.set_fbuffer("A", vec![1.0]);
+        let mut out = vec![0.0f32];
+        unsafe { shared.run_blocks(&CpuPool::new(1), "b", "B", &mut out, &[vec![0]]) };
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown block variable `nope`")]
+    fn run_blocks_rejects_unknown_block_var() {
+        let bp = compile(&outlined_doubling_body());
+        let shared = bp.shared();
+        let mut out = vec![0.0f32];
+        unsafe { shared.run_blocks(&CpuPool::new(1), "nope", "B", &mut out, &[]) };
+    }
+
+    #[test]
+    fn run_blocks_propagates_body_panics() {
+        // Block 1 indexes `lens` out of bounds; the panic must reach the
+        // caller instead of poisoning the pool.
+        let bp = compile(&outlined_doubling_body());
+        let mut shared = bp.shared();
+        shared.set_ibuffer("lens", vec![1]);
+        shared.set_ibuffer("row", vec![0]);
+        shared.set_fbuffer("A", vec![1.0, 2.0]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut out = vec![0.0f32; 2];
+            unsafe { shared.run_blocks(&CpuPool::new(2), "b", "B", &mut out, &[vec![0], vec![1]]) };
+        }));
+        assert!(r.is_err(), "out-of-bounds block must panic the caller");
+    }
+
+    #[test]
+    fn disassembly_resolves_slot_names() {
+        let s = Stmt::loop_(
+            "o",
+            Expr::int(3),
+            Stmt::loop_(
+                "i",
+                Expr::load("lens", Expr::var("o")),
+                Stmt::store(
+                    "B",
+                    Expr::load("row", Expr::var("o")) + Expr::var("i"),
+                    FExpr::load("A", Expr::var("n_free")) * 2.0,
+                ),
+            ),
+        );
+        let p = compile(&s);
+        let text = p.to_string();
+        assert!(text.contains("o@"), "bound loop var with slot:\n{text}");
+        assert!(text.contains("lens["), "aux buffer name:\n{text}");
+        assert!(text.contains("fstore   B["), "output store:\n{text}");
+        assert!(
+            text.contains("ivar     r0, n_free") || text.contains("n_free"),
+            "free var by name:\n{text}"
+        );
+        assert_eq!(
+            text.lines().count(),
+            p.len(),
+            "one line per instruction:\n{text}"
+        );
+        // Every line is `pc  mnemonic ...` with aligned pcs.
+        for (i, line) in text.lines().enumerate() {
+            assert!(
+                line.starts_with(&format!("{i:>4}  ")),
+                "line {i} misformatted: {line:?}"
+            );
+        }
     }
 }

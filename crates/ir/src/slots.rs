@@ -96,6 +96,14 @@ pub struct StmtSlots {
     pub binding_sites: usize,
     /// Number of `Alloc` sites (each gets a fresh float-buffer slot).
     pub alloc_sites: usize,
+    /// Per-[`Self::free_fbufs`] slot: true if the statement *stores* into
+    /// that buffer. Region metadata for the parallel outliner, which must
+    /// prove a block body writes only the designated output buffer.
+    pub stored_fbufs: Vec<bool>,
+    /// Per-[`Self::free_fbufs`] slot: true if the statement *loads* from
+    /// that buffer. Together with [`Self::stored_fbufs`] this classifies
+    /// every free float buffer as input, output, or both (in-place).
+    pub loaded_fbufs: Vec<bool>,
 }
 
 impl StmtSlots {
@@ -119,6 +127,26 @@ impl StmtSlots {
     pub fn fbuf_slot_count(&self) -> usize {
         self.free_fbufs.len() + self.alloc_sites
     }
+
+    /// Names of the free float buffers the statement stores into.
+    pub fn stored_fbuf_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.free_fbufs
+            .names()
+            .iter()
+            .zip(&self.stored_fbufs)
+            .filter(|(_, &stored)| stored)
+            .map(|(n, _)| n.as_str())
+    }
+
+    /// True if the statement both loads from and stores into the named
+    /// free float buffer (an in-place update, which the parallel tier
+    /// must refuse: another block's stores could race the loads).
+    pub fn fbuf_is_inplace(&self, name: &str) -> bool {
+        match self.free_fbufs.get(name) {
+            Some(slot) => self.stored_fbufs[slot as usize] && self.loaded_fbufs[slot as usize],
+            None => false,
+        }
+    }
 }
 
 struct Resolver {
@@ -134,9 +162,18 @@ impl Resolver {
         }
     }
 
-    fn fbuf_use(&mut self, name: &str) {
+    fn fbuf_use(&mut self, name: &str, stored: bool) {
         if !self.fbuf_scope.iter().any(|b| b == name) {
-            self.slots.free_fbufs.intern(name);
+            let slot = self.slots.free_fbufs.intern(name) as usize;
+            if slot == self.slots.stored_fbufs.len() {
+                self.slots.stored_fbufs.push(false);
+                self.slots.loaded_fbufs.push(false);
+            }
+            if stored {
+                self.slots.stored_fbufs[slot] = true;
+            } else {
+                self.slots.loaded_fbufs[slot] = true;
+            }
         }
     }
 
@@ -199,7 +236,7 @@ impl Resolver {
         match e.kind() {
             FExprKind::Const(_) => {}
             FExprKind::Load(buf, idx) => {
-                self.fbuf_use(buf);
+                self.fbuf_use(buf, false);
                 self.expr(idx);
             }
             FExprKind::Cast(i) => self.expr(i),
@@ -253,7 +290,7 @@ impl Resolver {
             } => {
                 self.expr(index);
                 self.fexpr(value);
-                self.fbuf_use(buffer);
+                self.fbuf_use(buffer, true);
             }
             Stmt::If { cond, then_, else_ } => {
                 self.cond(cond);
@@ -334,6 +371,23 @@ mod tests {
         assert_eq!(slots.free_fbufs.names(), &["out".to_string()]);
         assert_eq!(slots.alloc_sites, 1);
         assert_eq!(slots.fbuf_slot_count(), 2);
+    }
+
+    #[test]
+    fn stored_and_loaded_fbufs_are_classified() {
+        // B[0] = A[0]; C[0] = C[1] * 2 — A input, B output, C in-place.
+        let s = Stmt::store("B", Expr::int(0), FExpr::load("A", Expr::int(0))).then(Stmt::store(
+            "C",
+            Expr::int(0),
+            FExpr::load("C", Expr::int(1)) * 2.0,
+        ));
+        let slots = StmtSlots::resolve(&s);
+        let stored: Vec<&str> = slots.stored_fbuf_names().collect();
+        assert_eq!(stored, vec!["B", "C"]);
+        assert!(!slots.fbuf_is_inplace("A"));
+        assert!(!slots.fbuf_is_inplace("B"));
+        assert!(slots.fbuf_is_inplace("C"));
+        assert!(!slots.fbuf_is_inplace("missing"));
     }
 
     #[test]

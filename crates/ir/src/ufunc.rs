@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A reference to an uninterpreted integer function.
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -151,10 +152,13 @@ pub trait UfEval {
 /// A table-backed implementation of [`UfEval`] for tests and the prelude.
 #[derive(Debug, Default, Clone)]
 pub struct UfTable {
-    funcs: HashMap<String, Rc<dyn UfFn>>,
+    funcs: HashMap<String, Arc<dyn UfFn>>,
 }
 
-trait UfFn: fmt::Debug {
+/// Table implementations are plain data shared read-only by executors, so
+/// the bound is `Send + Sync`: a [`UfHandle`] may be called concurrently
+/// from parallel VM workers.
+trait UfFn: fmt::Debug + Send + Sync {
     fn call(&self, args: &[i64]) -> i64;
 }
 
@@ -180,8 +184,10 @@ impl UfFn for Rows2D {
 
 /// A cheap, callable handle to one tabulated uninterpreted function,
 /// resolved by name once so executors can call it without hashing.
+/// Handles are `Send + Sync` (the tables are immutable), so parallel VM
+/// workers can share them.
 #[derive(Debug, Clone)]
-pub struct UfHandle(Rc<dyn UfFn>);
+pub struct UfHandle(Arc<dyn UfFn>);
 
 impl UfHandle {
     /// Evaluates the function on `args`.
@@ -202,17 +208,17 @@ impl UfTable {
 
     /// Resolves `name` to a callable handle, if implemented.
     pub fn handle(&self, name: &str) -> Option<UfHandle> {
-        self.funcs.get(name).map(|f| UfHandle(Rc::clone(f)))
+        self.funcs.get(name).map(|f| UfHandle(Arc::clone(f)))
     }
 
     /// Registers a unary function backed by `values` (domain `0..len`).
     pub fn insert_table1d(&mut self, name: impl Into<String>, values: Vec<i64>) {
-        self.funcs.insert(name.into(), Rc::new(Table1D(values)));
+        self.funcs.insert(name.into(), Arc::new(Table1D(values)));
     }
 
     /// Registers a binary function backed by ragged rows.
     pub fn insert_rows2d(&mut self, name: impl Into<String>, rows: Vec<Vec<i64>>) {
-        self.funcs.insert(name.into(), Rc::new(Rows2D(rows)));
+        self.funcs.insert(name.into(), Arc::new(Rows2D(rows)));
     }
 
     /// True if `name` has an implementation.

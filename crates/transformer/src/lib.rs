@@ -5,10 +5,13 @@
 //! ragged and padded encoder layers (real CPU execution), CPU MHA with
 //! micro-batching baselines, simulated-GPU encoder implementations
 //! (PyTorch / FT / FT-Eff / CoRa), masked SDPA, operation-splitting and
-//! hfusion ablations, and prelude-overhead measurement.
+//! hfusion ablations, prelude-overhead measurement, and the
+//! compiler-generated masked attention path ([`compiled`]) whose ragged
+//! triangular kernels run on the parallel compiled tier.
 
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod config;
 pub mod encoder;
 pub mod flops;

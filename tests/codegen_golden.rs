@@ -1,5 +1,7 @@
 //! Golden tests on the generated source: the compilation artefacts the
-//! paper's Fig. 4 walks through must be visible in the emitted code.
+//! paper's Fig. 4 walks through must be visible in the emitted code —
+//! C/CUDA text and the bytecode VM's disassembly alike, so both codegen
+//! and parallel-outlining regressions show up as plain text diffs.
 
 use std::rc::Rc;
 
@@ -85,6 +87,76 @@ fn fused_source_reads_fusion_maps_and_param() {
         .find(|(n, _)| n == "o_i_f__ffo")
         .unwrap();
     assert_eq!(ffo.1, vec![0, 0, 0, 0, 0, 0, 1, 1, 2, 2, 2, 2]);
+}
+
+#[test]
+fn vm_disassembly_of_fig4_is_golden() {
+    // The full bytecode of the block-bound Fig. 4 kernel, one line per
+    // instruction with resolved slot names. Any change to slot
+    // resolution, peepholes, loop shape or the outliner's input shows up
+    // here as a one-line diff.
+    let mut op = fig4_operator();
+    op.schedule_mut().bind("o", ForKind::GpuBlockX);
+    let p = lower(&op).unwrap();
+    let compiled = p.compile();
+    let golden = "   0  iconst   r0, 0
+   1  iconst   r1, 3
+   2  bumpaux  n=0
+   3  setvar   o@0, r0
+   4  iadd     r0, r0, r1
+   5  br.ge    o@0, r0 -> 23
+   6  iconst   r1, 0
+   7  iload.v  r2, fig4__ext_i[o@0]
+   8  bumpaux  n=1
+   9  setvar   i@1, r1
+  10  iadd     r1, r1, r2
+  11  br.ge    i@1, r1 -> 22
+  12  iload.v  r2, B__A0[o@0]
+  13  ivar     r3, i@1
+  14  iadd     r2, r2, r3
+  15  iload.v  r3, A__A0[o@0]
+  16  ivar     r4, i@1
+  17  iadd     r3, r3, r4
+  18  fload    f0, A[r3], aux=1
+  19  fmul.c   f0, f0, #2.0
+  20  fstore   B[r2], f0, assign, aux=1
+  21  loop     i@1, r1 -> 12
+  22  loop     o@0, r0 -> 6
+";
+    assert_eq!(
+        compiled.vm().to_string(),
+        golden,
+        "serial bytecode diverged from the golden disassembly"
+    );
+    // The outlined parallel tier's body: the serial program minus the
+    // block loop's header/back-edge, with `o` resolved as a *free*
+    // variable (no `@slot` suffix) — the block-indexed entry point each
+    // worker executes.
+    let body_golden = "   0  iconst   r0, 0
+   1  iload.v  r1, fig4__ext_i[o]
+   2  bumpaux  n=1
+   3  setvar   i@1, r0
+   4  iadd     r0, r0, r1
+   5  br.ge    i@1, r0 -> 16
+   6  iload.v  r1, B__A0[o]
+   7  ivar     r2, i@1
+   8  iadd     r1, r1, r2
+   9  iload.v  r2, A__A0[o]
+  10  ivar     r3, i@1
+  11  iadd     r2, r2, r3
+  12  fload    f0, A[r2], aux=1
+  13  fmul.c   f0, f0, #2.0
+  14  fstore   B[r1], f0, assign, aux=1
+  15  loop     i@1, r0 -> 6
+";
+    let body = compiled
+        .parallel_body()
+        .expect("block-bound schedule outlines");
+    assert_eq!(
+        body.to_string(),
+        body_golden,
+        "outlined block body diverged from the golden disassembly"
+    );
 }
 
 #[test]

@@ -169,6 +169,39 @@ fn dimension_reorder_legality_mirrors_vloop_rule() {
 }
 
 #[test]
+fn block_axis_inside_serial_loop_is_a_schedule_error_not_a_fallback() {
+    // Binding the *inner* vloop to blocks leaves it nested inside the
+    // serial batch loop: the parallel tier must refuse with a precise
+    // error instead of silently running serially.
+    let mut op = op_with_pads(&[5, 2, 3], 1);
+    op.schedule_mut().bind("i", ForKind::GpuBlockX);
+    let p = lower(&op).expect("the schedule itself lowers fine");
+    let compiled = p.compile();
+    assert!(!compiled.has_parallel_tier());
+    let input: Vec<f32> = (0..p.output_size()).map(|x| x as f32).collect();
+    let err = compiled
+        .run_parallel(&CpuPool::new(4), &[("A", input.clone())])
+        .expect_err("un-outlinable block axis must error");
+    match &err {
+        ScheduleError::BlockAxisNotOutlinable { loop_name, reason } => {
+            assert_eq!(loop_name, "i");
+            assert!(reason.contains("serial loop `o`"), "reason: {reason}");
+        }
+        other => panic!("expected BlockAxisNotOutlinable, got {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(
+        msg.contains("cannot be outlined") && msg.contains('i'),
+        "message must name the loop and the failure: {msg}"
+    );
+    // The one-shot Program entry point surfaces the same error.
+    assert!(matches!(
+        p.run_compiled_parallel(&CpuPool::new(2), &[("A", input)]),
+        Err(ScheduleError::BlockAxisNotOutlinable { .. })
+    ));
+}
+
+#[test]
 fn errors_render_actionable_messages() {
     let e = ScheduleError::SplitUnpaddedVloop {
         loop_name: "k".into(),
@@ -176,4 +209,11 @@ fn errors_render_actionable_messages() {
     };
     let msg = e.to_string();
     assert!(msg.contains('k') && msg.contains("64") && msg.contains("padded"));
+
+    let e = ScheduleError::BlockAxisNotOutlinable {
+        loop_name: "b".into(),
+        reason: "it is nested inside the serial loop `o`".into(),
+    };
+    let msg = e.to_string();
+    assert!(msg.contains("`b`") && msg.contains("serial loop `o`"));
 }

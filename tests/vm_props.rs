@@ -3,14 +3,18 @@
 //! across random operators, raggedness patterns and schedules.
 //!
 //! The interpreter is the semantic ground truth; `Program::run_compiled`
-//! is the fast tier. Any divergence (values, flops, guards, aux loads,
-//! stores) is a compiler bug by definition.
+//! is the fast tier, and `Program::run_compiled_parallel` the parallel
+//! tier, which must also be bit-identical (including aggregated stats)
+//! at every worker count and on both pool backends. Any divergence
+//! (values, flops, guards, aux loads, stores) is a compiler bug by
+//! definition.
 
 use std::rc::Rc;
 
 use proptest::prelude::*;
 
 use cora::core::prelude::*;
+use cora::exec::Backend;
 use cora::ragged::{Dim, RaggedLayout};
 
 fn ragged_2d(name: &str, lens: &[usize], pad: usize) -> TensorRef {
@@ -139,6 +143,130 @@ proptest! {
         }
         prop_assert_eq!(r1.stats, r2.stats);
     }
+}
+
+/// Applies one of four always-legal *block-bound* schedules, so the
+/// lowered program has an outlinable parallel tier.
+fn apply_block_schedule(op: &mut Operator, sched: usize, pad: usize) {
+    match sched {
+        0 => {
+            op.schedule_mut().bind("o", ForKind::GpuBlockX);
+        }
+        1 => {
+            op.schedule_mut()
+                .bind("o", ForKind::GpuBlockX)
+                .thread_remap(RemapPolicy::LongestFirst);
+        }
+        2 => {
+            // Pad + dividing split below the block axis, reversed dispatch.
+            op.schedule_mut()
+                .pad_loop("i", pad)
+                .split("i", pad)
+                .bind("o", ForKind::GpuBlockX)
+                .thread_remap(RemapPolicy::Reversed);
+        }
+        _ => {
+            // Fused vloop bound to blocks: one block per (o, i) pair.
+            op.schedule_mut()
+                .fuse_loops("o", "i")
+                .bind("o_i_f", ForKind::GpuBlockX)
+                .thread_remap(RemapPolicy::LongestFirst);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Serial VM vs parallel VM across random ragged shapes, bodies and
+    /// block-bound schedules, at 1, 2 and 8 workers on both pool
+    /// backends: outputs bit-identical, aggregated stats identical.
+    #[test]
+    fn parallel_vm_matches_serial_vm(
+        lens in prop::collection::vec(0usize..12, 1..7),
+        pad in 1usize..5,
+        body_kind in 0usize..3,
+        sched in 0usize..4,
+    ) {
+        let mut op = make_op(&lens, pad, body_kind);
+        apply_block_schedule(&mut op, sched, pad);
+        let p = lower(&op).unwrap();
+        let compiled = p.compile();
+        prop_assert!(compiled.has_parallel_tier(), "schedule {} must outline", sched);
+        let input: Vec<f32> = (0..p.output_size())
+            .map(|x| x as f32 * 0.25 - 3.0)
+            .collect();
+        let serial = compiled.run(&[("A", input.clone())]);
+        for workers in [1usize, 2, 8] {
+            for backend in [Backend::Persistent, Backend::Spawn] {
+                let pool = CpuPool::new(workers).with_backend(backend);
+                let par = compiled
+                    .run_parallel(&pool, &[("A", input.clone())])
+                    .unwrap();
+                prop_assert_eq!(serial.output.len(), par.output.len());
+                for (i, (a, b)) in serial.output.iter().zip(&par.output).enumerate() {
+                    prop_assert_eq!(
+                        a.to_bits(), b.to_bits(),
+                        "element {} diverges at {} workers ({:?}): serial {} vs parallel {}",
+                        i, workers, backend, a, b
+                    );
+                }
+                prop_assert_eq!(
+                    serial.stats, par.stats,
+                    "stats diverge at {} workers ({:?})", workers, backend
+                );
+            }
+        }
+    }
+
+    /// Ragged block-bound reductions (`AddAssign` inside a block) agree
+    /// across the serial and parallel tiers.
+    #[test]
+    fn parallel_vm_matches_serial_on_reductions(
+        lens in prop::collection::vec(0usize..10, 1..6),
+    ) {
+        let a = ragged_2d("A", &lens, 1);
+        let out = TensorRef::new("S", RaggedLayout::dense(&[lens.len()]));
+        let a2 = a.clone();
+        let body: BodyFn = Rc::new(move |args| a2.at(args));
+        let mut op = Operator::new(
+            "rowsum",
+            vec![LoopSpec::fixed("o", lens.len())],
+            vec![LoopSpec::variable("i", 0, lens.to_vec())],
+            out,
+            vec![a],
+            body,
+        );
+        op.schedule_mut()
+            .bind("o", ForKind::GpuBlockX)
+            .thread_remap(RemapPolicy::LongestFirst);
+        let p = lower(&op).unwrap();
+        let n: usize = lens.iter().sum();
+        let input: Vec<f32> = (0..n).map(|x| x as f32 - 7.0).collect();
+        let serial = p.run_compiled(&[("A", input.clone())]);
+        let pool = CpuPool::new(8).with_backend(Backend::Spawn);
+        let par = p.run_compiled_parallel(&pool, &[("A", input)]).unwrap();
+        for (a, b) in serial.output.iter().zip(&par.output) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(serial.stats, par.stats);
+    }
+}
+
+#[test]
+fn parallel_without_block_axis_falls_back_to_serial() {
+    let lens = [4usize, 0, 7, 2];
+    let op = make_op(&lens, 1, 0);
+    let p = lower(&op).unwrap();
+    let compiled = p.compile();
+    assert!(!compiled.has_parallel_tier());
+    let input: Vec<f32> = (0..p.output_size()).map(|x| x as f32).collect();
+    let serial = compiled.run(&[("A", input.clone())]);
+    let par = compiled
+        .run_parallel(&CpuPool::new(4), &[("A", input)])
+        .expect("no block axis means serial fallback, not an error");
+    assert_eq!(serial.output, par.output);
+    assert_eq!(serial.stats, par.stats);
 }
 
 #[test]
