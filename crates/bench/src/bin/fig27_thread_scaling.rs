@@ -12,7 +12,7 @@
 
 use std::hint::black_box;
 
-use cora_bench::{f2, flag, opt_usize, print_table, Report};
+use cora_bench::{f2, flag, opt_usize, print_table, seed, Report};
 use cora_datasets::Dataset;
 use cora_exec::{Backend, CpuPool};
 use cora_transformer::config::EncoderConfig;
@@ -26,9 +26,10 @@ fn main() {
     let bs = opt_usize("batch", if quick { 8 } else { 16 });
     let reps = opt_usize("reps", if quick { 1 } else { 2 });
     let cfg = EncoderConfig::scaled(scale);
-    let w = EncoderWeights::random(&cfg, 1);
-    let lens = Dataset::Mnli.sample_batch_sorted(bs, 5);
-    let x = RaggedBatch::random(&lens, cfg.hidden, 6);
+    let seed = seed();
+    let w = EncoderWeights::random(&cfg, seed);
+    let lens = Dataset::Mnli.sample_batch_sorted(bs, seed.wrapping_add(5));
+    let x = RaggedBatch::random(&lens, cfg.hidden, seed.wrapping_add(6));
     let max_len = *lens.first().unwrap();
     let padded_in = x.to_padded(max_len);
     let host = CpuPool::host().threads();
@@ -36,6 +37,7 @@ fn main() {
     let mut report = Report::new("fig27_thread_scaling");
     report
         .param("dataset", "mnli")
+        .param("seed", seed as usize)
         .param("batch", bs)
         .param("hidden", cfg.hidden)
         .param("reps", reps)

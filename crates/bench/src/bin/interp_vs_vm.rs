@@ -13,7 +13,7 @@
 
 use std::rc::Rc;
 
-use cora_bench::{f2, flag, print_table, time_ns, Report};
+use cora_bench::{f2, flag, print_table, seed, time_ns, Report};
 use cora_core::prelude::*;
 use cora_datasets::Dataset;
 use cora_ragged::{Dim, RaggedLayout};
@@ -56,16 +56,18 @@ fn main() {
     let interp_reps = if quick { 10 } else { 30 };
     let vm_reps = if quick { 200 } else { 1000 };
 
+    let seed = seed();
     let mut report = Report::new("interp_vs_vm");
     report
         .param("dataset", "mnli")
+        .param("seed", seed as usize)
         .param("batch", batch)
         .param("quick", quick);
 
     println!("interp_vs_vm — tree-walking interpreter vs bytecode VM (ns per element)");
     println!("batch = {batch} MNLI-shaped sequences, elementwise affine kernel\n");
 
-    let lens = Dataset::Mnli.sample_lengths(batch, 42);
+    let lens = Dataset::Mnli.sample_lengths(batch, seed);
     let elems: usize = lens.iter().sum();
 
     let mut rows = Vec::new();

@@ -8,7 +8,7 @@
 //! CoRa ≤ TF-UB ≤ TF, with gaps widest for skewed datasets — is
 //! scale-invariant because it is driven by the length distribution.
 
-use cora_bench::{f2, flag, opt_usize, print_table, Report};
+use cora_bench::{f2, flag, opt_usize, print_table, seed, Report};
 use cora_datasets::ALL_DATASETS;
 use cora_exec::CpuPool;
 use cora_transformer::config::EncoderConfig;
@@ -34,11 +34,13 @@ fn main() {
         &ALL_DATASETS[..]
     };
     let pool = CpuPool::host();
-    let w = EncoderWeights::random(&cfg, 1);
+    let seed = seed();
+    let w = EncoderWeights::random(&cfg, seed);
 
     let mut report = Report::new("table05_mha_cpu");
     report
         .param("threads", pool.threads())
+        .param("seed", seed as usize)
         .param("hidden", cfg.hidden)
         .param("reps", reps)
         .param("quick", quick);
@@ -55,8 +57,8 @@ fn main() {
     let mut count = 0usize;
     for &ds in datasets {
         for &bs in &batch_sizes {
-            let lens = ds.sample_batch_sorted(bs, 5);
-            let x = RaggedBatch::random(&lens, cfg.hidden, 6);
+            let lens = ds.sample_batch_sorted(bs, seed.wrapping_add(5));
+            let x = RaggedBatch::random(&lens, cfg.hidden, seed.wrapping_add(6));
             let max_len = *lens.first().unwrap();
             let padded_in = x.to_padded(max_len);
             let tf = time_best_ms(reps, || {

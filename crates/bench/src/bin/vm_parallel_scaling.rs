@@ -21,7 +21,7 @@
 
 use std::rc::Rc;
 
-use cora_bench::{f2, flag, print_table, time_ns, Report};
+use cora_bench::{f2, flag, print_table, seed, time_ns, Report};
 use cora_core::prelude::*;
 use cora_datasets::Dataset;
 use cora_exec::CpuPool;
@@ -78,9 +78,11 @@ fn main() {
     let head_dim = if quick { 16 } else { 64 };
     let thread_counts = [1usize, 2, 4, 8];
 
+    let seed = seed();
     let mut report = Report::new("vm_parallel_scaling");
     report
         .param("dataset", "mnli")
+        .param("seed", seed as usize)
         .param("batch", batch)
         .param("head_dim", head_dim)
         .param("host_threads", cora_exec::Runtime::global().threads())
@@ -89,7 +91,7 @@ fn main() {
     println!("vm_parallel_scaling — serial VM vs parallel compiled tier (ns per element)");
     println!("batch = {batch} MNLI-shaped sequences, head_dim = {head_dim}\n");
 
-    let lens = Dataset::Mnli.sample_lengths(batch, 42);
+    let lens = Dataset::Mnli.sample_lengths(batch, seed);
     let elems: usize = lens.iter().sum();
 
     let mut kernels = Vec::new();

@@ -27,6 +27,16 @@ pub fn opt_usize(name: &str, default: usize) -> usize {
     opt(name).and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
+/// The shared `--seed=N` flag of the bench harnesses (default 42).
+///
+/// Every report-writing binary keys its dataset sampling and data
+/// initialisation off this value and records it as a report param, so a
+/// report JSON is reproducible run-to-run (timings aside) and two runs
+/// with the same seed measure identical work.
+pub fn seed() -> u64 {
+    opt("seed").and_then(|v| v.parse().ok()).unwrap_or(42)
+}
+
 /// Renders an aligned text table.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let ncols = headers.len();

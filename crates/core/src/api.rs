@@ -11,7 +11,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use cora_ir::{Expr, FExpr};
+use cora_ir::{Expr, FExpr, StoreKind};
 use cora_ragged::access::offset_expr;
 use cora_ragged::{LengthFn, RaggedLayout};
 
@@ -168,6 +168,11 @@ pub struct Operator {
     pub body: BodyFn,
     /// Initial value of the output when reductions are present.
     pub init: f32,
+    /// Combine rule of the reduction loops: `+=` by default,
+    /// [`StoreKind::MaxAssign`] for max-reductions (set via
+    /// [`Operator::reduce_max`]). Ignored when [`Operator::reduce`] is
+    /// empty.
+    pub reduce_kind: StoreKind,
     /// Attached schedule.
     pub schedule: Schedule,
     /// Index shifts applied to loop variables (operation splitting's
@@ -225,6 +230,7 @@ impl Operator {
             inputs,
             body,
             init: 0.0,
+            reduce_kind: StoreKind::AddAssign,
             schedule: Schedule::default(),
             shifts: Vec::new(),
             aux_tables: Vec::new(),
@@ -234,6 +240,15 @@ impl Operator {
     /// Mutable access to the schedule.
     pub fn schedule_mut(&mut self) -> &mut Schedule {
         &mut self.schedule
+    }
+
+    /// Turns the reduction into a max-reduction: the output is
+    /// initialised to `-∞` and reduction iterations combine with
+    /// `max=` instead of `+=` (row-max of softmax, pooling).
+    pub fn reduce_max(&mut self) -> &mut Self {
+        self.reduce_kind = StoreKind::MaxAssign;
+        self.init = f32::NEG_INFINITY;
+        self
     }
 
     /// Declares an extra auxiliary table (see [`Operator::aux_tables`]);

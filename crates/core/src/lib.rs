@@ -19,6 +19,9 @@
 //!   auxiliary structures.
 //! * [`program`] — compiled programs: C/CUDA source, numeric execution
 //!   (serial and block-parallel), simulated-GPU kernels.
+//! * [`pipeline`] — multi-operator compiled pipelines: chained programs
+//!   sharing a statically planned buffer arena, with preludes and
+//!   dispatch orders resolved once per shape.
 //! * [`builder`] — a compact facade for common operator shapes.
 
 #![warn(missing_docs)]
@@ -29,6 +32,7 @@ pub mod builder;
 pub mod lower;
 pub mod opsplit;
 pub mod outline;
+pub mod pipeline;
 pub mod prelude_gen;
 pub mod program;
 pub mod schedule;
@@ -40,11 +44,14 @@ pub mod prelude {
     pub use crate::lower::lower;
     pub use crate::opsplit::{hfuse_sim, split_operation};
     pub use crate::outline::{outline, BlockOutline};
+    pub use crate::pipeline::{
+        BufferPlan, CompiledPipeline, PipelineBuilder, PipelineError, PipelineRun, PipelineSession,
+    };
     pub use crate::prelude_gen::{FusionSpec, PreludeData, PreludeSpec};
     pub use crate::program::{CompiledProgram, ParallelSession, Program, RunResult};
     pub use crate::schedule::{Directive, RemapPolicy, Schedule, ScheduleError};
     pub use cora_exec::CpuPool;
-    pub use cora_ir::{Expr, FExpr, ForKind};
+    pub use cora_ir::{Expr, FExpr, FUnaryOp, ForKind};
 }
 
 pub use api::{LoopSpec, Operator, TensorRef};

@@ -331,6 +331,39 @@ pub fn lower(op: &Operator) -> Result<Program, ScheduleError> {
                     *value = spec.fused_extent() as i64;
                 }
             }
+            Directive::Reorder { order } => {
+                if order.len() != loops.len()
+                    || !loops.iter().all(|l| order.iter().any(|n| n == &l.var))
+                {
+                    return Err(ScheduleError::UnknownLoop(format!(
+                        "reorder [{}] is not a permutation of the current loops [{}]",
+                        order.join(", "),
+                        loops
+                            .iter()
+                            .map(|l| l.var.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )));
+                }
+                let mut reordered = Vec::with_capacity(loops.len());
+                for name in order {
+                    let idx = find_loop(&loops, name)?;
+                    reordered.push(loops[idx].clone());
+                }
+                // §4.1: a vloop cannot move outside the loop its extent
+                // depends on.
+                for (pos, l) in reordered.iter().enumerate() {
+                    if let ExtentIr::Table { dep_var, .. } = &l.extent {
+                        let dep_ok = reordered[..pos].iter().any(|o| &o.var == dep_var);
+                        if !dep_ok {
+                            return Err(ScheduleError::VloopReorderedPastDependence {
+                                loop_name: l.var.clone(),
+                            });
+                        }
+                    }
+                }
+                loops = reordered;
+            }
             Directive::ThreadRemap(_) | Directive::HoistLoads => {
                 // Consumed from the schedule directly (see below).
             }
@@ -350,7 +383,7 @@ pub fn lower(op: &Operator) -> Result<Program, ScheduleError> {
     let store_kind = if op.reduce.is_empty() {
         StoreKind::Assign
     } else {
-        StoreKind::AddAssign
+        op.reduce_kind
     };
     let mut body = Stmt::Store {
         buffer: op.output.name().to_string(),

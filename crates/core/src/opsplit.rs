@@ -84,6 +84,7 @@ fn clone_operator(op: &Operator, name: &str) -> Operator {
         inputs: op.inputs.clone(),
         body: Rc::clone(&op.body),
         init: op.init,
+        reduce_kind: op.reduce_kind,
         schedule: crate::schedule::Schedule::default(),
         shifts: op.shifts.clone(),
         aux_tables: op.aux_tables.clone(),

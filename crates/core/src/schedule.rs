@@ -68,6 +68,14 @@ pub enum Directive {
         /// Padding multiple.
         multiple: usize,
     },
+    /// Reorder the loop nest to the given permutation of the current
+    /// loop names (outermost first). A vloop may not move outside the
+    /// loop its extent depends on (§4.1's reordering restriction,
+    /// checked during lowering).
+    Reorder {
+        /// Complete permutation of the current loop names.
+        order: Vec<String>,
+    },
     /// Set the thread-remapping policy for the block axis.
     ThreadRemap(RemapPolicy),
     /// Hoist loop-invariant auxiliary-array loads (§D.7).
@@ -229,6 +237,20 @@ impl Schedule {
         self.directives.push(Directive::BulkPad {
             loop_name: loop_name.into(),
             multiple,
+        });
+        self
+    }
+
+    /// Reorders the loop nest to the given permutation of the current
+    /// loop names, outermost first (classic `reorder`; the paper's §4.1
+    /// restriction that a vloop may not move outside its dependence is
+    /// checked during lowering). Reordering only reduction loops against
+    /// spatial loops is always value-preserving for `+=`/`max=`
+    /// reductions; it changes cache behaviour and which loop is
+    /// innermost (and hence fusable by the VM).
+    pub fn reorder(&mut self, order: &[&str]) -> &mut Self {
+        self.directives.push(Directive::Reorder {
+            order: order.iter().map(|s| s.to_string()).collect(),
         });
         self
     }

@@ -60,4 +60,4 @@ pub use gpu::{GpuRunReport, GpuSim, KernelReport, SimKernel};
 pub use interp::{InterpStats, Machine};
 pub use profile::Profiler;
 pub use runtime::{Runtime, Schedule};
-pub use vm::{VmMachine, VmProgram, VmShared};
+pub use vm::{BoundBuf, VmMachine, VmProgram, VmShared};

@@ -27,6 +27,20 @@
 //!   [`InterpStats`] to the tree walker by construction. The interpreter
 //!   stays as semantic ground truth; differential tests assert
 //!   bit-identical outputs and stats between the two tiers.
+//! * **Loop fusion** (`FusedMulAcc`/`FusedMulAcc2`/`FusedMap`): an
+//!   innermost reduction of the
+//!   shape `out[i(t)] += A[j(t)] · B[k(t)]` with indices provably affine
+//!   in the loop variable — the inner loop of every GEMM-, score- and
+//!   AttnV-style operator — compiles to a single instruction that runs
+//!   the whole loop natively (vectorizable for the unit-stride shapes),
+//!   with bit-identical results and statistics to the unfused form.
+//!
+//! Float buffers can be *owned* by the machine (the classic
+//! [`VmMachine`] interface) or *borrowed* from the caller
+//! ([`VmShared::run_borrowed`] serially, [`VmShared::run_blocks_borrowed`]
+//! in parallel, both binding [`BoundBuf`] slices): multi-operator
+//! pipelines keep their intermediates in one arena and hand each stage
+//! views instead of moving vectors in and out per call.
 //!
 //! # Parallel execution
 //!
@@ -211,6 +225,158 @@ enum Instr {
     },
     /// (Re)allocate `fbufs[slot]` as `ireg[size]` zeroes; charges `aux`.
     FAlloc { slot: u32, size: u16, aux: u32 },
+    /// Fused multiply-accumulate loop (see [`FusedMulAcc`]): the whole
+    /// innermost `for t { out[..] += a[..] * b[..] }` reduction in one
+    /// dispatch, bit- and stats-identical to the unfused instruction
+    /// sequence.
+    FMulAcc(Box<FusedMulAcc>),
+    /// Two-level fused multiply-accumulate (see [`FusedMulAcc2`]): a
+    /// whole two-deep loop nest in one dispatch.
+    FMulAcc2(Box<FusedMulAcc2>),
+    /// Fused map/reduce loop (see [`FusedMap`]): a branch-free store
+    /// loop executed as a float-op tape over element chunks.
+    FMap(Box<FusedMap>),
+}
+
+/// One step of a [`FusedMap`] tape, producing SSA temp `t<index>`.
+#[derive(Debug, Clone)]
+enum MapOp {
+    /// Broadcast constant.
+    Const { v: f32 },
+    /// Element load through an affine site.
+    Load { site: u16 },
+    /// `i64 → f32` cast of an affine index expression.
+    Cast { site: u16 },
+    /// Binary float op over two earlier temps.
+    Bin { op: FBinOp, a: u16, b: u16 },
+    /// Unary float op over an earlier temp.
+    Un { op: FUnaryOp, a: u16 },
+}
+
+/// One affine index site of a [`FusedMap`]: `idx(t) = r0 + t·(r1 − r0)`.
+/// `buf == u32::MAX` marks a pure-index [`MapOp::Cast`] site.
+#[derive(Debug, Clone)]
+struct MapSite {
+    buf: u32,
+    r0: u16,
+    r1: u16,
+}
+
+/// The fused map/reduce loop: an innermost
+/// `for t { out[o(t)] (=|+=|max=) f(loads at affine sites) }` where the
+/// value expression is branch-free (no selects) and every integer index
+/// is affine in the loop variable.
+///
+/// The value tree compiles to a flat SSA tape; execution processes the
+/// iteration space in small chunks, applying each tape op across the
+/// whole chunk (vectorizable slice loops) before the next — legal
+/// because elements are independent (the per-element float op sequence
+/// is unchanged) — then stores chunk results in ascending element
+/// order, so reducing kinds accumulate in exactly the serial order.
+/// Repeated loads of one `(buffer, index)` site are computed once but
+/// still charge their aux loads per occurrence, matching the
+/// interpreter. Statistics per element are static: `aux` auxiliary
+/// loads, `flops` float ops (tape ops plus one for reducing stores) and
+/// one store.
+#[derive(Debug, Clone)]
+struct FusedMap {
+    out: u32,
+    /// Output index probes at `t = min` / `t = min + 1`.
+    o0: u16,
+    o1: u16,
+    kind: StoreKind,
+    sites: Box<[MapSite]>,
+    tape: Box<[MapOp]>,
+    /// Register holding the trip count.
+    n: u16,
+    /// Static aux loads per element (every load/cast occurrence plus the
+    /// store index).
+    aux: u32,
+    /// Float ops per element (tape `Bin`/`Un` plus reducing store).
+    flops: u32,
+}
+
+/// Operands of the fused multiply-accumulate loop.
+///
+/// The compiler proves (syntactically) that all three index expressions
+/// are *affine* in the loop variable — the variable appears only under
+/// `+`/`-`/`×`-by-invariant, never inside a buffer load, uninterpreted
+/// function, select, division or min/max — so each index is fully
+/// described by its value at `i = min` (the `*0` registers) and at
+/// `i = min + 1` (the `*1` registers): `idx(t) = idx0 + t·(idx1 - idx0)`.
+/// Both probes are pure arithmetic over the loop variable (no memory
+/// access depends on it), so evaluating them touches exactly the memory
+/// a first iteration would.
+///
+/// Executing the instruction performs `n` iterations of
+/// `out[o(t)] += a[a(t)] * b[b(t)]` in serial order and charges the same
+/// statistics the unfused loop would: per iteration `aux` auxiliary
+/// loads (the three indices' static load counts), two FLOPs (multiply +
+/// add-assign) and one store. The zero-trip case is branched around
+/// before the index probes, so an empty loop executes nothing — exactly
+/// like the unfused back-edge.
+#[derive(Debug, Clone)]
+struct FusedMulAcc {
+    /// Output buffer slot (proved distinct from `a` and `b`).
+    out: u32,
+    /// Left operand buffer slot.
+    a: u32,
+    /// Right operand buffer slot.
+    b: u32,
+    /// Registers holding each index at `i = min` / `i = min + 1`.
+    o0: u16,
+    o1: u16,
+    a0: u16,
+    a1: u16,
+    b0: u16,
+    b1: u16,
+    /// Register holding the trip count (the loop extent).
+    n: u16,
+    /// Static aux loads charged per iteration (all three indices).
+    aux: u32,
+}
+
+/// Operands of the two-level fused multiply-accumulate loop: a whole
+/// `for o { for i { out[..] += a[..] · b[..] } }` nest in one dispatch.
+///
+/// All three indices are proven *bilinear-free* 2-D affine in the two
+/// loop variables (`idx = base + o·so + i·si` with constant strides), so
+/// three probes fully describe each: at `(o₀, i₀)` (`*00`), at
+/// `(o₀, i₀+1)` (`*0i`, inner stride) and at `(o₀+1, i₀)` (`*0o`, outer
+/// stride). The inner bounds are outer-invariant and evaluated once; the
+/// serial program charges their static loads per outer iteration, which
+/// [`FusedMulAcc2::aux_inner_bounds`] reproduces.
+///
+/// The common stride shapes execute as native *panels* — the i-k-j GEMM
+/// row (`out_row += a[t]·b_row(t)`, vectorizable) and the per-row dot
+/// (`out[t] += a_row(t)·b_row(t)`) — with bit-identical results and
+/// statistics to the unfused nest.
+#[derive(Debug, Clone)]
+struct FusedMulAcc2 {
+    /// Output buffer slot (proved distinct from `a` and `b`).
+    out: u32,
+    /// Left operand buffer slot.
+    a: u32,
+    /// Right operand buffer slot.
+    b: u32,
+    /// Index probes (see type docs).
+    o00: u16,
+    o0i: u16,
+    o0o: u16,
+    a00: u16,
+    a0i: u16,
+    a0o: u16,
+    b00: u16,
+    b0i: u16,
+    b0o: u16,
+    /// Registers holding the outer / inner trip counts.
+    n_outer: u16,
+    n_inner: u16,
+    /// Static aux loads charged per inner iteration (all three indices).
+    aux: u32,
+    /// Static aux loads of the inner loop's bounds, charged once per
+    /// outer iteration (the serial inner-loop header's `BumpAux`).
+    aux_inner_bounds: u32,
 }
 
 /// A lowered statement compiled to slot-resolved bytecode.
@@ -460,6 +626,94 @@ impl fmt::Display for VmProgram {
                 Instr::FAlloc { slot, size, aux } => {
                     format!("falloc   {}, r{size}, aux={aux}", fbuf(*slot))
                 }
+                Instr::FMulAcc(op) => {
+                    format!(
+                        "fmulacc  {}[r{}:r{}] += {}[r{}:r{}] * {}[r{}:r{}], n=r{}, aux={}",
+                        fbuf(op.out),
+                        op.o0,
+                        op.o1,
+                        fbuf(op.a),
+                        op.a0,
+                        op.a1,
+                        fbuf(op.b),
+                        op.b0,
+                        op.b1,
+                        op.n,
+                        op.aux
+                    )
+                }
+                Instr::FMap(op) => {
+                    let sites: Vec<String> = op
+                        .sites
+                        .iter()
+                        .map(|s| {
+                            if s.buf == u32::MAX {
+                                format!("<idx r{}:r{}>", s.r0, s.r1)
+                            } else {
+                                format!("{}[r{}:r{}]", fbuf(s.buf), s.r0, s.r1)
+                            }
+                        })
+                        .collect();
+                    let tape: Vec<String> = op
+                        .tape
+                        .iter()
+                        .map(|o| match o {
+                            MapOp::Const { v } => format!("#{v:?}"),
+                            MapOp::Load { site } => format!("ld{site}"),
+                            MapOp::Cast { site } => format!("cast{site}"),
+                            MapOp::Bin { op, a, b } => format!("{} t{a} t{b}", fbin(*op)),
+                            MapOp::Un { op, a } => {
+                                let name = match op {
+                                    FUnaryOp::Neg => "neg",
+                                    FUnaryOp::Exp => "exp",
+                                    FUnaryOp::Sqrt => "sqrt",
+                                    FUnaryOp::Recip => "recip",
+                                    FUnaryOp::Tanh => "tanh",
+                                    FUnaryOp::Relu => "relu",
+                                };
+                                format!("{name} t{a}")
+                            }
+                        })
+                        .collect();
+                    let k = match op.kind {
+                        StoreKind::Assign => "assign",
+                        StoreKind::AddAssign => "add",
+                        StoreKind::MaxAssign => "max",
+                    };
+                    format!(
+                        "fmap     {}[r{}:r{}] {k} ({}), sites=[{}], n=r{}, aux={}, flops={}",
+                        fbuf(op.out),
+                        op.o0,
+                        op.o1,
+                        tape.join("; "),
+                        sites.join(", "),
+                        op.n,
+                        op.aux,
+                        op.flops
+                    )
+                }
+                Instr::FMulAcc2(op) => {
+                    format!(
+                        "fmulacc2 {}[r{}:r{}:r{}] += {}[r{}:r{}:r{}] * {}[r{}:r{}:r{}], \
+                         n=r{}xr{}, aux={}, baux={}",
+                        fbuf(op.out),
+                        op.o00,
+                        op.o0i,
+                        op.o0o,
+                        fbuf(op.a),
+                        op.a00,
+                        op.a0i,
+                        op.a0o,
+                        fbuf(op.b),
+                        op.b00,
+                        op.b0i,
+                        op.b0o,
+                        op.n_outer,
+                        op.n_inner,
+                        op.aux,
+                        op.aux_inner_bounds
+                    )
+                }
             };
             writeln!(f, "{pc:>4}  {line}")?;
         }
@@ -497,6 +751,26 @@ impl RegAlloc {
         self.next = mark;
     }
 }
+
+/// Builder state for one [`FusedMap`] tape.
+#[derive(Default)]
+struct MapBuild {
+    /// `(buffer slot | u32::MAX for casts, index expr)` per site.
+    sites: Vec<(u32, Expr)>,
+    /// `(slot, rendered index)` → temp id, for site deduplication.
+    memo: std::collections::HashMap<(u32, String), u16>,
+    tape: Vec<MapOp>,
+    /// Static aux loads per element (occurrence-counted).
+    aux: u64,
+    /// Float (tape) ops per element.
+    flops: u64,
+}
+
+/// Pattern caps keeping the [`FusedMap`] executor's stack scratch small.
+const MAX_MAP_SITES: usize = 12;
+const MAX_MAP_TAPE: usize = 24;
+/// Elements processed per tape sweep.
+const MAP_CHUNK: usize = 64;
 
 struct Compiler {
     code: Vec<Instr>,
@@ -884,6 +1158,406 @@ impl Compiler {
         dst
     }
 
+    /// Attempts to compile `for var in min..min+extent { body }` as one
+    /// [`FusedMulAcc`] instruction. Succeeds only for the canonical
+    /// reduction shape `out[i(var)] += A[j(var)] * B[k(var)]` with all
+    /// three indices affine in `var` and the output buffer distinct from
+    /// both operands — the inner loop of every lowered GEMM-, score- and
+    /// AttnV-style operator. Returns `false` (and emits nothing) when the
+    /// pattern does not apply; the caller then compiles the loop normally.
+    fn try_fused_mul_acc(&mut self, var: &str, min: &Expr, extent: &Expr, body: &Stmt) -> bool {
+        // Prefer fusing a whole two-deep nest (this loop + the loop
+        // directly inside it) when the body is itself a loop around the
+        // canonical store — the GEMM/scores/AttnV shape.
+        if let Stmt::For {
+            var: ivar,
+            min: imin,
+            extent: iext,
+            body: ibody,
+            kind: _,
+        } = body
+        {
+            if self.try_fused_mul_acc2(var, min, extent, ivar, imin, iext, ibody) {
+                return true;
+            }
+        }
+        let Some((buffer, index, abuf, aidx, bbuf, bidx)) = as_mul_acc_store(body) else {
+            return false;
+        };
+        if !is_affine_in(index, var) || !is_affine_in(aidx, var) || !is_affine_in(bidx, var) {
+            return false;
+        }
+        let out = self.resolve_fbuf(buffer);
+        let a_slot = self.resolve_fbuf(abuf);
+        let b_slot = self.resolve_fbuf(bbuf);
+        // The fused form accumulates out-of-buffer (and `saxpy` splits
+        // borrows), so the output must not alias either operand.
+        if a_slot == out || b_slot == out {
+            return false;
+        }
+
+        let im = self.iregs.mark();
+        let r_min = self.expr(min);
+        let r_ext = self.expr(extent);
+        // Loop bounds charge their static load counts once, exactly like
+        // the unfused loop header.
+        self.emit(Instr::BumpAux {
+            n: aux_u32(count_loads(min) + count_loads(extent)),
+        });
+        let slot = self.push_var(var);
+        self.emit(Instr::SetVar { slot, src: r_min });
+        // Zero-trip guard *before* the index probes: an empty loop must
+        // evaluate nothing, like the unfused `BrVarGe` would ensure.
+        let rz = self.iregs.alloc();
+        self.emit(Instr::IConst { dst: rz, v: 0 });
+        let (l_run, l_end) = (self.new_label(), self.new_label());
+        self.emit(Instr::BrCmp {
+            op: CmpOp::Le,
+            a: r_ext,
+            b: rz,
+            on_true: l_end,
+            on_false: l_run,
+        });
+        self.place(l_run);
+        // Probe each index at i = min and i = min + 1; affine-ness makes
+        // the pair a full description (base + stride).
+        let o0 = self.expr(index);
+        let a0 = self.expr(aidx);
+        let b0 = self.expr(bidx);
+        let bump = self.iregs.alloc();
+        self.emit(Instr::IVar { dst: bump, slot });
+        self.emit(Instr::IBinC {
+            op: IBinOp::Add,
+            dst: bump,
+            a: bump,
+            c: 1,
+        });
+        self.emit(Instr::SetVar { slot, src: bump });
+        let o1 = self.expr(index);
+        let a1 = self.expr(aidx);
+        let b1 = self.expr(bidx);
+        self.emit(Instr::FMulAcc(Box::new(FusedMulAcc {
+            out,
+            a: a_slot,
+            b: b_slot,
+            o0,
+            o1,
+            a0,
+            a1,
+            b0,
+            b1,
+            n: r_ext,
+            aux: aux_u32(count_loads(index) + count_loads(aidx) + count_loads(bidx)),
+        })));
+        self.place(l_end);
+        self.var_scope.pop();
+        self.iregs.release(im);
+        true
+    }
+
+    /// Attempts to compile the two-deep nest
+    /// `for ovar { for ivar { out[..] += A[..] * B[..] } }` as one
+    /// [`FusedMulAcc2`]. Requires all three indices bilinear-free 2-D
+    /// affine in `(ivar, ovar)` and the inner bounds outer-invariant;
+    /// returns `false` (emitting nothing) otherwise.
+    #[allow(clippy::too_many_arguments)]
+    fn try_fused_mul_acc2(
+        &mut self,
+        ovar: &str,
+        omin: &Expr,
+        oext: &Expr,
+        ivar: &str,
+        imin: &Expr,
+        iext: &Expr,
+        body: &Stmt,
+    ) -> bool {
+        if ovar == ivar {
+            return false;
+        }
+        let Some((buffer, index, abuf, aidx, bbuf, bidx)) = as_mul_acc_store(body) else {
+            return false;
+        };
+        // Inner bounds are hoisted out of the outer loop, so they must
+        // not depend on it.
+        if expr_mentions(imin, ovar) || expr_mentions(iext, ovar) {
+            return false;
+        }
+        if !is_affine2(index, ivar, ovar)
+            || !is_affine2(aidx, ivar, ovar)
+            || !is_affine2(bidx, ivar, ovar)
+        {
+            return false;
+        }
+        let out = self.resolve_fbuf(buffer);
+        let a_slot = self.resolve_fbuf(abuf);
+        let b_slot = self.resolve_fbuf(bbuf);
+        if a_slot == out || b_slot == out {
+            return false;
+        }
+
+        let im = self.iregs.mark();
+        let r_omin = self.expr(omin);
+        let r_oext = self.expr(oext);
+        self.emit(Instr::BumpAux {
+            n: aux_u32(count_loads(omin) + count_loads(oext)),
+        });
+        let oslot = self.push_var(ovar);
+        self.emit(Instr::SetVar {
+            slot: oslot,
+            src: r_omin,
+        });
+        let rz = self.iregs.alloc();
+        self.emit(Instr::IConst { dst: rz, v: 0 });
+        let (l_run, l_end) = (self.new_label(), self.new_label());
+        self.emit(Instr::BrCmp {
+            op: CmpOp::Le,
+            a: r_oext,
+            b: rz,
+            on_true: l_end,
+            on_false: l_run,
+        });
+        self.place(l_run);
+        // Inner bounds, evaluated once (outer-invariant); the serial
+        // nest charges their loads per outer iteration — reproduced by
+        // `aux_inner_bounds` at run time.
+        let r_imin = self.expr(imin);
+        let r_iext = self.expr(iext);
+        let islot = self.push_var(ivar);
+        self.emit(Instr::SetVar {
+            slot: islot,
+            src: r_imin,
+        });
+        // Probes at (o₀, i₀), (o₀, i₀+1) and (o₀+1, i₀).
+        let o00 = self.expr(index);
+        let a00 = self.expr(aidx);
+        let b00 = self.expr(bidx);
+        let bump_i = self.iregs.alloc();
+        self.emit(Instr::IVar {
+            dst: bump_i,
+            slot: islot,
+        });
+        self.emit(Instr::IBinC {
+            op: IBinOp::Add,
+            dst: bump_i,
+            a: bump_i,
+            c: 1,
+        });
+        self.emit(Instr::SetVar {
+            slot: islot,
+            src: bump_i,
+        });
+        let o0i = self.expr(index);
+        let a0i = self.expr(aidx);
+        let b0i = self.expr(bidx);
+        self.emit(Instr::SetVar {
+            slot: islot,
+            src: r_imin,
+        });
+        let bump_o = self.iregs.alloc();
+        self.emit(Instr::IVar {
+            dst: bump_o,
+            slot: oslot,
+        });
+        self.emit(Instr::IBinC {
+            op: IBinOp::Add,
+            dst: bump_o,
+            a: bump_o,
+            c: 1,
+        });
+        self.emit(Instr::SetVar {
+            slot: oslot,
+            src: bump_o,
+        });
+        let o0o = self.expr(index);
+        let a0o = self.expr(aidx);
+        let b0o = self.expr(bidx);
+        self.emit(Instr::FMulAcc2(Box::new(FusedMulAcc2 {
+            out,
+            a: a_slot,
+            b: b_slot,
+            o00,
+            o0i,
+            o0o,
+            a00,
+            a0i,
+            a0o,
+            b00,
+            b0i,
+            b0o,
+            n_outer: r_oext,
+            n_inner: r_iext,
+            aux: aux_u32(count_loads(index) + count_loads(aidx) + count_loads(bidx)),
+            aux_inner_bounds: aux_u32(count_loads(imin) + count_loads(iext)),
+        })));
+        self.place(l_end);
+        self.var_scope.pop();
+        self.var_scope.pop();
+        self.iregs.release(im);
+        true
+    }
+
+    /// Builds the [`FusedMap`] tape for `e`, returning the producing temp
+    /// id, or `None` when `e` contains a select or a non-affine index.
+    /// Repeated `(buffer, index)` sites are memoised into one temp but
+    /// still charge their aux loads per occurrence.
+    fn map_tape(&self, e: &FExpr, var: &str, mb: &mut MapBuild) -> Option<u16> {
+        let t = match e.kind() {
+            FExprKind::Const(v) => {
+                mb.tape.push(MapOp::Const { v: *v });
+                mb.tape.len() - 1
+            }
+            FExprKind::Load(buf, idx) => {
+                if !is_affine_in(idx, var) {
+                    return None;
+                }
+                let slot = self.resolve_fbuf(buf);
+                mb.aux += count_loads(idx);
+                let key = (slot, format!("{idx}"));
+                if let Some(&t) = mb.memo.get(&key) {
+                    return Some(t);
+                }
+                let site = u16::try_from(mb.sites.len()).ok()?;
+                mb.sites.push((slot, idx.clone()));
+                mb.tape.push(MapOp::Load { site });
+                let t = (mb.tape.len() - 1) as u16;
+                mb.memo.insert(key, t);
+                return Some(t);
+            }
+            FExprKind::Cast(i) => {
+                if !is_affine_in(i, var) {
+                    return None;
+                }
+                mb.aux += count_loads(i);
+                let key = (u32::MAX, format!("{i}"));
+                if let Some(&t) = mb.memo.get(&key) {
+                    return Some(t);
+                }
+                let site = u16::try_from(mb.sites.len()).ok()?;
+                mb.sites.push((u32::MAX, i.clone()));
+                mb.tape.push(MapOp::Cast { site });
+                let t = (mb.tape.len() - 1) as u16;
+                mb.memo.insert(key, t);
+                return Some(t);
+            }
+            FExprKind::Add(a, b) => self.map_bin(FBinOp::Add, a, b, var, mb)?,
+            FExprKind::Sub(a, b) => self.map_bin(FBinOp::Sub, a, b, var, mb)?,
+            FExprKind::Mul(a, b) => self.map_bin(FBinOp::Mul, a, b, var, mb)?,
+            FExprKind::Div(a, b) => self.map_bin(FBinOp::Div, a, b, var, mb)?,
+            FExprKind::Max(a, b) => self.map_bin(FBinOp::Max, a, b, var, mb)?,
+            FExprKind::Unary(op, a) => {
+                let ta = self.map_tape(a, var, mb)?;
+                mb.flops += 1;
+                mb.tape.push(MapOp::Un { op: *op, a: ta });
+                mb.tape.len() - 1
+            }
+            FExprKind::Select(_, _, _) => return None,
+        };
+        u16::try_from(t).ok()
+    }
+
+    fn map_bin(
+        &self,
+        op: FBinOp,
+        a: &FExpr,
+        b: &FExpr,
+        var: &str,
+        mb: &mut MapBuild,
+    ) -> Option<usize> {
+        let ta = self.map_tape(a, var, mb)?;
+        let tb = self.map_tape(b, var, mb)?;
+        mb.flops += 1;
+        mb.tape.push(MapOp::Bin { op, a: ta, b: tb });
+        Some(mb.tape.len() - 1)
+    }
+
+    /// Attempts to compile `for var { out[..] (=|+=|max=) f(..) }` as one
+    /// [`FusedMap`]. Applies to branch-free bodies whose every integer
+    /// index is affine in `var` (and that do not load the output buffer,
+    /// which chunked evaluation could observe mid-store). Returns `false`
+    /// (emitting nothing) when the pattern does not apply.
+    fn try_fused_map(&mut self, var: &str, min: &Expr, extent: &Expr, body: &Stmt) -> bool {
+        let Stmt::Store {
+            buffer,
+            index,
+            value,
+            kind,
+        } = body
+        else {
+            return false;
+        };
+        if !is_affine_in(index, var) {
+            return false;
+        }
+        let out = self.resolve_fbuf(buffer);
+        let mut mb = MapBuild::default();
+        if self.map_tape(value, var, &mut mb).is_none() {
+            return false;
+        }
+        if mb.sites.len() > MAX_MAP_SITES || mb.tape.len() > MAX_MAP_TAPE {
+            return false;
+        }
+        if mb.sites.iter().any(|(slot, _)| *slot == out) {
+            return false;
+        }
+        let aux = aux_u32(mb.aux + count_loads(index));
+        let flops = aux_u32(mb.flops + u64::from(!matches!(kind, StoreKind::Assign)));
+
+        let im = self.iregs.mark();
+        let r_min = self.expr(min);
+        let r_ext = self.expr(extent);
+        self.emit(Instr::BumpAux {
+            n: aux_u32(count_loads(min) + count_loads(extent)),
+        });
+        let slot = self.push_var(var);
+        self.emit(Instr::SetVar { slot, src: r_min });
+        let rz = self.iregs.alloc();
+        self.emit(Instr::IConst { dst: rz, v: 0 });
+        let (l_run, l_end) = (self.new_label(), self.new_label());
+        self.emit(Instr::BrCmp {
+            op: CmpOp::Le,
+            a: r_ext,
+            b: rz,
+            on_true: l_end,
+            on_false: l_run,
+        });
+        self.place(l_run);
+        let o0 = self.expr(index);
+        let site_exprs: Vec<Expr> = mb.sites.iter().map(|(_, e)| e.clone()).collect();
+        let r0s: Vec<u16> = site_exprs.iter().map(|e| self.expr(e)).collect();
+        let bump = self.iregs.alloc();
+        self.emit(Instr::IVar { dst: bump, slot });
+        self.emit(Instr::IBinC {
+            op: IBinOp::Add,
+            dst: bump,
+            a: bump,
+            c: 1,
+        });
+        self.emit(Instr::SetVar { slot, src: bump });
+        let o1 = self.expr(index);
+        let r1s: Vec<u16> = site_exprs.iter().map(|e| self.expr(e)).collect();
+        let sites: Box<[MapSite]> = mb
+            .sites
+            .iter()
+            .zip(r0s.iter().zip(&r1s))
+            .map(|((slot, _), (&r0, &r1))| MapSite { buf: *slot, r0, r1 })
+            .collect();
+        self.emit(Instr::FMap(Box::new(FusedMap {
+            out,
+            o0,
+            o1,
+            kind: *kind,
+            sites,
+            tape: mb.tape.into_boxed_slice(),
+            n: r_ext,
+            aux,
+            flops,
+        })));
+        self.place(l_end);
+        self.var_scope.pop();
+        self.iregs.release(im);
+        true
+    }
+
     fn stmt(&mut self, s: &Stmt) {
         match s {
             Stmt::For {
@@ -893,6 +1567,12 @@ impl Compiler {
                 body,
                 kind: _,
             } => {
+                if self.try_fused_mul_acc(var, min, extent, body) {
+                    return;
+                }
+                if self.try_fused_map(var, min, extent, body) {
+                    return;
+                }
                 let im = self.iregs.mark();
                 let r_min = self.expr(min);
                 let r_ext = self.expr(extent);
@@ -1033,6 +1713,183 @@ impl Compiler {
 
 fn aux_u32(n: u64) -> u32 {
     u32::try_from(n).expect("aux-load count fits u32")
+}
+
+/// Matches the canonical fusable reduction store
+/// `buffer[index] += A[aidx] * B[bidx]`.
+fn as_mul_acc_store(body: &Stmt) -> Option<(&str, &Expr, &str, &Expr, &str, &Expr)> {
+    let Stmt::Store {
+        buffer,
+        index,
+        value,
+        kind: StoreKind::AddAssign,
+    } = body
+    else {
+        return None;
+    };
+    let FExprKind::Mul(a, b) = value.kind() else {
+        return None;
+    };
+    let (FExprKind::Load(abuf, aidx), FExprKind::Load(bbuf, bidx)) = (a.kind(), b.kind()) else {
+        return None;
+    };
+    Some((buffer, index, abuf, aidx, bbuf, bidx))
+}
+
+/// True when `e` is affine in `var` *and* no memory access, uninterpreted
+/// function, select or non-linear operator involves `var`: `var` may
+/// appear only under `+`/`-`, or under `×` with a `var`-free co-factor.
+/// Such an expression is fully determined by its values at two
+/// consecutive `var` points, and probing it at any in-range point
+/// touches exactly the memory an ordinary evaluation would.
+fn is_affine_in(e: &Expr, var: &str) -> bool {
+    affine_degree(e, var).is_some()
+}
+
+/// True when `e` is `base + c_i·vi + c_o·vo` with constant coefficients:
+/// affine in each variable, with no product of two variable-dependent
+/// factors (which would make a stride depend on the other variable) and
+/// no memory access through either variable.
+fn is_affine2(e: &Expr, vi: &str, vo: &str) -> bool {
+    affine2_degree(e, vi, vo).is_some()
+}
+
+/// `Some((mentions_vi, mentions_vo))` for bilinear-free 2-D affine
+/// expressions, `None` otherwise.
+fn affine2_degree(e: &Expr, vi: &str, vo: &str) -> Option<(bool, bool)> {
+    match e.kind() {
+        ExprKind::Int(_) => Some((false, false)),
+        ExprKind::Var(n) => Some((n == vi, n == vo)),
+        ExprKind::Add(a, b) | ExprKind::Sub(a, b) => {
+            let (ai, ao) = affine2_degree(a, vi, vo)?;
+            let (bi, bo) = affine2_degree(b, vi, vo)?;
+            Some((ai || bi, ao || bo))
+        }
+        ExprKind::Mul(a, b) => {
+            let (ai, ao) = affine2_degree(a, vi, vo)?;
+            let (bi, bo) = affine2_degree(b, vi, vo)?;
+            // A product of two variable-dependent factors is quadratic
+            // or bilinear — its strides are not constant.
+            if (ai || ao) && (bi || bo) {
+                None
+            } else {
+                Some((ai || bi, ao || bo))
+            }
+        }
+        ExprKind::FloorDiv(a, b)
+        | ExprKind::FloorMod(a, b)
+        | ExprKind::Min(a, b)
+        | ExprKind::Max(a, b) => {
+            let (ai, ao) = affine2_degree(a, vi, vo)?;
+            let (bi, bo) = affine2_degree(b, vi, vo)?;
+            if ai || ao || bi || bo {
+                None
+            } else {
+                Some((false, false))
+            }
+        }
+        ExprKind::Select(c, a, b) => {
+            if cond_mentions(c, vi) || cond_mentions(c, vo) {
+                return None;
+            }
+            let (ai, ao) = affine2_degree(a, vi, vo)?;
+            let (bi, bo) = affine2_degree(b, vi, vo)?;
+            if ai || ao || bi || bo {
+                None
+            } else {
+                Some((false, false))
+            }
+        }
+        ExprKind::Uf(_, args) => {
+            for a in args {
+                let (ai, ao) = affine2_degree(a, vi, vo)?;
+                if ai || ao {
+                    return None;
+                }
+            }
+            Some((false, false))
+        }
+        ExprKind::Load(_, idx) => {
+            let (ai, ao) = affine2_degree(idx, vi, vo)?;
+            if ai || ao {
+                None
+            } else {
+                Some((false, false))
+            }
+        }
+    }
+}
+
+/// `Some(true)` if affine and mentioning `var`, `Some(false)` if `var`-free,
+/// `None` if non-affine in `var`.
+fn affine_degree(e: &Expr, var: &str) -> Option<bool> {
+    match e.kind() {
+        ExprKind::Int(_) => Some(false),
+        ExprKind::Var(n) => Some(n == var),
+        ExprKind::Add(a, b) | ExprKind::Sub(a, b) => {
+            Some(affine_degree(a, var)? || affine_degree(b, var)?)
+        }
+        ExprKind::Mul(a, b) => {
+            let (da, db) = (affine_degree(a, var)?, affine_degree(b, var)?);
+            // Affine × var-free stays affine; var × var is quadratic.
+            if da && db {
+                None
+            } else {
+                Some(da || db)
+            }
+        }
+        ExprKind::FloorDiv(a, b)
+        | ExprKind::FloorMod(a, b)
+        | ExprKind::Min(a, b)
+        | ExprKind::Max(a, b) => {
+            if affine_degree(a, var)? || affine_degree(b, var)? {
+                None
+            } else {
+                Some(false)
+            }
+        }
+        ExprKind::Select(c, a, b) => {
+            if cond_mentions(c, var) || affine_degree(a, var)? || affine_degree(b, var)? {
+                None
+            } else {
+                Some(false)
+            }
+        }
+        ExprKind::Uf(_, args) => {
+            for a in args {
+                if affine_degree(a, var)? {
+                    return None;
+                }
+            }
+            Some(false)
+        }
+        ExprKind::Load(_, idx) => {
+            // A table lookup indexed by the loop variable is not affine
+            // (and probing it out of loop order would be unsound).
+            if affine_degree(idx, var)? {
+                None
+            } else {
+                Some(false)
+            }
+        }
+    }
+}
+
+fn cond_mentions(c: &Cond, var: &str) -> bool {
+    match c.kind() {
+        CondKind::Const(_) => false,
+        CondKind::Lt(a, b) | CondKind::Le(a, b) | CondKind::Eq(a, b) | CondKind::Ne(a, b) => {
+            expr_mentions(a, var) || expr_mentions(b, var)
+        }
+        CondKind::And(a, b) | CondKind::Or(a, b) => cond_mentions(a, var) || cond_mentions(b, var),
+        CondKind::Not(a) => cond_mentions(a, var),
+    }
+}
+
+fn expr_mentions(e: &Expr, var: &str) -> bool {
+    let mut vars = std::collections::BTreeSet::new();
+    cora_ir::visit::free_vars(e, &mut vars);
+    vars.contains(var)
 }
 
 // ---------------------------------------------------------------------
@@ -1217,6 +2074,131 @@ trait FloatBufs {
     fn set(&mut self, slot: u32, idx: usize, v: f32);
     fn rmw<F: FnOnce(f32) -> f32>(&mut self, slot: u32, idx: usize, f: F);
     fn alloc(&mut self, slot: u32, n: usize);
+
+    /// Contiguous read-only view of a slot, when one exists (used by the
+    /// fused-loop fast paths; `None` falls back to per-element `get`).
+    fn ro(&self, slot: u32) -> Option<&[f32]>;
+
+    /// `out[o0 + t] += s * b[b0 + t]` for `t in 0..n`, the vectorizable
+    /// unit-stride shape of [`FusedMulAcc`]. Returns `false` when this
+    /// buffer representation has no fast path (caller falls back to
+    /// per-element read-modify-writes). Callers guarantee `out != b`
+    /// (established at compile time) and in-range, non-negative bases.
+    fn saxpy(&mut self, _out: u32, _o0: usize, _b: u32, _b0: usize, _s: f32, _n: usize) -> bool {
+        false
+    }
+
+    /// The i-k-j GEMM row panel of [`FusedMulAcc2`]:
+    /// `out[o0..o0+n_i] += a[a0 + t·sa_o] · b[b0 + t·sb_o ..][..n_i]`
+    /// for `t in 0..n_o`, in that order. Returns `false` when
+    /// unsupported. Callers guarantee `out ∉ {a, b}` and non-negative
+    /// bases/strides; results must be bit-identical to the per-element
+    /// nest.
+    #[allow(clippy::too_many_arguments)]
+    fn saxpy_panel(
+        &mut self,
+        _out: u32,
+        _o0: usize,
+        _n_i: usize,
+        _a: u32,
+        _a0: usize,
+        _sa_o: usize,
+        _b: u32,
+        _b0: usize,
+        _sb_o: usize,
+        _n_o: usize,
+    ) -> bool {
+        false
+    }
+
+    /// The per-row dot panel of [`FusedMulAcc2`]:
+    /// `out[o0 + t] += Σ_u a[a0 + t·sa_o + u] · b[b0 + t·sb_o + u]`
+    /// (`u in 0..n_i`) for `t in 0..n_o`. Same contract as
+    /// [`FloatBufs::saxpy_panel`].
+    #[allow(clippy::too_many_arguments)]
+    fn dot_panel(
+        &mut self,
+        _out: u32,
+        _o0: usize,
+        _a: u32,
+        _a0: usize,
+        _sa_o: usize,
+        _b: u32,
+        _b0: usize,
+        _sb_o: usize,
+        _n_i: usize,
+        _n_o: usize,
+    ) -> bool {
+        false
+    }
+}
+
+/// Shared panel kernels over plain slices — the single implementation
+/// every [`FloatBufs`] fast path funnels into, so all representations
+/// compute identical float sequences.
+mod panel {
+    #![allow(clippy::too_many_arguments)]
+
+    /// `out_row += a[t·sa_o] · b_row(t)`, `t` ascending.
+    pub(super) fn saxpy(
+        out: &mut [f32],
+        o0: usize,
+        n_i: usize,
+        a: &[f32],
+        a0: usize,
+        sa_o: usize,
+        b: &[f32],
+        b0: usize,
+        sb_o: usize,
+        n_o: usize,
+    ) {
+        let orow = &mut out[o0..o0 + n_i];
+        for t in 0..n_o {
+            let s = a[a0 + t * sa_o];
+            let brow = &b[b0 + t * sb_o..b0 + t * sb_o + n_i];
+            for (o, x) in orow.iter_mut().zip(brow) {
+                *o += s * *x;
+            }
+        }
+    }
+
+    /// `out[t] += a_row(t) · b_row(t)`, `t` ascending, accumulation in
+    /// element order.
+    pub(super) fn dot(
+        out: &mut [f32],
+        o0: usize,
+        a: &[f32],
+        a0: usize,
+        sa_o: usize,
+        b: &[f32],
+        b0: usize,
+        sb_o: usize,
+        n_i: usize,
+        n_o: usize,
+    ) {
+        for t in 0..n_o {
+            let ar = &a[a0 + t * sa_o..a0 + t * sa_o + n_i];
+            let br = &b[b0 + t * sb_o..b0 + t * sb_o + n_i];
+            let mut acc = out[o0 + t];
+            for (x, y) in ar.iter().zip(br) {
+                acc += *x * *y;
+            }
+            out[o0 + t] = acc;
+        }
+    }
+}
+
+/// Splits two distinct indices of a `Vec`-of-buffers into one mutable and
+/// one shared reference.
+fn split_mut_ref<T>(v: &mut [T], m: usize, r: usize) -> (&mut T, &T) {
+    assert_ne!(m, r, "aliasing fused-loop operands");
+    if m < r {
+        let (lo, hi) = v.split_at_mut(r);
+        (&mut lo[m], &hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(m);
+        (&mut hi[0], &lo[r])
+    }
 }
 
 /// The serial machine's float buffers: one owned `Vec` per slot.
@@ -1243,6 +2225,281 @@ impl FloatBufs for OwnedBufs<'_> {
         let buf = &mut self.0[slot as usize];
         buf.clear();
         buf.resize(n, 0.0);
+    }
+
+    #[inline]
+    fn ro(&self, slot: u32) -> Option<&[f32]> {
+        Some(&self.0[slot as usize])
+    }
+
+    fn saxpy(&mut self, out: u32, o0: usize, b: u32, b0: usize, s: f32, n: usize) -> bool {
+        let (ov, bv) = split_mut_ref(self.0, out as usize, b as usize);
+        for (o, x) in ov[o0..o0 + n].iter_mut().zip(&bv[b0..b0 + n]) {
+            *o += s * *x;
+        }
+        true
+    }
+
+    fn saxpy_panel(
+        &mut self,
+        out: u32,
+        o0: usize,
+        n_i: usize,
+        a: u32,
+        a0: usize,
+        sa_o: usize,
+        b: u32,
+        b0: usize,
+        sb_o: usize,
+        n_o: usize,
+    ) -> bool {
+        // `out ∉ {a, b}` by the caller's contract, so taking the output
+        // vector leaves the operands readable in place.
+        let mut ovec = std::mem::take(&mut self.0[out as usize]);
+        panel::saxpy(
+            &mut ovec,
+            o0,
+            n_i,
+            &self.0[a as usize],
+            a0,
+            sa_o,
+            &self.0[b as usize],
+            b0,
+            sb_o,
+            n_o,
+        );
+        self.0[out as usize] = ovec;
+        true
+    }
+
+    fn dot_panel(
+        &mut self,
+        out: u32,
+        o0: usize,
+        a: u32,
+        a0: usize,
+        sa_o: usize,
+        b: u32,
+        b0: usize,
+        sb_o: usize,
+        n_i: usize,
+        n_o: usize,
+    ) -> bool {
+        let mut ovec = std::mem::take(&mut self.0[out as usize]);
+        panel::dot(
+            &mut ovec,
+            o0,
+            &self.0[a as usize],
+            a0,
+            sa_o,
+            &self.0[b as usize],
+            b0,
+            sb_o,
+            n_i,
+            n_o,
+        );
+        self.0[out as usize] = ovec;
+        true
+    }
+}
+
+/// One float-buffer binding for borrowed-buffer execution
+/// ([`VmShared::run_borrowed`]): arena-backed pipelines hand the VM
+/// views into caller-owned storage instead of moving `Vec`s in and out
+/// per stage.
+#[derive(Debug)]
+pub enum BoundBuf<'a> {
+    /// A read-only input slice.
+    In(&'a [f32]),
+    /// A written slice (the stage output), pre-initialised by the caller.
+    Out(&'a mut [f32]),
+}
+
+/// Borrowed float buffers for one serial execution: free slots alias
+/// caller storage, `Alloc` scratch stays private to the call.
+struct BorrowedBufs<'a> {
+    prog: &'a VmProgram,
+    bufs: Vec<BoundBuf<'a>>,
+    n_free: usize,
+    scratch: Vec<Vec<f32>>,
+}
+
+impl FloatBufs for BorrowedBufs<'_> {
+    #[inline]
+    fn get(&self, slot: u32, idx: usize) -> f32 {
+        if (slot as usize) < self.n_free {
+            match &self.bufs[slot as usize] {
+                BoundBuf::In(b) => b[idx],
+                BoundBuf::Out(b) => b[idx],
+            }
+        } else {
+            self.scratch[slot as usize - self.n_free][idx]
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, slot: u32, idx: usize, v: f32) {
+        if (slot as usize) < self.n_free {
+            match &mut self.bufs[slot as usize] {
+                BoundBuf::Out(b) => b[idx] = v,
+                BoundBuf::In(_) => panic!(
+                    "program stores to buffer `{}`, which was bound read-only",
+                    fbuf_name(self.prog, slot)
+                ),
+            }
+        } else {
+            self.scratch[slot as usize - self.n_free][idx] = v;
+        }
+    }
+
+    #[inline]
+    fn rmw<F: FnOnce(f32) -> f32>(&mut self, slot: u32, idx: usize, f: F) {
+        if (slot as usize) < self.n_free {
+            match &mut self.bufs[slot as usize] {
+                BoundBuf::Out(b) => {
+                    let cell = &mut b[idx];
+                    *cell = f(*cell);
+                }
+                BoundBuf::In(_) => panic!(
+                    "program stores to buffer `{}`, which was bound read-only",
+                    fbuf_name(self.prog, slot)
+                ),
+            }
+        } else {
+            let cell = &mut self.scratch[slot as usize - self.n_free][idx];
+            *cell = f(*cell);
+        }
+    }
+
+    fn alloc(&mut self, slot: u32, n: usize) {
+        assert!(
+            (slot as usize) >= self.n_free,
+            "alloc of non-scratch slot `{}`",
+            fbuf_name(self.prog, slot)
+        );
+        let buf = &mut self.scratch[slot as usize - self.n_free];
+        buf.clear();
+        buf.resize(n, 0.0);
+    }
+
+    #[inline]
+    fn ro(&self, slot: u32) -> Option<&[f32]> {
+        if (slot as usize) < self.n_free {
+            Some(match &self.bufs[slot as usize] {
+                BoundBuf::In(b) => b,
+                BoundBuf::Out(b) => b,
+            })
+        } else {
+            Some(&self.scratch[slot as usize - self.n_free])
+        }
+    }
+
+    fn saxpy(&mut self, out: u32, o0: usize, b: u32, b0: usize, s: f32, n: usize) -> bool {
+        fn run(ov: &mut [f32], o0: usize, bv: &[f32], b0: usize, s: f32, n: usize) {
+            for (o, x) in ov[o0..o0 + n].iter_mut().zip(&bv[b0..b0 + n]) {
+                *o += s * *x;
+            }
+        }
+        let (on, bn) = (out as usize, b as usize);
+        match (on < self.n_free, bn < self.n_free) {
+            (true, true) => {
+                let (ob, bb) = split_mut_ref(&mut self.bufs, on, bn);
+                let BoundBuf::Out(ov) = ob else { return false };
+                let bv: &[f32] = match bb {
+                    BoundBuf::In(x) => x,
+                    BoundBuf::Out(x) => x,
+                };
+                run(ov, o0, bv, b0, s, n);
+            }
+            (true, false) => {
+                let bv = &self.scratch[bn - self.n_free];
+                let BoundBuf::Out(ov) = &mut self.bufs[on] else {
+                    return false;
+                };
+                run(ov, o0, bv, b0, s, n);
+            }
+            (false, true) => {
+                let bv: &[f32] = match &self.bufs[bn] {
+                    BoundBuf::In(x) => x,
+                    BoundBuf::Out(x) => x,
+                };
+                let ov = &mut self.scratch[on - self.n_free];
+                run(ov, o0, bv, b0, s, n);
+            }
+            (false, false) => {
+                let (ov, bv) = split_mut_ref(&mut self.scratch, on - self.n_free, bn - self.n_free);
+                run(ov, o0, bv, b0, s, n);
+            }
+        }
+        true
+    }
+
+    fn saxpy_panel(
+        &mut self,
+        out: u32,
+        o0: usize,
+        n_i: usize,
+        a: u32,
+        a0: usize,
+        sa_o: usize,
+        b: u32,
+        b0: usize,
+        sb_o: usize,
+        n_o: usize,
+    ) -> bool {
+        self.with_out_taken(out, |ov, me| {
+            let (Some(av), Some(bv)) = (me.ro(a), me.ro(b)) else {
+                return false;
+            };
+            panel::saxpy(ov, o0, n_i, av, a0, sa_o, bv, b0, sb_o, n_o);
+            true
+        })
+    }
+
+    fn dot_panel(
+        &mut self,
+        out: u32,
+        o0: usize,
+        a: u32,
+        a0: usize,
+        sa_o: usize,
+        b: u32,
+        b0: usize,
+        sb_o: usize,
+        n_i: usize,
+        n_o: usize,
+    ) -> bool {
+        self.with_out_taken(out, |ov, me| {
+            let (Some(av), Some(bv)) = (me.ro(a), me.ro(b)) else {
+                return false;
+            };
+            panel::dot(ov, o0, av, a0, sa_o, bv, b0, sb_o, n_i, n_o);
+            true
+        })
+    }
+}
+
+impl<'a> BorrowedBufs<'a> {
+    /// Runs `f` with the writable view of slot `out` temporarily moved
+    /// out of the table (so the operand slots stay readable through
+    /// `self`), restoring it afterwards. Returns `false` without calling
+    /// `f` when `out` is bound read-only.
+    fn with_out_taken(&mut self, out: u32, f: impl FnOnce(&mut [f32], &Self) -> bool) -> bool {
+        if (out as usize) < self.n_free {
+            let taken = std::mem::replace(&mut self.bufs[out as usize], BoundBuf::In(&[]));
+            let BoundBuf::Out(ov) = taken else {
+                self.bufs[out as usize] = taken;
+                return false;
+            };
+            let done = f(ov, self);
+            self.bufs[out as usize] = BoundBuf::Out(ov);
+            done
+        } else {
+            let mut ovec = std::mem::take(&mut self.scratch[out as usize - self.n_free]);
+            let done = f(&mut ovec, self);
+            self.scratch[out as usize - self.n_free] = ovec;
+            done
+        }
     }
 }
 
@@ -1442,10 +2699,308 @@ fn dispatch<B: FloatBufs>(
                     .unwrap_or_else(|_| panic!("negative alloc size {n} for scratch buffer"));
                 fbufs.alloc(*slot, nu);
             }
+            Instr::FMulAcc(op) => {
+                let n = iregs[op.n as usize];
+                debug_assert!(n > 0, "zero-trip fused loops are branched around");
+                let o0 = iregs[op.o0 as usize];
+                let so = iregs[op.o1 as usize] - o0;
+                let a0 = iregs[op.a0 as usize];
+                let sa = iregs[op.a1 as usize] - a0;
+                let b0 = iregs[op.b0 as usize];
+                let sb = iregs[op.b1 as usize] - b0;
+                run_fused_mul_acc(prog, fbufs, op.out, op.a, op.b, n, o0, so, a0, sa, b0, sb);
+                let iters = n as u64;
+                st.aux_loads += iters * u64::from(op.aux);
+                st.flops += 2 * iters;
+                st.stores += iters;
+            }
+            Instr::FMap(op) => {
+                let n = iregs[op.n as usize];
+                debug_assert!(n > 0, "zero-trip fused loops are branched around");
+                let o0 = iregs[op.o0 as usize];
+                let so = iregs[op.o1 as usize] - o0;
+                run_fused_map(prog, fbufs, op, n, o0, so, iregs);
+                let iters = n as u64;
+                st.aux_loads += iters * u64::from(op.aux);
+                st.flops += iters * u64::from(op.flops);
+                st.stores += iters;
+            }
+            Instr::FMulAcc2(op) => {
+                let n_o = iregs[op.n_outer as usize];
+                debug_assert!(n_o > 0, "zero-trip fused loops are branched around");
+                let n_i = iregs[op.n_inner as usize];
+                // The serial nest charges the inner loop header's bound
+                // loads once per outer iteration, body or not.
+                st.aux_loads += (n_o as u64) * u64::from(op.aux_inner_bounds);
+                if n_i > 0 {
+                    let o00 = iregs[op.o00 as usize];
+                    let (so_i, so_o) = (iregs[op.o0i as usize] - o00, iregs[op.o0o as usize] - o00);
+                    let a00 = iregs[op.a00 as usize];
+                    let (sa_i, sa_o) = (iregs[op.a0i as usize] - a00, iregs[op.a0o as usize] - a00);
+                    let b00 = iregs[op.b00 as usize];
+                    let (sb_i, sb_o) = (iregs[op.b0i as usize] - b00, iregs[op.b0o as usize] - b00);
+                    run_fused_mul_acc2(
+                        prog,
+                        fbufs,
+                        op,
+                        [n_o, n_i],
+                        [o00, so_i, so_o],
+                        [a00, sa_i, sa_o],
+                        [b00, sb_i, sb_o],
+                    );
+                    let iters = (n_o as u64) * (n_i as u64);
+                    st.aux_loads += iters * u64::from(op.aux);
+                    st.flops += 2 * iters;
+                    st.stores += iters;
+                }
+            }
         }
         pc += 1;
     }
     *stats = st;
+}
+
+/// Executes one [`FusedMap`]: `n` elements of
+/// `out[o0 + t·so] (=|+=|max=) tape(t)`, evaluated chunk-wise (each tape
+/// op swept across a whole chunk before the next — element independence
+/// keeps the per-element float sequence identical) and stored in
+/// ascending element order, so reductions accumulate exactly as the
+/// unfused loop would.
+fn run_fused_map<B: FloatBufs>(
+    prog: &VmProgram,
+    fbufs: &mut B,
+    op: &FusedMap,
+    n: i64,
+    o0: i64,
+    so: i64,
+    iregs: &[i64],
+) {
+    let nneg = |i: i64, slot: u32, what: &str| -> usize {
+        usize::try_from(i).unwrap_or_else(|_| {
+            panic!("negative {what} index {i} into `{}`", fbuf_name(prog, slot))
+        })
+    };
+    let mut bases = [(0i64, 0i64); MAX_MAP_SITES];
+    for (i, s) in op.sites.iter().enumerate() {
+        let b = iregs[s.r0 as usize];
+        bases[i] = (b, iregs[s.r1 as usize] - b);
+    }
+    let mut scratch = [[0f32; MAP_CHUNK]; MAX_MAP_TAPE];
+    let mut start = 0i64;
+    while start < n {
+        let m = ((n - start) as usize).min(MAP_CHUNK);
+        for ti in 0..op.tape.len() {
+            let (prev, cur) = scratch.split_at_mut(ti);
+            let dst = &mut cur[0][..m];
+            match &op.tape[ti] {
+                MapOp::Const { v } => dst.fill(*v),
+                MapOp::Load { site } => {
+                    let s = &op.sites[*site as usize];
+                    let (base, stride) = bases[*site as usize];
+                    let first = base + start * stride;
+                    if stride == 0 {
+                        dst.fill(fbufs.get(s.buf, nneg(first, s.buf, "load")));
+                    } else if stride == 1 {
+                        if let Some(bufv) = fbufs.ro(s.buf) {
+                            let i0 = nneg(first, s.buf, "load");
+                            dst.copy_from_slice(&bufv[i0..i0 + m]);
+                        } else {
+                            for (e, d) in dst.iter_mut().enumerate() {
+                                *d = fbufs.get(s.buf, nneg(first + e as i64, s.buf, "load"));
+                            }
+                        }
+                    } else {
+                        for (e, d) in dst.iter_mut().enumerate() {
+                            *d = fbufs.get(s.buf, nneg(first + e as i64 * stride, s.buf, "load"));
+                        }
+                    }
+                }
+                MapOp::Cast { site } => {
+                    let (base, stride) = bases[*site as usize];
+                    for (e, d) in dst.iter_mut().enumerate() {
+                        *d = (base + (start + e as i64) * stride) as f32;
+                    }
+                }
+                MapOp::Bin { op: bop, a, b } => {
+                    let (av, bv) = (&prev[*a as usize], &prev[*b as usize]);
+                    for (e, d) in dst.iter_mut().enumerate() {
+                        *d = fbin_apply(*bop, av[e], bv[e]);
+                    }
+                }
+                MapOp::Un { op: uop, a } => {
+                    let av = &prev[*a as usize];
+                    for (e, d) in dst.iter_mut().enumerate() {
+                        *d = apply_unary(*uop, av[e]);
+                    }
+                }
+            }
+        }
+        let vals = &scratch[op.tape.len() - 1][..m];
+        match op.kind {
+            StoreKind::Assign => {
+                for (e, v) in vals.iter().enumerate() {
+                    let idx = nneg(o0 + (start + e as i64) * so, op.out, "store");
+                    fbufs.set(op.out, idx, *v);
+                }
+            }
+            StoreKind::AddAssign => {
+                for (e, v) in vals.iter().enumerate() {
+                    let idx = nneg(o0 + (start + e as i64) * so, op.out, "store");
+                    fbufs.rmw(op.out, idx, |c| c + *v);
+                }
+            }
+            StoreKind::MaxAssign => {
+                for (e, v) in vals.iter().enumerate() {
+                    let idx = nneg(o0 + (start + e as i64) * so, op.out, "store");
+                    fbufs.rmw(op.out, idx, |c| c.max(*v));
+                }
+            }
+        }
+        start += m as i64;
+    }
+}
+
+/// Executes one [`FusedMulAcc2`]: the full `n_o × n_i` nest of
+/// `out[o(t,u)] += a[a(t,u)] · b[b(t,u)]` with 2-D affine indices
+/// (`[base, inner stride, outer stride]` triples), in serial nest order.
+/// The two ubiquitous stride shapes run as native panels; anything else
+/// falls back to one fused inner loop per outer iteration.
+fn run_fused_mul_acc2<B: FloatBufs>(
+    prog: &VmProgram,
+    fbufs: &mut B,
+    op: &FusedMulAcc2,
+    n: [i64; 2],
+    o: [i64; 3],
+    a: [i64; 3],
+    b: [i64; 3],
+) {
+    let [n_o, n_i] = n;
+    let ([o00, so_i, so_o], [a00, sa_i, sa_o], [b00, sb_i, sb_o]) = (o, a, b);
+    let bases_ok = o00 >= 0 && a00 >= 0 && b00 >= 0 && sa_o >= 0 && sb_o >= 0 && so_o >= 0;
+    // i-k-j GEMM row: out_row += a[t] · b_row(t).
+    if bases_ok && so_i == 1 && so_o == 0 && sa_i == 0 && sb_i == 1 {
+        let done = fbufs.saxpy_panel(
+            op.out,
+            o00 as usize,
+            n_i as usize,
+            op.a,
+            a00 as usize,
+            sa_o as usize,
+            op.b,
+            b00 as usize,
+            sb_o as usize,
+            n_o as usize,
+        );
+        if done {
+            return;
+        }
+    }
+    // Per-row dots: out[t] += a_row(t) · b_row(t).
+    if bases_ok && so_i == 0 && so_o == 1 && sa_i == 1 && sb_i == 1 {
+        let done = fbufs.dot_panel(
+            op.out,
+            o00 as usize,
+            op.a,
+            a00 as usize,
+            sa_o as usize,
+            op.b,
+            b00 as usize,
+            sb_o as usize,
+            n_i as usize,
+            n_o as usize,
+        );
+        if done {
+            return;
+        }
+    }
+    for t in 0..n_o {
+        run_fused_mul_acc(
+            prog,
+            fbufs,
+            op.out,
+            op.a,
+            op.b,
+            n_i,
+            o00 + t * so_o,
+            so_i,
+            a00 + t * sa_o,
+            sa_i,
+            b00 + t * sb_o,
+            sb_i,
+        );
+    }
+}
+
+/// Executes one [`FusedMulAcc`]: `n` iterations of
+/// `out[o0 + t·so] += a[a0 + t·sa] · b[b0 + t·sb]` in serial order, so the
+/// result is bit-identical to the unfused loop's per-iteration stores.
+#[allow(clippy::too_many_arguments)]
+fn run_fused_mul_acc<B: FloatBufs>(
+    prog: &VmProgram,
+    fbufs: &mut B,
+    out: u32,
+    a: u32,
+    b: u32,
+    n: i64,
+    o0: i64,
+    so: i64,
+    a0: i64,
+    sa: i64,
+    b0: i64,
+    sb: i64,
+) {
+    let load_idx = |base: i64, stride: i64, t: i64, slot: u32| -> usize {
+        let i = base + t * stride;
+        usize::try_from(i)
+            .unwrap_or_else(|_| panic!("negative load index {i} into `{}`", fbuf_name(prog, slot)))
+    };
+    let store_idx = |i: i64| -> usize {
+        usize::try_from(i)
+            .unwrap_or_else(|_| panic!("negative store index {i} into `{}`", fbuf_name(prog, out)))
+    };
+    let nu = n as usize;
+    if so == 0 {
+        // A reduction into one element: accumulate locally and write
+        // once. The float-add sequence `((out + x₀y₀) + x₁y₁) + …` is
+        // exactly what per-iteration read-modify-writes produce.
+        let o = store_idx(o0);
+        let mut acc = fbufs.get(out, o);
+        if sa == 1 && sb == 1 {
+            if let (Some(av), Some(bv)) = (fbufs.ro(a), fbufs.ro(b)) {
+                let ab = load_idx(a0, 1, 0, a);
+                let bb = load_idx(b0, 1, 0, b);
+                for (x, y) in av[ab..ab + nu].iter().zip(&bv[bb..bb + nu]) {
+                    acc += *x * *y;
+                }
+                fbufs.set(out, o, acc);
+                return;
+            }
+        }
+        for t in 0..n {
+            let x = fbufs.get(a, load_idx(a0, sa, t, a));
+            let y = fbufs.get(b, load_idx(b0, sb, t, b));
+            acc += x * y;
+        }
+        fbufs.set(out, o, acc);
+    } else if sa == 0 && so == 1 && sb == 1 {
+        // The vectorizable saxpy shape: a scalar left operand streaming
+        // over contiguous right/output rows.
+        let s = fbufs.get(a, load_idx(a0, 0, 0, a));
+        let ob = store_idx(o0);
+        let bb = load_idx(b0, 1, 0, b);
+        if !fbufs.saxpy(out, ob, b, bb, s, nu) {
+            for t in 0..n {
+                let y = fbufs.get(b, load_idx(b0, 1, t, b));
+                fbufs.rmw(out, store_idx(o0 + t), |c| c + s * y);
+            }
+        }
+    } else {
+        for t in 0..n {
+            let x = fbufs.get(a, load_idx(a0, sa, t, a));
+            let y = fbufs.get(b, load_idx(b0, sb, t, b));
+            fbufs.rmw(out, store_idx(o0 + t * so), |c| c + x * y);
+        }
+    }
 }
 
 #[inline]
@@ -1546,6 +3101,26 @@ impl<'a> SharedOut<'a> {
         // accessor during the region.
         unsafe { *self.0[idx].as_ptr() = v }
     }
+
+    /// Exclusive mutable view of `[start, start + n)`, for the fused
+    /// panel kernels.
+    ///
+    /// # Safety
+    ///
+    /// The executing block must own every element of the range under the
+    /// disjoint-store contract (its stores all land there and no other
+    /// block touches it), making the access exclusive for the view's
+    /// lifetime. Debug builds claim each element beforehand, so a
+    /// violated contract panics instead of racing.
+    #[inline]
+    #[allow(unsafe_code)]
+    #[allow(clippy::mut_from_ref)] // exclusivity is the method's safety contract
+    unsafe fn slice_mut(&self, start: usize, n: usize) -> &mut [f32] {
+        assert!(start + n <= self.0.len(), "panel range out of bounds");
+        // SAFETY: cells are layout-identical to f32 and the caller
+        // guarantees exclusive ownership of the range (see above).
+        unsafe { std::slice::from_raw_parts_mut(self.0[start].as_ptr(), n) }
+    }
 }
 
 /// Debug-build enforcement of the disjoint-store contract: one atomic
@@ -1590,8 +3165,10 @@ impl OutOwners {
 struct WorkerBufs<'a> {
     prog: &'a VmProgram,
     /// Free-slot inputs, shared read-only (the output slot's entry is
-    /// unused).
-    shared: &'a [Vec<f32>],
+    /// unused). Slices rather than owned vectors, so inputs may live in
+    /// the caller's buffers (e.g. a pipeline arena) as well as in a
+    /// [`VmShared`].
+    shared: &'a [&'a [f32]],
     out_slot: u32,
     out: &'a SharedOut<'a>,
     /// Number of free float-buffer slots; slots at or past this index are
@@ -1680,6 +3257,133 @@ impl FloatBufs for WorkerBufs<'_> {
         buf.clear();
         buf.resize(n, 0.0);
     }
+
+    #[inline]
+    fn ro(&self, slot: u32) -> Option<&[f32]> {
+        if slot == self.out_slot {
+            None
+        } else if (slot as usize) < self.n_free {
+            Some(self.shared[slot as usize])
+        } else {
+            Some(&self.scratch[slot as usize - self.n_free])
+        }
+    }
+
+    fn saxpy(&mut self, out: u32, o0: usize, b: u32, b0: usize, s: f32, n: usize) -> bool {
+        if out == self.out_slot {
+            // `b` is never the output (compile-time contract), so `ro`
+            // always covers it here.
+            let Some(bv) = self.ro(b) else { return false };
+            for (t, x) in bv[b0..b0 + n].iter().enumerate() {
+                let idx = o0 + t;
+                self.out_claim(idx);
+                self.out.set(idx, self.out.get(idx) + s * *x);
+            }
+            true
+        } else if (out as usize) >= self.n_free {
+            let oi = out as usize - self.n_free;
+            if (b as usize) >= self.n_free {
+                let (ov, bv) = split_mut_ref(&mut self.scratch, oi, b as usize - self.n_free);
+                for (o, x) in ov[o0..o0 + n].iter_mut().zip(&bv[b0..b0 + n]) {
+                    *o += s * *x;
+                }
+            } else {
+                let bv: &[f32] = self.shared[b as usize];
+                let ov = &mut self.scratch[oi];
+                for (o, x) in ov[o0..o0 + n].iter_mut().zip(&bv[b0..b0 + n]) {
+                    *o += s * *x;
+                }
+            }
+            true
+        } else {
+            // Storing to a shared input: fall back so `set`/`rmw` raise
+            // the canonical compiler-bug panic.
+            false
+        }
+    }
+
+    #[allow(unsafe_code)] // exclusive panel view of the shared output; see SAFETY below
+    fn saxpy_panel(
+        &mut self,
+        out: u32,
+        o0: usize,
+        n_i: usize,
+        a: u32,
+        a0: usize,
+        sa_o: usize,
+        b: u32,
+        b0: usize,
+        sb_o: usize,
+        n_o: usize,
+    ) -> bool {
+        if out == self.out_slot {
+            for idx in o0..o0 + n_i {
+                self.out_claim(idx);
+            }
+            // `a`/`b` are never the output (compile-time contract).
+            let (Some(av), Some(bv)) = (self.ro(a), self.ro(b)) else {
+                return false;
+            };
+            // SAFETY: this block stores to exactly `[o0, o0+n_i)` of the
+            // output (claimed above in debug builds); under the
+            // disjoint-store contract no other block accesses those
+            // elements, so the view is exclusive.
+            let orow = unsafe { self.out.slice_mut(o0, n_i) };
+            panel::saxpy(orow, 0, n_i, av, a0, sa_o, bv, b0, sb_o, n_o);
+            true
+        } else if (out as usize) >= self.n_free {
+            let mut ovec = std::mem::take(&mut self.scratch[out as usize - self.n_free]);
+            let (Some(av), Some(bv)) = (self.ro(a), self.ro(b)) else {
+                self.scratch[out as usize - self.n_free] = ovec;
+                return false;
+            };
+            panel::saxpy(&mut ovec, o0, n_i, av, a0, sa_o, bv, b0, sb_o, n_o);
+            self.scratch[out as usize - self.n_free] = ovec;
+            true
+        } else {
+            false
+        }
+    }
+
+    #[allow(unsafe_code)] // exclusive panel view of the shared output; see SAFETY below
+    fn dot_panel(
+        &mut self,
+        out: u32,
+        o0: usize,
+        a: u32,
+        a0: usize,
+        sa_o: usize,
+        b: u32,
+        b0: usize,
+        sb_o: usize,
+        n_i: usize,
+        n_o: usize,
+    ) -> bool {
+        if out == self.out_slot {
+            for idx in o0..o0 + n_o {
+                self.out_claim(idx);
+            }
+            let (Some(av), Some(bv)) = (self.ro(a), self.ro(b)) else {
+                return false;
+            };
+            // SAFETY: as in `saxpy_panel` — the block owns
+            // `[o0, o0+n_o)` of the output, so the view is exclusive.
+            let orow = unsafe { self.out.slice_mut(o0, n_o) };
+            panel::dot(orow, 0, av, a0, sa_o, bv, b0, sb_o, n_i, n_o);
+            true
+        } else if (out as usize) >= self.n_free {
+            let mut ovec = std::mem::take(&mut self.scratch[out as usize - self.n_free]);
+            let (Some(av), Some(bv)) = (self.ro(a), self.ro(b)) else {
+                self.scratch[out as usize - self.n_free] = ovec;
+                return false;
+            };
+            panel::dot(&mut ovec, o0, av, a0, sa_o, bv, b0, sb_o, n_i, n_o);
+            self.scratch[out as usize - self.n_free] = ovec;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// Shared, immutable per-run bindings for parallel block execution.
@@ -1757,11 +3461,12 @@ impl VmShared<'_> {
 
     /// Verifies every external binding is present, except the block
     /// variable and the output buffer (supplied by `run_blocks` itself).
-    fn check_bound(&self, block_slot: u32, out_slot: u32) {
+    /// `fbuf_bound` may extend [`Self::fbuf_bound`] with borrowed inputs.
+    fn check_bound(&self, block_slot: Option<u32>, out_slot: u32, fbuf_bound: &[bool]) {
         let s = &self.prog.slots;
         for (i, bound) in self.var_bound.iter().enumerate() {
             assert!(
-                *bound || i == block_slot as usize,
+                *bound || Some(i) == block_slot.map(|b| b as usize),
                 "unbound variable `{}`",
                 s.free_vars.names()[i]
             );
@@ -1769,7 +3474,7 @@ impl VmShared<'_> {
         for (i, bound) in self.ibuf_bound.iter().enumerate() {
             assert!(*bound, "missing auxiliary buffer `{}`", s.ibufs.names()[i]);
         }
-        for (i, bound) in self.fbuf_bound.iter().enumerate() {
+        for (i, bound) in fbuf_bound.iter().enumerate() {
             assert!(
                 *bound || i == out_slot as usize,
                 "missing float buffer `{}`",
@@ -1783,6 +3488,79 @@ impl VmShared<'_> {
                 s.ufs.names()[i]
             );
         }
+    }
+
+    /// Executes the whole program serially, with the float buffers
+    /// supplied as *borrowed* slices instead of owned vectors — the entry
+    /// point arena-backed pipelines use. Inputs bind as
+    /// [`BoundBuf::In`]; written buffers bind as [`BoundBuf::Out`] and
+    /// must be pre-initialised by the caller (the executor does not zero
+    /// them). Buffers already installed with [`VmShared::set_fbuffer`]
+    /// serve as read-only fallbacks; bindings for names the program never
+    /// references are ignored.
+    ///
+    /// Loop variables, registers and `Alloc` scratch are private to the
+    /// call, so `&self` executions are independent; outputs and
+    /// statistics are bit-identical to an owned-buffer [`VmMachine::run`]
+    /// with the same bindings.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbound inputs, stores to a buffer bound read-only, and
+    /// out-of-bounds or negative accesses — matching the owned-buffer
+    /// tiers.
+    pub fn run_borrowed(&self, fbufs: Vec<(&str, BoundBuf<'_>)>) -> InterpStats {
+        let s = &self.prog.slots;
+        let mut table: Vec<Option<BoundBuf<'_>>> = (0..s.free_fbufs.len())
+            .map(|i| {
+                if self.fbuf_bound[i] {
+                    Some(BoundBuf::In(&self.fbufs[i]))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (name, buf) in fbufs {
+            if let Some(slot) = s.free_fbufs.get(name) {
+                table[slot as usize] = Some(buf);
+            }
+        }
+        for (i, entry) in table.iter().enumerate() {
+            assert!(
+                entry.is_some(),
+                "missing float buffer `{}`",
+                s.free_fbufs.names()[i]
+            );
+        }
+        // No block variable is exempt here: every free variable must be
+        // bound for a full serial execution.
+        let all_bound = vec![true; s.free_fbufs.len()];
+        self.check_bound(None, u32::MAX, &all_bound);
+        let mut bufs = BorrowedBufs {
+            prog: self.prog,
+            bufs: table.into_iter().map(Option::unwrap).collect(),
+            n_free: s.free_fbufs.len(),
+            scratch: vec![Vec::new(); s.alloc_sites],
+        };
+        let mut vars = self.vars.clone();
+        let mut iregs = vec![0i64; self.prog.n_iregs];
+        let mut fregs = vec![0.0f32; self.prog.n_fregs];
+        let mut uf_args = Vec::new();
+        let mut stats = InterpStats::default();
+        dispatch(
+            self.prog,
+            &self.ibufs,
+            &self.ufs,
+            &mut Regs {
+                vars: &mut vars,
+                iregs: &mut iregs,
+                fregs: &mut fregs,
+                uf_args: &mut uf_args,
+            },
+            &mut bufs,
+            &mut stats,
+        );
+        stats
     }
 
     /// Executes the program once per block index, in parallel.
@@ -1827,6 +3605,72 @@ impl VmShared<'_> {
         out: &mut [f32],
         batches: &[Vec<i64>],
     ) -> InterpStats {
+        let views: Vec<&[f32]> = self.fbufs.iter().map(|v| v.as_slice()).collect();
+        self.run_blocks_views(
+            pool,
+            block_var,
+            output,
+            &views,
+            &self.fbuf_bound,
+            out,
+            batches,
+        )
+    }
+
+    /// [`VmShared::run_blocks`] with additional float inputs supplied as
+    /// *borrowed* slices (overriding any same-named owned binding) — the
+    /// parallel entry point for arena-backed pipelines, which cannot hand
+    /// the shared state owned copies of every intermediate. Bindings for
+    /// names the program never references are ignored.
+    ///
+    /// # Safety
+    ///
+    /// Identical contract to [`VmShared::run_blocks`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`VmShared::run_blocks`].
+    #[allow(unsafe_code)] // same contract as `run_blocks`
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn run_blocks_borrowed(
+        &self,
+        pool: &CpuPool,
+        block_var: &str,
+        output: &str,
+        out: &mut [f32],
+        inputs: &[(&str, &[f32])],
+        batches: &[Vec<i64>],
+    ) -> InterpStats {
+        let s = &self.prog.slots;
+        let mut views: Vec<&[f32]> = self.fbufs.iter().map(|v| v.as_slice()).collect();
+        let mut bound = self.fbuf_bound.clone();
+        for (name, buf) in inputs {
+            if let Some(slot) = s.free_fbufs.get(name) {
+                views[slot as usize] = buf;
+                bound[slot as usize] = true;
+            }
+        }
+        self.run_blocks_views(pool, block_var, output, &views, &bound, out, batches)
+    }
+
+    /// Shared core of [`VmShared::run_blocks`] /
+    /// [`VmShared::run_blocks_borrowed`].
+    ///
+    /// # Safety
+    ///
+    /// As for [`VmShared::run_blocks`].
+    #[allow(unsafe_code)]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn run_blocks_views(
+        &self,
+        pool: &CpuPool,
+        block_var: &str,
+        output: &str,
+        views: &[&[f32]],
+        fbuf_bound: &[bool],
+        out: &mut [f32],
+        batches: &[Vec<i64>],
+    ) -> InterpStats {
         let s = &self.prog.slots;
         let block_slot = s
             .free_vars
@@ -1844,7 +3688,7 @@ impl VmShared<'_> {
             "program both loads and stores output `{output}`; \
              the parallel tier forbids in-place output access"
         );
-        self.check_bound(block_slot, out_slot);
+        self.check_bound(Some(block_slot), out_slot, fbuf_bound);
         #[cfg(debug_assertions)]
         let owners = OutOwners::new(out.len());
         let shared_out = SharedOut::new(out);
@@ -1857,7 +3701,7 @@ impl VmShared<'_> {
             let mut uf_args = Vec::new();
             let mut bufs = WorkerBufs {
                 prog,
-                shared: &self.fbufs,
+                shared: views,
                 out_slot,
                 out: &shared_out,
                 n_free: s.free_fbufs.len(),
@@ -2341,8 +4185,220 @@ mod tests {
         assert!(r.is_err(), "out-of-bounds block must panic the caller");
     }
 
+    /// `C[i·n+j] += A[i·k+d] · B[d·n+j]` for the given loop order; the
+    /// canonical fused-loop shapes (dot for `..d` innermost, saxpy for
+    /// `..j` innermost).
+    fn gemm_nest(m: i64, k: i64, n: i64, inner_j: bool) -> Stmt {
+        let c_idx = Expr::var("i") * n + Expr::var("j");
+        let a_idx = Expr::var("i") * k + Expr::var("d");
+        let b_idx = Expr::var("d") * n + Expr::var("j");
+        let store = Stmt::Store {
+            buffer: "C".into(),
+            index: c_idx,
+            value: FExpr::load("A", a_idx) * FExpr::load("B", b_idx),
+            kind: StoreKind::AddAssign,
+        };
+        if inner_j {
+            Stmt::loop_(
+                "i",
+                Expr::int(m),
+                Stmt::loop_("d", Expr::int(k), Stmt::loop_("j", Expr::int(n), store)),
+            )
+        } else {
+            Stmt::loop_(
+                "i",
+                Expr::int(m),
+                Stmt::loop_("j", Expr::int(n), Stmt::loop_("d", Expr::int(k), store)),
+            )
+        }
+    }
+
+    #[test]
+    fn fused_mul_acc_matches_interpreter_bitwise() {
+        let (m, k, n) = (3i64, 4, 5);
+        for inner_j in [false, true] {
+            let s = gemm_nest(m, k, n, inner_j);
+            let p = compile(&s);
+            assert!(
+                p.to_string().contains("fmulacc"),
+                "inner reduction must fuse (inner_j = {inner_j}):\n{p}"
+            );
+            let (stats, outs) = differential(
+                &s,
+                |mach| {
+                    mach.set_fbuffer("A", (0..m * k).map(|x| (x as f32 * 0.7).sin()).collect());
+                    mach.set_fbuffer("B", (0..k * n).map(|x| (x as f32 * 0.3).cos()).collect());
+                    mach.set_fbuffer("C", vec![0.5; (m * n) as usize]);
+                },
+                &["C"],
+            );
+            // Both loop orders compute the same element count of work.
+            assert_eq!(stats.stores, (m * k * n) as u64, "inner_j = {inner_j}");
+            assert_eq!(stats.flops, (2 * m * k * n) as u64);
+            assert_eq!(outs[0].len(), (m * n) as usize);
+        }
+    }
+
+    #[test]
+    fn fused_loop_with_ragged_extent_and_zero_trips() {
+        // out[o] += A[row[o]+i] * B[row[o]+i], i over lens[o] (incl. 0).
+        let idx = Expr::load("row", Expr::var("o")) + Expr::var("i");
+        let store = Stmt::Store {
+            buffer: "out".into(),
+            index: Expr::var("o"),
+            value: FExpr::load("A", idx.clone()) * FExpr::load("B", idx),
+            kind: StoreKind::AddAssign,
+        };
+        let s = Stmt::loop_(
+            "o",
+            Expr::int(4),
+            Stmt::loop_("i", Expr::load("lens", Expr::var("o")), store),
+        );
+        let p = compile(&s);
+        assert!(p.to_string().contains("fmulacc"), "{p}");
+        let (stats, _) = differential(
+            &s,
+            |m| {
+                m.env.set_buffer("lens", vec![3, 0, 2, 0]);
+                m.env.set_buffer("row", vec![0, 3, 3, 5]);
+                m.set_fbuffer("A", (0..5).map(|x| x as f32).collect());
+                m.set_fbuffer("B", (0..5).map(|x| 1.0 - x as f32).collect());
+                m.set_fbuffer("out", vec![0.0; 4]);
+            },
+            &["out"],
+        );
+        // 5 fused iterations; each charges 1 store-index + 2 load-index
+        // aux loads... the store index `o` has none, each load one.
+        assert_eq!(stats.stores, 5);
+        assert_eq!(stats.flops, 10);
+    }
+
+    #[test]
+    fn aliasing_and_nonaffine_reductions_are_not_fused() {
+        // Output aliases an operand: C[0] += C[i] * B[i] stays unfused
+        // (and is also in-place, which only matters to the parallel tier).
+        let alias = Stmt::loop_(
+            "i",
+            Expr::int(3),
+            Stmt::Store {
+                buffer: "C".into(),
+                index: Expr::int(0),
+                value: FExpr::load("C", Expr::var("i") + 1) * FExpr::load("B", Expr::var("i")),
+                kind: StoreKind::AddAssign,
+            },
+        );
+        let p = compile(&alias);
+        assert!(!p.to_string().contains("fmulacc"), "{p}");
+        differential(
+            &alias,
+            |m| {
+                m.set_fbuffer("C", vec![1.0, 2.0, 3.0, 4.0]);
+                m.set_fbuffer("B", vec![0.5, 0.25, 0.125]);
+            },
+            &["C"],
+        );
+        // A table lookup through the loop variable is not affine.
+        let gather = Stmt::loop_(
+            "i",
+            Expr::int(3),
+            Stmt::Store {
+                buffer: "out".into(),
+                index: Expr::int(0),
+                value: FExpr::load("A", Expr::load("tbl", Expr::var("i")))
+                    * FExpr::load("B", Expr::var("i")),
+                kind: StoreKind::AddAssign,
+            },
+        );
+        let p = compile(&gather);
+        assert!(!p.to_string().contains("fmulacc"), "{p}");
+        differential(
+            &gather,
+            |m| {
+                m.env.set_buffer("tbl", vec![2, 0, 1]);
+                m.set_fbuffer("A", vec![1.0, 2.0, 3.0]);
+                m.set_fbuffer("B", vec![4.0, 5.0, 6.0]);
+                m.set_fbuffer("out", vec![0.0]);
+            },
+            &["out"],
+        );
+    }
+
+    #[test]
+    fn run_borrowed_matches_owned_serial() {
+        let s = gemm_nest(3, 4, 5, true);
+        let prog = compile(&s);
+        let a: Vec<f32> = (0..12).map(|x| x as f32 * 0.5 - 3.0).collect();
+        let b: Vec<f32> = (0..20).map(|x| (x as f32 * 0.2).sin()).collect();
+        let mut vm = prog.machine();
+        vm.set_fbuffer("A", a.clone());
+        vm.set_fbuffer("B", b.clone());
+        vm.set_fbuffer("C", vec![0.0; 15]);
+        vm.run();
+
+        let shared = prog.shared();
+        let mut out = vec![0.0f32; 15];
+        let stats = shared.run_borrowed(vec![
+            ("A", BoundBuf::In(&a)),
+            ("B", BoundBuf::In(&b)),
+            ("C", BoundBuf::Out(&mut out)),
+        ]);
+        assert_eq!(vm.fbuffer("C").unwrap(), out.as_slice());
+        assert_eq!(vm.stats, stats);
+        // A second execution over the same shared state is independent.
+        let mut out2 = vec![0.0f32; 15];
+        let stats2 = shared.run_borrowed(vec![
+            ("A", BoundBuf::In(&a)),
+            ("B", BoundBuf::In(&b)),
+            ("C", BoundBuf::Out(&mut out2)),
+        ]);
+        assert_eq!(out, out2);
+        assert_eq!(stats, stats2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound read-only")]
+    fn run_borrowed_rejects_stores_to_inputs() {
+        let s = Stmt::store("B", Expr::int(0), FExpr::load("A", Expr::int(0)));
+        let prog = compile(&s);
+        let shared = prog.shared();
+        let a = vec![1.0f32];
+        let b = vec![0.0f32];
+        shared.run_borrowed(vec![("A", BoundBuf::In(&a)), ("B", BoundBuf::In(&b))]);
+    }
+
+    #[test]
+    fn run_blocks_borrowed_matches_owned() {
+        let lens = vec![5i64, 0, 3, 2];
+        let row = vec![0i64, 5, 5, 8];
+        let input: Vec<f32> = (0..10).map(|x| x as f32 - 4.5).collect();
+        let bp = compile(&outlined_doubling_body());
+        let mut shared = bp.shared();
+        shared.set_ibuffer("lens", lens);
+        shared.set_ibuffer("row", row);
+        let pool = CpuPool::new(4);
+        let batches: Vec<Vec<i64>> = (0..4).map(|b| vec![b]).collect();
+
+        let mut owned_shared = bp.shared();
+        owned_shared.set_ibuffer("lens", vec![5, 0, 3, 2]);
+        owned_shared.set_ibuffer("row", vec![0, 5, 5, 8]);
+        owned_shared.set_fbuffer("A", input.clone());
+        let mut out_owned = vec![0.0f32; 10];
+        let st_owned =
+            unsafe { owned_shared.run_blocks(&pool, "b", "B", &mut out_owned, &batches) };
+
+        // Borrowed: `A` supplied as a slice at run time.
+        let mut out = vec![0.0f32; 10];
+        let st = unsafe {
+            shared.run_blocks_borrowed(&pool, "b", "B", &mut out, &[("A", &input)], &batches)
+        };
+        assert_eq!(out_owned, out);
+        assert_eq!(st_owned, st);
+    }
+
     #[test]
     fn disassembly_resolves_slot_names() {
+        // The float select keeps the inner loop out of the fused-map
+        // path, so the plain fload/fstore forms stay visible.
         let s = Stmt::loop_(
             "o",
             Expr::int(3),
@@ -2352,7 +4408,11 @@ mod tests {
                 Stmt::store(
                     "B",
                     Expr::load("row", Expr::var("o")) + Expr::var("i"),
-                    FExpr::load("A", Expr::var("n_free")) * 2.0,
+                    FExpr::select(
+                        Expr::var("i").lt(Expr::int(1)),
+                        FExpr::load("A", Expr::var("n_free")) * 2.0,
+                        FExpr::constant(0.0),
+                    ),
                 ),
             ),
         );

@@ -39,8 +39,9 @@ fn triangular_lens(lens: &[usize]) -> Vec<usize> {
 }
 
 /// Per-row sequence-start table: `seq_row0[r]` is the flattened index of
-/// the first row of `r`'s sequence.
-fn seq_row0_table(lens: &[usize]) -> Vec<usize> {
+/// the first row of `r`'s sequence. Shared with the fully compiled
+/// encoder layer ([`crate::encoder_compiled`]).
+pub(crate) fn seq_row0_table(lens: &[usize]) -> Vec<usize> {
     let mut out = Vec::with_capacity(lens.iter().sum());
     let mut start = 0usize;
     for &l in lens {
@@ -50,16 +51,18 @@ fn seq_row0_table(lens: &[usize]) -> Vec<usize> {
     out
 }
 
-/// The triangular (causal) layout of a flattened score/probability
-/// tensor: row `r` stores `pos(r) + 1` entries.
-fn triangular_layout(tri: &[usize], total_rows: usize) -> RaggedLayout {
+/// The ragged layout of a flattened score/probability tensor: row `r`
+/// stores `per_row[r]` entries. Triangular (`pos + 1`) for the causal
+/// kernels here; rectangular-per-sequence for the fully compiled
+/// encoder's bidirectional attention ([`crate::encoder_compiled`]).
+pub(crate) fn row_ragged_layout(per_row: &[usize], total_rows: usize) -> RaggedLayout {
     let r = Dim::new("row");
     let j = Dim::new("key");
     RaggedLayout::builder()
         .cdim(r.clone(), total_rows)
-        .vdim(j, &r, tri.to_vec())
+        .vdim(j, &r, per_row.to_vec())
         .build()
-        .expect("triangular layout validates")
+        .expect("per-row ragged layout validates")
 }
 
 /// The masked score operator for one head:
@@ -73,7 +76,7 @@ pub fn masked_scores_operator(lens: &[usize], head_dim: usize) -> Operator {
     let tri = triangular_lens(lens);
     let q = TensorRef::new("Q", RaggedLayout::dense(&[total_rows, head_dim]));
     let k = TensorRef::new("K", RaggedLayout::dense(&[total_rows, head_dim]));
-    let s = TensorRef::new("S", triangular_layout(&tri, total_rows));
+    let s = TensorRef::new("S", row_ragged_layout(&tri, total_rows));
     let (qt, kt) = (q.clone(), k.clone());
     let body: BodyFn = Rc::new(move |args| {
         let (r, j, d) = (args[0].clone(), args[1].clone(), args[2].clone());
@@ -104,7 +107,7 @@ pub fn masked_scores_operator(lens: &[usize], head_dim: usize) -> Operator {
 pub fn masked_attnv_operator(lens: &[usize], head_dim: usize) -> Operator {
     let total_rows: usize = lens.iter().sum();
     let tri = triangular_lens(lens);
-    let p = TensorRef::new("P", triangular_layout(&tri, total_rows));
+    let p = TensorRef::new("P", row_ragged_layout(&tri, total_rows));
     let v = TensorRef::new("V", RaggedLayout::dense(&[total_rows, head_dim]));
     let o = TensorRef::new("O", RaggedLayout::dense(&[total_rows, head_dim]));
     let (pt, vt) = (p.clone(), v.clone());

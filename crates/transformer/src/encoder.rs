@@ -95,6 +95,10 @@ pub fn sdpa_sequence(
     let hd = cfg.head_dim;
     let ld = 3 * h;
     let scale = 1.0 / (hd as f32).sqrt();
+    if l == 0 {
+        // An empty sequence has no rows to attend or write.
+        return;
+    }
     scores.clear();
     scores.resize(l * l, 0.0);
     for head in 0..cfg.heads {

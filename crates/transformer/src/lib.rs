@@ -14,6 +14,7 @@
 pub mod compiled;
 pub mod config;
 pub mod encoder;
+pub mod encoder_compiled;
 pub mod flops;
 pub mod gpu;
 pub mod masked;
@@ -25,5 +26,6 @@ pub mod weights;
 
 pub use config::EncoderConfig;
 pub use encoder::{encoder_layer_padded, encoder_layer_ragged, RaggedBatch};
+pub use encoder_compiled::{encoder_layer_compiled, CompiledEncoderLayer, EncoderSession};
 pub use gpu::{EncoderImpl, EncoderSim};
 pub use weights::EncoderWeights;

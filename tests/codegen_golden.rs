@@ -104,24 +104,30 @@ fn vm_disassembly_of_fig4_is_golden() {
    2  bumpaux  n=0
    3  setvar   o@0, r0
    4  iadd     r0, r0, r1
-   5  br.ge    o@0, r0 -> 23
+   5  br.ge    o@0, r0 -> 29
    6  iconst   r1, 0
    7  iload.v  r2, fig4__ext_i[o@0]
    8  bumpaux  n=1
    9  setvar   i@1, r1
-  10  iadd     r1, r1, r2
-  11  br.ge    i@1, r1 -> 22
-  12  iload.v  r2, B__A0[o@0]
-  13  ivar     r3, i@1
-  14  iadd     r2, r2, r3
-  15  iload.v  r3, A__A0[o@0]
-  16  ivar     r4, i@1
-  17  iadd     r3, r3, r4
-  18  fload    f0, A[r3], aux=1
-  19  fmul.c   f0, f0, #2.0
-  20  fstore   B[r2], f0, assign, aux=1
-  21  loop     i@1, r1 -> 12
-  22  loop     o@0, r0 -> 6
+  10  iconst   r3, 0
+  11  br.le    r2, r3 -> 28, 12
+  12  iload.v  r4, B__A0[o@0]
+  13  ivar     r5, i@1
+  14  iadd     r4, r4, r5
+  15  iload.v  r5, A__A0[o@0]
+  16  ivar     r6, i@1
+  17  iadd     r5, r5, r6
+  18  ivar     r6, i@1
+  19  iadd.c   r6, r6, #1
+  20  setvar   i@1, r6
+  21  iload.v  r7, B__A0[o@0]
+  22  ivar     r8, i@1
+  23  iadd     r7, r7, r8
+  24  iload.v  r8, A__A0[o@0]
+  25  ivar     r9, i@1
+  26  iadd     r8, r8, r9
+  27  fmap     B[r4:r7] assign (ld0; #2.0; fmul t0 t1), sites=[A[r5:r8]], n=r2, aux=2, flops=1
+  28  loop     o@0, r0 -> 6
 ";
     assert_eq!(
         compiled.vm().to_string(),
@@ -136,18 +142,24 @@ fn vm_disassembly_of_fig4_is_golden() {
    1  iload.v  r1, fig4__ext_i[o]
    2  bumpaux  n=1
    3  setvar   i@1, r0
-   4  iadd     r0, r0, r1
-   5  br.ge    i@1, r0 -> 16
-   6  iload.v  r1, B__A0[o]
-   7  ivar     r2, i@1
-   8  iadd     r1, r1, r2
-   9  iload.v  r2, A__A0[o]
-  10  ivar     r3, i@1
-  11  iadd     r2, r2, r3
-  12  fload    f0, A[r2], aux=1
-  13  fmul.c   f0, f0, #2.0
-  14  fstore   B[r1], f0, assign, aux=1
-  15  loop     i@1, r0 -> 6
+   4  iconst   r2, 0
+   5  br.le    r1, r2 -> 22, 6
+   6  iload.v  r3, B__A0[o]
+   7  ivar     r4, i@1
+   8  iadd     r3, r3, r4
+   9  iload.v  r4, A__A0[o]
+  10  ivar     r5, i@1
+  11  iadd     r4, r4, r5
+  12  ivar     r5, i@1
+  13  iadd.c   r5, r5, #1
+  14  setvar   i@1, r5
+  15  iload.v  r6, B__A0[o]
+  16  ivar     r7, i@1
+  17  iadd     r6, r6, r7
+  18  iload.v  r7, A__A0[o]
+  19  ivar     r8, i@1
+  20  iadd     r7, r7, r8
+  21  fmap     B[r3:r6] assign (ld0; #2.0; fmul t0 t1), sites=[A[r4:r7]], n=r1, aux=2, flops=1
 ";
     let body = compiled
         .parallel_body()
@@ -171,6 +183,280 @@ fn cuda_and_c_dialects_differ_only_in_axis_binding() {
     assert!(
         !cuda.contains("for (int o"),
         "CUDA must not loop over o:\n{cuda}"
+    );
+}
+
+#[test]
+fn vm_disassembly_of_projection_gemm_is_golden() {
+    // The encoder's projection GEMM (reordered r, d, c): the whole
+    // two-deep (d, c) reduction nest compiles to a single `fmulacc2` —
+    // index probes at (0,0), (0,1) and (1,0) describe each affine index,
+    // and the instruction runs the i-k-j panel natively. Any change to
+    // the reorder directive, the affine screen or the fused emission
+    // shows here as a text diff.
+    let p = lower(&cora::transformer::encoder_compiled::proj_operator(
+        "proj", 3, 2, 2,
+    ))
+    .unwrap();
+    let compiled = p.compile();
+    let golden = "   0  iconst   r0, 0
+   1  iconst   r1, 3
+   2  bumpaux  n=0
+   3  setvar   r@0, r0
+   4  iadd     r0, r0, r1
+   5  br.ge    r@0, r0 -> 69
+   6  iconst   r1, 0
+   7  iconst   r2, 2
+   8  bumpaux  n=0
+   9  setvar   d@1, r1
+  10  iconst   r3, 0
+  11  br.le    r2, r3 -> 68, 12
+  12  iconst   r4, 0
+  13  iconst   r5, 2
+  14  setvar   c@2, r4
+  15  ivar     r6, r@0
+  16  iconst   r7, 2
+  17  imul     r6, r6, r7
+  18  ivar     r7, c@2
+  19  iadd     r6, r6, r7
+  20  ivar     r7, r@0
+  21  iconst   r8, 2
+  22  imul     r7, r7, r8
+  23  ivar     r8, d@1
+  24  iadd     r7, r7, r8
+  25  ivar     r8, d@1
+  26  iconst   r9, 2
+  27  imul     r8, r8, r9
+  28  ivar     r9, c@2
+  29  iadd     r8, r8, r9
+  30  ivar     r9, c@2
+  31  iadd.c   r9, r9, #1
+  32  setvar   c@2, r9
+  33  ivar     r10, r@0
+  34  iconst   r11, 2
+  35  imul     r10, r10, r11
+  36  ivar     r11, c@2
+  37  iadd     r10, r10, r11
+  38  ivar     r11, r@0
+  39  iconst   r12, 2
+  40  imul     r11, r11, r12
+  41  ivar     r12, d@1
+  42  iadd     r11, r11, r12
+  43  ivar     r12, d@1
+  44  iconst   r13, 2
+  45  imul     r12, r12, r13
+  46  ivar     r13, c@2
+  47  iadd     r12, r12, r13
+  48  setvar   c@2, r4
+  49  ivar     r13, d@1
+  50  iadd.c   r13, r13, #1
+  51  setvar   d@1, r13
+  52  ivar     r14, r@0
+  53  iconst   r15, 2
+  54  imul     r14, r14, r15
+  55  ivar     r15, c@2
+  56  iadd     r14, r14, r15
+  57  ivar     r15, r@0
+  58  iconst   r16, 2
+  59  imul     r15, r15, r16
+  60  ivar     r16, d@1
+  61  iadd     r15, r15, r16
+  62  ivar     r16, d@1
+  63  iconst   r17, 2
+  64  imul     r16, r16, r17
+  65  ivar     r17, c@2
+  66  iadd     r16, r16, r17
+  67  fmulacc2 Out[r6:r10:r14] += In[r7:r11:r15] * W[r8:r12:r16], n=r2xr5, aux=0, baux=0
+  68  loop     r@0, r0 -> 6
+";
+    assert_eq!(
+        compiled.vm().to_string(),
+        golden,
+        "projection-GEMM serial bytecode diverged"
+    );
+    // The outlined block body: the row loop's header/back-edge gone, `r`
+    // free, the fused inner loop unchanged.
+    let body_golden = "   0  iconst   r0, 0
+   1  iconst   r1, 2
+   2  bumpaux  n=0
+   3  setvar   d@1, r0
+   4  iconst   r2, 0
+   5  br.le    r1, r2 -> 62, 6
+   6  iconst   r3, 0
+   7  iconst   r4, 2
+   8  setvar   c@2, r3
+   9  ivar     r5, r
+  10  iconst   r6, 2
+  11  imul     r5, r5, r6
+  12  ivar     r6, c@2
+  13  iadd     r5, r5, r6
+  14  ivar     r6, r
+  15  iconst   r7, 2
+  16  imul     r6, r6, r7
+  17  ivar     r7, d@1
+  18  iadd     r6, r6, r7
+  19  ivar     r7, d@1
+  20  iconst   r8, 2
+  21  imul     r7, r7, r8
+  22  ivar     r8, c@2
+  23  iadd     r7, r7, r8
+  24  ivar     r8, c@2
+  25  iadd.c   r8, r8, #1
+  26  setvar   c@2, r8
+  27  ivar     r9, r
+  28  iconst   r10, 2
+  29  imul     r9, r9, r10
+  30  ivar     r10, c@2
+  31  iadd     r9, r9, r10
+  32  ivar     r10, r
+  33  iconst   r11, 2
+  34  imul     r10, r10, r11
+  35  ivar     r11, d@1
+  36  iadd     r10, r10, r11
+  37  ivar     r11, d@1
+  38  iconst   r12, 2
+  39  imul     r11, r11, r12
+  40  ivar     r12, c@2
+  41  iadd     r11, r11, r12
+  42  setvar   c@2, r3
+  43  ivar     r12, d@1
+  44  iadd.c   r12, r12, #1
+  45  setvar   d@1, r12
+  46  ivar     r13, r
+  47  iconst   r14, 2
+  48  imul     r13, r13, r14
+  49  ivar     r14, c@2
+  50  iadd     r13, r13, r14
+  51  ivar     r14, r
+  52  iconst   r15, 2
+  53  imul     r14, r14, r15
+  54  ivar     r15, d@1
+  55  iadd     r14, r14, r15
+  56  ivar     r15, d@1
+  57  iconst   r16, 2
+  58  imul     r15, r15, r16
+  59  ivar     r16, c@2
+  60  iadd     r15, r15, r16
+  61  fmulacc2 Out[r5:r9:r13] += In[r6:r10:r14] * W[r7:r11:r15], n=r1xr4, aux=0, baux=0
+";
+    let body = compiled
+        .parallel_body()
+        .expect("block-bound projection outlines");
+    assert_eq!(
+        body.to_string(),
+        body_golden,
+        "projection-GEMM outlined body diverged"
+    );
+}
+
+#[test]
+fn vm_disassembly_of_layernorm_is_golden() {
+    // The layer-norm normalisation pass: the branch-free body compiles
+    // to a fused-map tape (`fmap`) whose op sequence mirrors the
+    // reference kernel exactly (sub, div-by-n, sqrt, recip, two muls,
+    // add), with the row-invariant S/V loads deduplicated into sites.
+    let p = lower(&cora::transformer::encoder_compiled::ln_norm_operator(
+        "ln_norm", 2, 2,
+    ))
+    .unwrap();
+    let compiled = p.compile();
+    let golden = "   0  iconst   r0, 0
+   1  iconst   r1, 2
+   2  bumpaux  n=0
+   3  setvar   r@0, r0
+   4  iadd     r0, r0, r1
+   5  br.ge    r@0, r0 -> 45
+   6  iconst   r1, 0
+   7  iconst   r2, 2
+   8  bumpaux  n=0
+   9  setvar   d@1, r1
+  10  iconst   r3, 0
+  11  br.le    r2, r3 -> 44, 12
+  12  ivar     r4, r@0
+  13  iconst   r5, 2
+  14  imul     r4, r4, r5
+  15  ivar     r5, d@1
+  16  iadd     r4, r4, r5
+  17  ivar     r5, r@0
+  18  iconst   r6, 2
+  19  imul     r5, r5, r6
+  20  ivar     r6, d@1
+  21  iadd     r5, r5, r6
+  22  ivar     r6, r@0
+  23  ivar     r7, r@0
+  24  ivar     r8, d@1
+  25  ivar     r9, d@1
+  26  ivar     r10, d@1
+  27  iadd.c   r10, r10, #1
+  28  setvar   d@1, r10
+  29  ivar     r11, r@0
+  30  iconst   r12, 2
+  31  imul     r11, r11, r12
+  32  ivar     r12, d@1
+  33  iadd     r11, r11, r12
+  34  ivar     r12, r@0
+  35  iconst   r13, 2
+  36  imul     r12, r12, r13
+  37  ivar     r13, d@1
+  38  iadd     r12, r12, r13
+  39  ivar     r13, r@0
+  40  ivar     r14, r@0
+  41  ivar     r15, d@1
+  42  ivar     r16, d@1
+  43  fmap     Out[r4:r11] assign (ld0; ld1; #2.0; fdiv t1 t2; fsub t0 t3; ld2; #2.0; fdiv t5 t6; #1e-5; fadd t7 t8; sqrt t9; recip t10; fmul t4 t11; ld3; fmul t12 t13; ld4; fadd t14 t15), sites=[In[r5:r12], S[r6:r13], V[r7:r14], G[r8:r15], Bt[r9:r16]], n=r2, aux=0, flops=9
+  44  loop     r@0, r0 -> 6
+";
+    assert_eq!(
+        compiled.vm().to_string(),
+        golden,
+        "layer-norm serial bytecode diverged"
+    );
+    let body_golden = "   0  iconst   r0, 0
+   1  iconst   r1, 2
+   2  bumpaux  n=0
+   3  setvar   d@1, r0
+   4  iconst   r2, 0
+   5  br.le    r1, r2 -> 38, 6
+   6  ivar     r3, r
+   7  iconst   r4, 2
+   8  imul     r3, r3, r4
+   9  ivar     r4, d@1
+  10  iadd     r3, r3, r4
+  11  ivar     r4, r
+  12  iconst   r5, 2
+  13  imul     r4, r4, r5
+  14  ivar     r5, d@1
+  15  iadd     r4, r4, r5
+  16  ivar     r5, r
+  17  ivar     r6, r
+  18  ivar     r7, d@1
+  19  ivar     r8, d@1
+  20  ivar     r9, d@1
+  21  iadd.c   r9, r9, #1
+  22  setvar   d@1, r9
+  23  ivar     r10, r
+  24  iconst   r11, 2
+  25  imul     r10, r10, r11
+  26  ivar     r11, d@1
+  27  iadd     r10, r10, r11
+  28  ivar     r11, r
+  29  iconst   r12, 2
+  30  imul     r11, r11, r12
+  31  ivar     r12, d@1
+  32  iadd     r11, r11, r12
+  33  ivar     r12, r
+  34  ivar     r13, r
+  35  ivar     r14, d@1
+  36  ivar     r15, d@1
+  37  fmap     Out[r3:r10] assign (ld0; ld1; #2.0; fdiv t1 t2; fsub t0 t3; ld2; #2.0; fdiv t5 t6; #1e-5; fadd t7 t8; sqrt t9; recip t10; fmul t4 t11; ld3; fmul t12 t13; ld4; fadd t14 t15), sites=[In[r4:r11], S[r5:r12], V[r6:r13], G[r7:r14], Bt[r8:r15]], n=r1, aux=0, flops=9
+";
+    let body = compiled
+        .parallel_body()
+        .expect("block-bound layer norm outlines");
+    assert_eq!(
+        body.to_string(),
+        body_golden,
+        "layer-norm outlined body diverged"
     );
 }
 

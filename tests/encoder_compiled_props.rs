@@ -1,0 +1,143 @@
+//! Differential properties of the fully compiled encoder layer: across
+//! random ragged batches (including 0- and 1-length sequences), hidden
+//! sizes and head counts, [`CompiledEncoderLayer`] must
+//!
+//! * match the hand-written reference `encoder_layer_ragged` within
+//!   tight tolerance (the compiled operators replay the reference
+//!   kernels' loop orders, so the drift is a few ULPs),
+//! * produce bit-identical outputs serially and at 1, 2 and 8 workers
+//!   on both pool backends, and
+//! * report per-stage `InterpStats` whose parallel (per-worker-summed)
+//!   values equal the serial run's exactly.
+//!
+//! The encoder pipeline is the paper's end-to-end artifact; this suite
+//! is what locks it to the reference implementation.
+
+use proptest::prelude::*;
+
+use cora::exec::{Backend, CpuPool};
+use cora::transformer::encoder_compiled::CompiledEncoderLayer;
+use cora::transformer::{encoder_layer_ragged, EncoderConfig, EncoderWeights, RaggedBatch};
+
+fn small_config(heads: usize, head_dim: usize, ff_mult: usize) -> EncoderConfig {
+    EncoderConfig {
+        hidden: heads * head_dim,
+        heads,
+        head_dim,
+        ff: heads * head_dim * ff_mult,
+        layers: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random raggedness (0-/1-length sequences included) × model shape:
+    /// the compiled pipeline matches the reference kernels, parallel
+    /// runs are bit-identical to serial at every worker count on both
+    /// backends, and per-stage statistics sum exactly.
+    #[test]
+    fn compiled_encoder_layer_matches_reference(
+        lens in prop::collection::vec(0usize..7, 1..5),
+        heads_idx in 0usize..3,
+        head_dim_idx in 0usize..3,
+        ff_mult in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let heads = [1usize, 2, 4][heads_idx];
+        let head_dim = [2usize, 4, 8][head_dim_idx];
+        let cfg = small_config(heads, head_dim, ff_mult);
+        let w = EncoderWeights::random(&cfg, seed);
+        let x = RaggedBatch::random(&lens, cfg.hidden, seed.wrapping_add(1));
+        let rows: usize = lens.iter().sum();
+
+        let reference = encoder_layer_ragged(&CpuPool::new(4), &cfg, &w, &x);
+        let layer = CompiledEncoderLayer::build(&cfg, &lens).expect("legal schedules");
+        let mut session = layer.session().expect("stages outline");
+
+        // Serial compiled run vs reference kernels: tight tolerance.
+        let serial = session.run(None, &w, &x);
+        prop_assert_eq!(serial.output.len(), reference.data.len());
+        let worst = reference
+            .data
+            .iter()
+            .zip(&serial.output)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        prop_assert!(
+            worst < 1e-3,
+            "compiled layer diverges from reference by {} (rows = {})",
+            worst,
+            rows
+        );
+
+        // Parallel runs: bit-identical outputs, exactly equal per-stage
+        // statistics, across worker counts and backends.
+        for workers in [1usize, 2, 8] {
+            for backend in [Backend::Persistent, Backend::Spawn] {
+                let pool = CpuPool::new(workers).with_backend(backend);
+                let par = session.run(Some(&pool), &w, &x);
+                let sb: Vec<u32> = serial.output.iter().map(|v| v.to_bits()).collect();
+                let pb: Vec<u32> = par.output.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(
+                    sb, pb,
+                    "parallel output diverges at {} workers ({:?})", workers, backend
+                );
+                prop_assert_eq!(par.stages.len(), serial.stages.len());
+                for (p, s) in par.stages.iter().zip(&serial.stages) {
+                    prop_assert_eq!(&p.label, &s.label);
+                    prop_assert_eq!(
+                        p.stats, s.stats,
+                        "stage `{}` stats diverge at {} workers ({:?})",
+                        p.label, workers, backend
+                    );
+                }
+                prop_assert_eq!(par.total_stats(), serial.total_stats());
+            }
+        }
+    }
+}
+
+/// The session is shape-keyed: one build serves repeated calls (layers)
+/// with different weights, with no recompilation — and results equal a
+/// freshly built layer's.
+#[test]
+fn session_reuse_across_layers_matches_fresh_builds() {
+    let cfg = small_config(4, 4, 2);
+    let lens = vec![6usize, 0, 2, 1];
+    let x = RaggedBatch::random(&lens, cfg.hidden, 11);
+    let pool = CpuPool::new(4);
+    let layer = CompiledEncoderLayer::build(&cfg, &lens).unwrap();
+    let mut session = layer.session().unwrap();
+    let mut activations = x.clone();
+    for layer_idx in 0..3 {
+        let w = EncoderWeights::random(&cfg, 100 + layer_idx);
+        let out = session.forward(&pool, &w, &activations);
+        // A freshly compiled layer agrees bit-for-bit.
+        let fresh =
+            CompiledEncoderLayer::build(&cfg, &lens)
+                .unwrap()
+                .forward(&pool, &w, &activations);
+        assert_eq!(out, fresh, "layer {layer_idx} diverges from fresh build");
+        activations = RaggedBatch {
+            lens: lens.clone(),
+            data: out,
+            hidden: cfg.hidden,
+        };
+    }
+}
+
+/// Zero-row batches flow through the whole stack.
+#[test]
+fn empty_batch_round_trips() {
+    let cfg = small_config(2, 4, 2);
+    let lens = vec![0usize, 0, 0];
+    let w = EncoderWeights::random(&cfg, 3);
+    let x = RaggedBatch::random(&lens, cfg.hidden, 4);
+    let reference = encoder_layer_ragged(&CpuPool::new(2), &cfg, &w, &x);
+    assert!(reference.data.is_empty());
+    let layer = CompiledEncoderLayer::build(&cfg, &lens).unwrap();
+    let mut session = layer.session().unwrap();
+    assert!(session.forward(&CpuPool::new(2), &w, &x).is_empty());
+    assert!(session.forward_serial(&w, &x).is_empty());
+}

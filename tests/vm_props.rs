@@ -253,6 +253,88 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Buffer-planned pipelines
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random operator chains through `CompiledPipeline`: (a) the arena
+    /// plan never assigns one slot to two buffers with overlapping
+    /// lifetimes, and (b) pipeline execution — serial and parallel — is
+    /// bit-identical to running the same compiled programs one by one
+    /// with fresh per-op buffers.
+    #[test]
+    fn pipeline_arena_matches_fresh_buffers(
+        lens in prop::collection::vec(0usize..10, 1..5),
+        pad in 1usize..4,
+        srcs in prop::collection::vec(0usize..1000, 2..7),
+    ) {
+        use cora::core::pipeline::PipelineBuilder;
+        use std::collections::HashMap;
+
+        let size = lower(&make_op(&lens, pad, 0)).unwrap().output_size();
+        let mut b = PipelineBuilder::new("randchain");
+        b.input("B0", size).unwrap();
+        let mut names = vec!["B0".to_string()];
+        // (program, source buffer, output buffer) per stage; each stage
+        // reads a pseudo-random earlier buffer, so lifetimes vary from
+        // die-immediately to live-to-the-end.
+        let mut progs = Vec::new();
+        for (i, &s) in srcs.iter().enumerate() {
+            let mut op = make_op(&lens, pad, s % 3);
+            op.schedule_mut().bind("o", ForKind::GpuBlockX);
+            let prog = lower(&op).unwrap().compile();
+            let src = names[(s / 3) % names.len()].clone();
+            let out = format!("B{}", i + 1);
+            b.stage(&format!("s{i}"), prog.clone(), &[("A", &src)], &out)
+                .unwrap();
+            progs.push((prog, src, out.clone()));
+            names.push(out);
+        }
+        let pipeline = b.build(names.last().unwrap()).unwrap();
+
+        // (a) Plan soundness: a shared slot implies disjoint lifetimes.
+        let entries = pipeline.plan().entries();
+        for (i, a) in entries.iter().enumerate() {
+            for o in &entries[i + 1..] {
+                if a.slot == o.slot {
+                    prop_assert!(
+                        a.last_use < o.def || o.last_use < a.def,
+                        "`{}` [{}, {}] and `{}` [{}, {}] share slot {}",
+                        a.name, a.def, a.last_use, o.name, o.def, o.last_use, a.slot
+                    );
+                }
+            }
+        }
+
+        // (b) Reference: the same programs with fresh buffers per op.
+        let x: Vec<f32> = (0..size).map(|v| v as f32 * 0.25 - 2.0).collect();
+        let mut vals: HashMap<String, Vec<f32>> = HashMap::new();
+        vals.insert("B0".to_string(), x.clone());
+        for (prog, src, out) in &progs {
+            let r = prog.run(&[("A", vals[src].clone())]);
+            vals.insert(out.clone(), r.output);
+        }
+        let want = &vals[names.last().unwrap()];
+
+        let mut session = pipeline.session().unwrap();
+        let serial = session.run_serial(&[("B0", &x)]);
+        let wb: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+        let sb: Vec<u32> = serial.output.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(wb, sb, "arena execution diverges from fresh buffers");
+
+        let par = session.run(&CpuPool::new(4), &[("B0", &x)]);
+        let pb: Vec<u32> = par.output.iter().map(|v| v.to_bits()).collect();
+        let sb: Vec<u32> = serial.output.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(pb, sb, "parallel pipeline diverges from serial");
+        for (p, s) in par.stages.iter().zip(&serial.stages) {
+            prop_assert_eq!(p.stats, s.stats, "stage `{}` stats diverge", p.label);
+        }
+    }
+}
+
 #[test]
 fn parallel_without_block_axis_falls_back_to_serial() {
     let lens = [4usize, 0, 7, 2];
