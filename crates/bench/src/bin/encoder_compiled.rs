@@ -11,7 +11,11 @@
 //!   through the buffer-planned `CompiledPipeline`, blocks dispatched
 //!   across the CPU runtime;
 //! * `compiled_serial` — the same pipeline on one thread (isolates the
-//!   parallel tier's dispatch overhead).
+//!   parallel tier's dispatch overhead);
+//! * `compiled_fast` / `compiled_fast_serial` — the compiled pipeline
+//!   with the compute-heavy stages built under `MathMode::Fast`
+//!   (reassociated reductions, approximate transcendentals within the
+//!   documented microkernel tolerances), parallel and single-thread.
 //!
 //! `CompiledEncoderLayer::build` and the session (prelude, aux tables,
 //! dispatch order, arena) are hoisted out of every timed region — the
@@ -27,7 +31,7 @@
 
 use cora_bench::{f2, flag, opt_usize, print_table, seed, time_ns, Report};
 use cora_datasets::Dataset;
-use cora_exec::CpuPool;
+use cora_exec::{CpuPool, MathMode};
 use cora_transformer::encoder_compiled::CompiledEncoderLayer;
 use cora_transformer::{
     encoder_layer_padded, encoder_layer_ragged, EncoderConfig, EncoderWeights, RaggedBatch,
@@ -78,6 +82,9 @@ fn main() {
     let t1 = std::time::Instant::now();
     let mut session = layer.session().expect("stages outline");
     let session_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let fast_layer = CompiledEncoderLayer::build_with_math(&cfg, &lens, MathMode::Fast)
+        .expect("built-in schedules are legal");
+    let mut fast_session = fast_layer.session().expect("stages outline");
     let plan = layer.pipeline().expect("non-empty batch").plan();
     report
         .param("build_ms", build_ms)
@@ -101,6 +108,19 @@ fn main() {
         par_out, serial_out,
         "parallel pipeline must be bit-identical"
     );
+    let fast_out = fast_session.forward_serial(&w, &x);
+    let worst_fast = reference
+        .data
+        .iter()
+        .zip(&fast_out)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(worst_fast < 5e-3, "fast pipeline diverges by {worst_fast}");
+    let fast_par_out = fast_session.forward(&pool, &w, &x);
+    assert_eq!(
+        fast_par_out, fast_out,
+        "fast parallel pipeline must be bit-identical to fast serial"
+    );
 
     let padded_ns = time_ns(reps, || {
         std::hint::black_box(encoder_layer_padded(
@@ -116,6 +136,12 @@ fn main() {
     let compiled_serial_ns = time_ns(reps, || {
         std::hint::black_box(session.forward_serial(&w, &x));
     });
+    let fast_ns = time_ns(reps, || {
+        std::hint::black_box(fast_session.forward(&pool, &w, &x));
+    });
+    let fast_serial_ns = time_ns(reps, || {
+        std::hint::black_box(fast_session.forward_serial(&w, &x));
+    });
 
     report
         .measurement("encoder_layer")
@@ -123,7 +149,9 @@ fn main() {
         .variant("padded", padded_ns)
         .variant("ragged_kernels", ragged_ns)
         .variant("compiled_pipeline", compiled_ns)
-        .variant("compiled_serial", compiled_serial_ns);
+        .variant("compiled_serial", compiled_serial_ns)
+        .variant("compiled_fast", fast_ns)
+        .variant("compiled_fast_serial", fast_serial_ns);
 
     let ms = |ns: f64| f2(ns / 1e6);
     print_table(
@@ -152,6 +180,18 @@ fn main() {
                 ms(compiled_serial_ns),
                 f2(padded_ns / compiled_serial_ns),
                 f2(ragged_ns / compiled_serial_ns),
+            ],
+            vec![
+                "compiled_fast".into(),
+                ms(fast_ns),
+                f2(padded_ns / fast_ns),
+                f2(ragged_ns / fast_ns),
+            ],
+            vec![
+                "compiled_fast_serial".into(),
+                ms(fast_serial_ns),
+                f2(padded_ns / fast_serial_ns),
+                f2(ragged_ns / fast_serial_ns),
             ],
         ],
     );

@@ -50,7 +50,7 @@ pub mod prelude {
     pub use crate::prelude_gen::{FusionSpec, PreludeData, PreludeSpec};
     pub use crate::program::{CompiledProgram, ParallelSession, Program, RunResult};
     pub use crate::schedule::{Directive, RemapPolicy, Schedule, ScheduleError};
-    pub use cora_exec::CpuPool;
+    pub use cora_exec::{CpuPool, MathMode};
     pub use cora_ir::{Expr, FExpr, FUnaryOp, ForKind};
 }
 

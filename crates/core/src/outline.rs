@@ -51,7 +51,9 @@ pub struct HoistedLet {
     /// Bound expression, evaluated against earlier bindings.
     pub value: Expr,
     /// Static aux-load count the binding charges (`LetInt` accounting).
-    pub aux: u32,
+    /// `u64`: shared expression DAGs have exponential static load
+    /// counts, which the serial tier charges in full.
+    pub aux: u64,
 }
 
 /// The outermost block axis of a lowered statement, outlined into a
@@ -68,7 +70,7 @@ pub struct BlockOutline {
     pub extent: Expr,
     /// Static aux loads charged once when the bounds evaluate (the
     /// serial tier's `BumpAux` at the loop header).
-    pub bounds_aux: u32,
+    pub bounds_aux: u64,
     /// The loop body: one block's work, with [`Self::block_var`] free.
     pub body: Stmt,
 }
@@ -112,7 +114,7 @@ pub fn outline(stmt: &Stmt, output: &str) -> Result<Option<BlockOutline>, Schedu
                     block_var: var.clone(),
                     min: min.clone(),
                     extent: extent.clone(),
-                    bounds_aux: aux_u32(count_loads(min) + count_loads(extent)),
+                    bounds_aux: count_loads(min) + count_loads(extent),
                     body: (**body).clone(),
                 }));
             }
@@ -120,7 +122,7 @@ pub fn outline(stmt: &Stmt, output: &str) -> Result<Option<BlockOutline>, Schedu
                 hoisted.push(HoistedLet {
                     var: var.clone(),
                     value: value.clone(),
-                    aux: aux_u32(count_loads(value)),
+                    aux: count_loads(value),
                 });
                 cur = body;
             }
@@ -294,10 +296,6 @@ fn first_block_axis(s: &Stmt) -> Option<String> {
         Stmt::Seq(items) => items.iter().find_map(first_block_axis),
         Stmt::Store { .. } | Stmt::Nop => None,
     }
-}
-
-fn aux_u32(n: u64) -> u32 {
-    u32::try_from(n).expect("aux-load count fits u32")
 }
 
 #[cfg(test)]

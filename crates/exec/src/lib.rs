@@ -19,6 +19,10 @@
 //!   allocation. A compiled [`VmProgram`] is `Sync`; [`VmShared`] holds
 //!   the immutable per-run bindings and dispatches outlined thread
 //!   blocks across a [`CpuPool`] with per-worker machine state.
+//! * [`microkernel`] — the vectorized microkernel ISA behind the VM's
+//!   fused superinstructions: register-blocked GEMM panels, chunked
+//!   reductions and fast transcendentals, all keyed by the
+//!   [`MathMode`] strict/fast contract.
 //! * [`cost`] — the analytic cost model shared by the simulator and the
 //!   benchmark harnesses.
 //! * [`profile`] — per-operator breakdown accounting.
@@ -50,6 +54,7 @@ pub mod cost;
 pub mod cpu;
 pub mod gpu;
 pub mod interp;
+pub mod microkernel;
 pub mod profile;
 pub mod runtime;
 pub mod vm;
@@ -58,6 +63,7 @@ pub use cost::{CpuModel, GpuModel, KernelTraits};
 pub use cpu::{Backend, CpuPool};
 pub use gpu::{GpuRunReport, GpuSim, KernelReport, SimKernel};
 pub use interp::{InterpStats, Machine};
+pub use microkernel::MathMode;
 pub use profile::Profiler;
 pub use runtime::{Runtime, Schedule};
 pub use vm::{BoundBuf, VmMachine, VmProgram, VmShared};

@@ -79,9 +79,10 @@ use cora_ir::{
 
 use crate::cpu::CpuPool;
 use crate::interp::InterpStats;
+use crate::microkernel::{self, AxpyKind, MathMode, PanelKind, PanelShape};
 
 /// Integer ALU operations (mirror [`ExprKind`] binary nodes).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum IBinOp {
     Add,
     Sub,
@@ -153,7 +154,7 @@ enum Instr {
     /// `vars[slot] = ireg[src]` (loop initialisation).
     SetVar { slot: u32, src: u16 },
     /// `vars[slot] = ireg[src]`, charging `aux` loads (`LetInt`).
-    LetVar { slot: u32, src: u16, aux: u32 },
+    LetVar { slot: u32, src: u16, aux: u64 },
     /// Jump to `to` if `vars[slot] >= ireg[lim]` (loop zero-trip test).
     BrVarGe { slot: u32, lim: u16, to: u32 },
     /// `vars[slot] += 1; if vars[slot] < ireg[lim] jump back` — the fused
@@ -170,9 +171,9 @@ enum Instr {
     /// Unconditional jump.
     Jump { to: u32 },
     /// `guards += 1; aux_loads += aux` (guard evaluation site).
-    Guard { aux: u32 },
+    Guard { aux: u64 },
     /// `aux_loads += n` (loop-bound evaluation site).
-    BumpAux { n: u32 },
+    BumpAux { n: u64 },
     /// `freg[dst] = v`.
     FConst { dst: u16, v: f32 },
     /// `freg[dst] = fbufs[buf][ireg[idx]]`, charging `aux` loads for the
@@ -181,10 +182,10 @@ enum Instr {
         dst: u16,
         buf: u32,
         idx: u16,
-        aux: u32,
+        aux: u64,
     },
     /// `freg[dst] = ireg[src] as f32`, charging `aux` loads.
-    FCast { dst: u16, src: u16, aux: u32 },
+    FCast { dst: u16, src: u16, aux: u64 },
     /// `freg[dst] = freg[src]`.
     FCopy { dst: u16, src: u16 },
     /// `freg[dst] = op(freg[a], freg[b])`; `flops += 1`.
@@ -221,10 +222,10 @@ enum Instr {
         idx: u16,
         val: u16,
         kind: StoreKind,
-        aux: u32,
+        aux: u64,
     },
     /// (Re)allocate `fbufs[slot]` as `ireg[size]` zeroes; charges `aux`.
-    FAlloc { slot: u32, size: u16, aux: u32 },
+    FAlloc { slot: u32, size: u16, aux: u64 },
     /// Fused multiply-accumulate loop (see [`FusedMulAcc`]): the whole
     /// innermost `for t { out[..] += a[..] * b[..] }` reduction in one
     /// dispatch, bit- and stats-identical to the unfused instruction
@@ -290,10 +291,13 @@ struct FusedMap {
     /// Register holding the trip count.
     n: u16,
     /// Static aux loads per element (every load/cast occurrence plus the
-    /// store index).
-    aux: u32,
+    /// store index). `u64`: deeply shared (`Rc`-DAG) index expressions
+    /// have exponential static load counts, which the interpreter
+    /// charges in full at run time — truncating here would break stats
+    /// parity (and used to abort compilation outright).
+    aux: u64,
     /// Float ops per element (tape `Bin`/`Un` plus reducing store).
-    flops: u32,
+    flops: u64,
 }
 
 /// Operands of the fused multiply-accumulate loop.
@@ -332,8 +336,10 @@ struct FusedMulAcc {
     b1: u16,
     /// Register holding the trip count (the loop extent).
     n: u16,
-    /// Static aux loads charged per iteration (all three indices).
-    aux: u32,
+    /// Static aux loads charged per iteration (all three indices); `u64`
+    /// because shared expression DAGs count exponentially (see
+    /// [`FusedMap::aux`]).
+    aux: u64,
 }
 
 /// Operands of the two-level fused multiply-accumulate loop: a whole
@@ -372,11 +378,13 @@ struct FusedMulAcc2 {
     /// Registers holding the outer / inner trip counts.
     n_outer: u16,
     n_inner: u16,
-    /// Static aux loads charged per inner iteration (all three indices).
-    aux: u32,
+    /// Static aux loads charged per inner iteration (all three indices);
+    /// `u64` because shared expression DAGs count exponentially (see
+    /// [`FusedMap::aux`]).
+    aux: u64,
     /// Static aux loads of the inner loop's bounds, charged once per
     /// outer iteration (the serial inner-loop header's `BumpAux`).
-    aux_inner_bounds: u32,
+    aux_inner_bounds: u64,
 }
 
 /// A lowered statement compiled to slot-resolved bytecode.
@@ -389,6 +397,11 @@ pub struct VmProgram {
     n_iregs: usize,
     n_fregs: usize,
     slots: StmtSlots,
+    /// Float semantics the fused microkernels execute under. `Strict`
+    /// (the compile-time default) is bit-identical to the interpreter;
+    /// `Fast` permits the documented reassociations/approximations.
+    /// Statistics are charged identically in both modes.
+    math: MathMode,
     /// Source name of each alpha-renamed `For`/`LetInt` binding slot,
     /// indexed by `slot - slots.free_vars.len()` (disassembly only).
     var_slot_names: Vec<String>,
@@ -443,6 +456,19 @@ impl VmProgram {
     /// The name census the program was resolved against.
     pub fn slots(&self) -> &StmtSlots {
         &self.slots
+    }
+
+    /// Float semantics the fused microkernels execute under.
+    pub fn math_mode(&self) -> MathMode {
+        self.math
+    }
+
+    /// Sets the float semantics for subsequent executions. Compilation
+    /// always produces [`MathMode::Strict`]; opting into
+    /// [`MathMode::Fast`] never changes the instruction stream or the
+    /// charged statistics, only which microkernel bodies run.
+    pub fn set_math_mode(&mut self, math: MathMode) {
+        self.math = math;
     }
 
     /// Creates a fresh machine with all external bindings unset.
@@ -772,6 +798,20 @@ const MAX_MAP_TAPE: usize = 24;
 /// Elements processed per tape sweep.
 const MAP_CHUNK: usize = 64;
 
+/// Reusable chunk scratch for [`run_fused_map`], owned by the dispatch
+/// loop so the ~6 KiB zero-fill happens once per dispatch instead of
+/// once per fused-map execution (which, in the outlined parallel tier,
+/// would mean once per row). Every tape op fully overwrites its
+/// `dst[..m]` slice before anything reads it, so stale chunk contents
+/// are never observed.
+struct MapScratch([[f32; MAP_CHUNK]; MAX_MAP_TAPE]);
+
+impl Default for MapScratch {
+    fn default() -> Self {
+        MapScratch([[0f32; MAP_CHUNK]; MAX_MAP_TAPE])
+    }
+}
+
 struct Compiler {
     code: Vec<Instr>,
     /// Label id -> program counter (`u32::MAX` until placed).
@@ -1055,7 +1095,7 @@ impl Compiler {
                     dst,
                     buf: b,
                     idx: r_idx,
-                    aux: aux_u32(count_loads(idx)),
+                    aux: count_loads(idx),
                 });
                 dst
             }
@@ -1067,7 +1107,7 @@ impl Compiler {
                 self.emit(Instr::FCast {
                     dst,
                     src: r,
-                    aux: aux_u32(count_loads(i)),
+                    aux: count_loads(i),
                 });
                 dst
             }
@@ -1094,7 +1134,7 @@ impl Compiler {
                 // the stats-parity fix) charges its condition's aux loads,
                 // exactly like `Stmt::If`.
                 self.emit(Instr::Guard {
-                    aux: aux_u32(count_cond_loads(c)),
+                    aux: count_cond_loads(c),
                 });
                 let (l_then, l_else, l_end) =
                     (self.new_label(), self.new_label(), self.new_label());
@@ -1202,7 +1242,7 @@ impl Compiler {
         // Loop bounds charge their static load counts once, exactly like
         // the unfused loop header.
         self.emit(Instr::BumpAux {
-            n: aux_u32(count_loads(min) + count_loads(extent)),
+            n: count_loads(min) + count_loads(extent),
         });
         let slot = self.push_var(var);
         self.emit(Instr::SetVar { slot, src: r_min });
@@ -1247,7 +1287,7 @@ impl Compiler {
             b0,
             b1,
             n: r_ext,
-            aux: aux_u32(count_loads(index) + count_loads(aidx) + count_loads(bidx)),
+            aux: count_loads(index) + count_loads(aidx) + count_loads(bidx),
         })));
         self.place(l_end);
         self.var_scope.pop();
@@ -1299,7 +1339,7 @@ impl Compiler {
         let r_omin = self.expr(omin);
         let r_oext = self.expr(oext);
         self.emit(Instr::BumpAux {
-            n: aux_u32(count_loads(omin) + count_loads(oext)),
+            n: count_loads(omin) + count_loads(oext),
         });
         let oslot = self.push_var(ovar);
         self.emit(Instr::SetVar {
@@ -1386,8 +1426,8 @@ impl Compiler {
             b0o,
             n_outer: r_oext,
             n_inner: r_iext,
-            aux: aux_u32(count_loads(index) + count_loads(aidx) + count_loads(bidx)),
-            aux_inner_bounds: aux_u32(count_loads(imin) + count_loads(iext)),
+            aux: count_loads(index) + count_loads(aidx) + count_loads(bidx),
+            aux_inner_bounds: count_loads(imin) + count_loads(iext),
         })));
         self.place(l_end);
         self.var_scope.pop();
@@ -1499,14 +1539,14 @@ impl Compiler {
         if mb.sites.iter().any(|(slot, _)| *slot == out) {
             return false;
         }
-        let aux = aux_u32(mb.aux + count_loads(index));
-        let flops = aux_u32(mb.flops + u64::from(!matches!(kind, StoreKind::Assign)));
+        let aux = mb.aux + count_loads(index);
+        let flops = mb.flops + u64::from(!matches!(kind, StoreKind::Assign));
 
         let im = self.iregs.mark();
         let r_min = self.expr(min);
         let r_ext = self.expr(extent);
         self.emit(Instr::BumpAux {
-            n: aux_u32(count_loads(min) + count_loads(extent)),
+            n: count_loads(min) + count_loads(extent),
         });
         let slot = self.push_var(var);
         self.emit(Instr::SetVar { slot, src: r_min });
@@ -1579,7 +1619,7 @@ impl Compiler {
                 // Loop bounds are evaluated once per For execution; the
                 // interpreter charges their static load counts there.
                 self.emit(Instr::BumpAux {
-                    n: aux_u32(count_loads(min) + count_loads(extent)),
+                    n: count_loads(min) + count_loads(extent),
                 });
                 let slot = self.push_var(var);
                 self.emit(Instr::SetVar { slot, src: r_min });
@@ -1620,7 +1660,7 @@ impl Compiler {
                 self.emit(Instr::LetVar {
                     slot,
                     src: r,
-                    aux: aux_u32(count_loads(value)),
+                    aux: count_loads(value),
                 });
                 self.stmt(body);
                 self.var_scope.pop();
@@ -1641,14 +1681,14 @@ impl Compiler {
                     idx: r_idx,
                     val: r_val,
                     kind: *kind,
-                    aux: aux_u32(count_loads(index)),
+                    aux: count_loads(index),
                 });
                 self.iregs.release(im);
                 self.fregs.release(fm);
             }
             Stmt::If { cond, then_, else_ } => {
                 self.emit(Instr::Guard {
-                    aux: aux_u32(count_cond_loads(cond)),
+                    aux: count_cond_loads(cond),
                 });
                 let (l_then, l_else, l_end) =
                     (self.new_label(), self.new_label(), self.new_label());
@@ -1675,7 +1715,7 @@ impl Compiler {
                 self.emit(Instr::FAlloc {
                     slot,
                     size: r,
-                    aux: aux_u32(count_loads(size)),
+                    aux: count_loads(size),
                 });
                 self.stmt(body);
                 self.fbuf_scope.pop();
@@ -1700,19 +1740,536 @@ impl Compiler {
                 _ => {}
             }
         }
+        let mut n_iregs = self.iregs.max as usize;
+        let code = local_cse(self.code, &mut n_iregs);
         VmProgram {
-            code: self.code,
-            n_iregs: self.iregs.max as usize,
+            code,
+            n_iregs,
             n_fregs: self.fregs.max as usize,
             slots: self.slots,
             var_slot_names: self.var_slot_names,
             fbuf_slot_names: self.fbuf_slot_names,
+            math: MathMode::Strict,
         }
     }
 }
 
-fn aux_u32(n: u64) -> u32 {
-    u32::try_from(n).expect("aux-load count fits u32")
+// ---------------------------------------------------------------------
+// Block-local common-subexpression elimination
+// ---------------------------------------------------------------------
+
+/// Symbolic value of one pure integer instruction, over value ids rather
+/// than register names (so operand overwrites can never produce a stale
+/// hit) with per-block-versioned variable reads.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ValKey {
+    Const(i64),
+    Var(u32, u32),
+    Bin(IBinOp, u32, u32),
+    BinC(IBinOp, u32, i64),
+    BinV(IBinOp, u32, u32, u32),
+    Load(u32, u32),
+    LoadV(u32, u32, u32),
+}
+
+/// Calls `f` with every integer register the instruction *reads*.
+fn ireg_reads_mut(ins: &mut Instr, f: &mut impl FnMut(&mut u16)) {
+    match ins {
+        Instr::ICopy { src, .. } => f(src),
+        Instr::IBin { a, b, .. } => {
+            f(a);
+            f(b);
+        }
+        Instr::IBinC { a, .. } | Instr::IBinV { a, .. } => f(a),
+        Instr::ILoad { idx, .. } => f(idx),
+        Instr::IUf { args, .. } => {
+            for a in args.iter_mut() {
+                f(a);
+            }
+        }
+        Instr::SetVar { src, .. } | Instr::LetVar { src, .. } | Instr::FCast { src, .. } => f(src),
+        Instr::BrVarGe { lim, .. } | Instr::LoopNext { lim, .. } => f(lim),
+        Instr::BrCmp { a, b, .. } => {
+            f(a);
+            f(b);
+        }
+        Instr::FLoad { idx, .. } | Instr::FStore { idx, .. } => f(idx),
+        Instr::FAlloc { size, .. } => f(size),
+        Instr::FMulAcc(op) => {
+            for r in [
+                &mut op.o0, &mut op.o1, &mut op.a0, &mut op.a1, &mut op.b0, &mut op.b1, &mut op.n,
+            ] {
+                f(r);
+            }
+        }
+        Instr::FMulAcc2(op) => {
+            for r in [
+                &mut op.o00,
+                &mut op.o0i,
+                &mut op.o0o,
+                &mut op.a00,
+                &mut op.a0i,
+                &mut op.a0o,
+                &mut op.b00,
+                &mut op.b0i,
+                &mut op.b0o,
+                &mut op.n_outer,
+                &mut op.n_inner,
+            ] {
+                f(r);
+            }
+        }
+        Instr::FMap(op) => {
+            f(&mut op.o0);
+            f(&mut op.o1);
+            f(&mut op.n);
+            for s in op.sites.iter_mut() {
+                f(&mut s.r0);
+                f(&mut s.r1);
+            }
+        }
+        Instr::IConst { .. }
+        | Instr::IVar { .. }
+        | Instr::ILoadV { .. }
+        | Instr::Jump { .. }
+        | Instr::Guard { .. }
+        | Instr::BumpAux { .. }
+        | Instr::FConst { .. }
+        | Instr::FCopy { .. }
+        | Instr::FBin { .. }
+        | Instr::FBinC { .. }
+        | Instr::FBinCL { .. }
+        | Instr::FUn { .. } => {}
+    }
+}
+
+/// Redirects a pure integer instruction's destination register.
+fn set_ireg_dst(ins: &mut Instr, d: u16) {
+    match ins {
+        Instr::IConst { dst, .. }
+        | Instr::IVar { dst, .. }
+        | Instr::ICopy { dst, .. }
+        | Instr::IBin { dst, .. }
+        | Instr::IBinC { dst, .. }
+        | Instr::IBinV { dst, .. }
+        | Instr::ILoad { dst, .. }
+        | Instr::ILoadV { dst, .. } => *dst = d,
+        _ => unreachable!("only pure integer instructions are renamed"),
+    }
+}
+
+/// The integer register the instruction writes, if any.
+fn ireg_write(ins: &Instr) -> Option<u16> {
+    match ins {
+        Instr::IConst { dst, .. }
+        | Instr::IVar { dst, .. }
+        | Instr::ICopy { dst, .. }
+        | Instr::IBin { dst, .. }
+        | Instr::IBinC { dst, .. }
+        | Instr::IBinV { dst, .. }
+        | Instr::ILoad { dst, .. }
+        | Instr::ILoadV { dst, .. }
+        | Instr::IUf { dst, .. } => Some(*dst),
+        _ => None,
+    }
+}
+
+/// Block-local value-numbering CSE over the resolved bytecode.
+///
+/// The compiler's fused-loop lowering evaluates each affine index
+/// expression at two or three probe points, re-emitting whole
+/// subexpressions (aux-table loads, invariant products) that only differ
+/// in the probed loop variable — per *row* of a ragged operator this
+/// redundant integer arithmetic dominates the scalar dispatch overhead.
+/// This pass value-numbers pure integer instructions (`iconst`, `ivar`,
+/// `icopy`, `ibin[.c|.v]`, `iload[.v]`) within each basic block and
+/// deletes recomputations, rewriting later reads to the register that
+/// already holds the value.
+///
+/// Soundness:
+/// * keys are built over value ids, and variable reads carry a
+///   per-block version bumped on every `setvar`/`letvar`, so any state
+///   change produces a different key;
+/// * integer buffers are bound before execution and never written by
+///   the program, so `iload` is pure;
+/// * a def of `D` is deleted only when every read of `D` in the whole
+///   program sits in the same block at or after the def (reads in other
+///   blocks, or upstream of the def on a back-edge re-entry, keep the
+///   instruction); if the aliased source register is overwritten while
+///   `D` still has later reads, an `icopy` rematerialises `D` first;
+/// * statistics are charged by dedicated instructions (`bumpaux`,
+///   `guard`, `letvar`, the `aux` fields of float ops), none of which
+///   are touched, so interpreter-stats parity is preserved.
+fn local_cse(code: Vec<Instr>, n_iregs: &mut usize) -> Vec<Instr> {
+    let n = code.len();
+    if n == 0 {
+        return code;
+    }
+    // Basic-block starts: entry, every branch target, every fall-through
+    // successor of a branch.
+    let mut is_start = vec![false; n + 1];
+    is_start[0] = true;
+    for (pc, ins) in code.iter().enumerate() {
+        match ins {
+            Instr::Jump { to } => {
+                is_start[*to as usize] = true;
+                is_start[pc + 1] = true;
+            }
+            Instr::BrVarGe { to, .. } | Instr::LoopNext { back: to, .. } => {
+                is_start[*to as usize] = true;
+                is_start[pc + 1] = true;
+            }
+            Instr::BrCmp {
+                on_true, on_false, ..
+            } => {
+                is_start[*on_true as usize] = true;
+                is_start[*on_false as usize] = true;
+                is_start[pc + 1] = true;
+            }
+            _ => {}
+        }
+    }
+    let mut block_of = vec![0u32; n];
+    let mut bid = 0u32;
+    for pc in 0..n {
+        if pc > 0 && is_start[pc] {
+            bid += 1;
+        }
+        block_of[pc] = bid;
+    }
+    // Global read map: which block(s) read each register, and at which
+    // positions (sorted by construction).
+    const MULTI: u32 = u32::MAX;
+    let mut read_in: std::collections::HashMap<u16, u32> = std::collections::HashMap::new();
+    let mut read_pos: std::collections::HashMap<u16, Vec<usize>> = std::collections::HashMap::new();
+    // Registers whose first access within a block is a read: on a
+    // back-edge re-entry such a read observes the value a *later* def in
+    // the block produced on the previous trip, so those defs must stay.
+    let mut ue_read: std::collections::HashSet<(u32, u16)> = std::collections::HashSet::new();
+    let mut written: std::collections::HashSet<u16> = std::collections::HashSet::new();
+    for (pc, ins) in code.iter().enumerate() {
+        if is_start[pc] {
+            written.clear();
+        }
+        let mut probe = ins.clone();
+        ireg_reads_mut(&mut probe, &mut |r| {
+            let e = read_in.entry(*r).or_insert(block_of[pc]);
+            if *e != block_of[pc] {
+                *e = MULTI;
+            }
+            read_pos.entry(*r).or_default().push(pc);
+            if !written.contains(r) {
+                ue_read.insert((block_of[pc], *r));
+            }
+        });
+        if let Some(d) = ireg_write(ins) {
+            written.insert(d);
+        }
+    }
+    let reads_in_range = |r: u16, lo: usize, hi: usize| -> bool {
+        read_pos
+            .get(&r)
+            .is_some_and(|v| v.iter().any(|&p| p >= lo && p < hi))
+    };
+
+    let mut out: Vec<Instr> = Vec::with_capacity(n);
+    let mut newpc = vec![0u32; n + 1];
+    let mut next_val = 0u32;
+    // Fresh registers for block-local renaming (SSA within a block, so
+    // the compiler's in-place accumulations stop destroying values the
+    // next probe could reuse).
+    let mut next_reg = u16::try_from(*n_iregs).unwrap_or(u16::MAX);
+    // Per-block state.
+    let mut reg_val: std::collections::HashMap<u16, u32> = std::collections::HashMap::new();
+    let mut key_id: std::collections::HashMap<ValKey, u32> = std::collections::HashMap::new();
+    let mut avail: std::collections::HashMap<u32, u16> = std::collections::HashMap::new();
+    let mut var_ver: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let mut alias: std::collections::HashMap<u16, u16> = std::collections::HashMap::new();
+    let mut block_end_pc = n;
+
+    for pc in 0..n {
+        if is_start[pc] {
+            reg_val.clear();
+            key_id.clear();
+            avail.clear();
+            var_ver.clear();
+            alias.clear();
+            block_end_pc = (pc + 1..=n).find(|&q| q == n || is_start[q]).unwrap_or(n);
+        }
+        newpc[pc] = out.len() as u32;
+        let mut ins = code[pc].clone();
+        // Route reads through live aliases.
+        ireg_reads_mut(&mut ins, &mut |r| {
+            if let Some(s) = alias.get(r) {
+                *r = *s;
+            }
+        });
+        // Variable writes bump the version so later keys can't match
+        // values computed from the old variable state.
+        match &ins {
+            Instr::SetVar { slot, .. }
+            | Instr::LetVar { slot, .. }
+            | Instr::LoopNext { slot, .. } => {
+                *var_ver.entry(*slot).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+        let dst = ireg_write(&ins);
+        if let Some(d) = dst {
+            // Overwriting an alias *source*: rematerialise still-needed
+            // aliased registers from it first.
+            let stale: Vec<u16> = alias
+                .iter()
+                .filter(|&(_, s)| *s == d)
+                .map(|(x, _)| *x)
+                .collect();
+            for x in stale {
+                alias.remove(&x);
+                if reads_in_range(x, pc + 1, block_end_pc) {
+                    out.push(Instr::ICopy { dst: x, src: d });
+                }
+            }
+            // Overwriting an aliased register ends its alias.
+            alias.remove(&d);
+        }
+        // Value id a register currently holds (fresh opaque id for
+        // registers whose defining instruction precedes the block).
+        fn val_of(
+            reg_val: &mut std::collections::HashMap<u16, u32>,
+            next: &mut u32,
+            r: u16,
+        ) -> u32 {
+            *reg_val.entry(r).or_insert_with(|| {
+                *next += 1;
+                *next
+            })
+        }
+        let ver = |var_ver: &std::collections::HashMap<u32, u32>, s: u32| -> u32 {
+            var_ver.get(&s).copied().unwrap_or(0)
+        };
+        // Symbolic value of a pure instruction (`None` = impure/other).
+        let key: Option<ValKey> = match &ins {
+            Instr::IConst { v, .. } => Some(ValKey::Const(*v)),
+            Instr::IVar { slot, .. } => Some(ValKey::Var(*slot, ver(&var_ver, *slot))),
+            Instr::IBin { op, a, b, .. } => {
+                let va = val_of(&mut reg_val, &mut next_val, *a);
+                let vb = val_of(&mut reg_val, &mut next_val, *b);
+                Some(ValKey::Bin(*op, va, vb))
+            }
+            Instr::IBinC { op, a, c, .. } => Some(ValKey::BinC(
+                *op,
+                val_of(&mut reg_val, &mut next_val, *a),
+                *c,
+            )),
+            Instr::IBinV { op, a, vslot, .. } => {
+                let va = val_of(&mut reg_val, &mut next_val, *a);
+                Some(ValKey::BinV(*op, va, *vslot, ver(&var_ver, *vslot)))
+            }
+            Instr::ILoad { buf, idx, .. } => Some(ValKey::Load(
+                *buf,
+                val_of(&mut reg_val, &mut next_val, *idx),
+            )),
+            Instr::ILoadV { buf, vslot, .. } => {
+                Some(ValKey::LoadV(*buf, *vslot, ver(&var_ver, *vslot)))
+            }
+            _ => None,
+        };
+        match (key, &ins) {
+            (_, Instr::ICopy { dst: d, src }) => {
+                // Copies just propagate the source's value id.
+                let v = val_of(&mut reg_val, &mut next_val, *src);
+                let (d, src) = (*d, *src);
+                reg_val.insert(d, v);
+                avail.entry(v).or_insert(src);
+                out.push(ins);
+            }
+            (Some(k), _) => {
+                let d = dst.expect("pure integer instructions write a register");
+                let id = *key_id.entry(k).or_insert_with(|| {
+                    next_val += 1;
+                    next_val
+                });
+                // `d` can be retired (deleted or renamed) only when every
+                // read of it sits in this block downstream of some def.
+                let block_local = read_in.get(&d).map_or(true, |b| *b == block_of[pc])
+                    && !ue_read.contains(&(block_of[pc], d));
+                let hit = avail
+                    .get(&id)
+                    .copied()
+                    .filter(|s| *s != d && reg_val.get(s) == Some(&id));
+                match hit {
+                    Some(s) if block_local => {
+                        // Drop the recomputation, alias reads to `s`.
+                        // `d` keeps its previous runtime value.
+                        alias.insert(d, s);
+                    }
+                    Some(s) => {
+                        // `d` may be read elsewhere: keep it live via a
+                        // copy instead of recomputing.
+                        out.push(Instr::ICopy { dst: d, src: s });
+                        reg_val.insert(d, id);
+                    }
+                    None if block_local && next_reg < u16::MAX => {
+                        // First computation: write it to a fresh register
+                        // so a later in-place accumulation into `d` can't
+                        // destroy the value before another probe needs it.
+                        let nd = next_reg;
+                        next_reg += 1;
+                        set_ireg_dst(&mut ins, nd);
+                        alias.insert(d, nd);
+                        reg_val.insert(nd, id);
+                        avail.insert(id, nd);
+                        out.push(ins);
+                    }
+                    None => {
+                        reg_val.insert(d, id);
+                        avail.insert(id, d);
+                        out.push(ins);
+                    }
+                }
+            }
+            (None, _) => {
+                if let Some(d) = dst {
+                    // Impure write (`iuf`): fresh opaque value.
+                    next_val += 1;
+                    reg_val.insert(d, next_val);
+                }
+                out.push(ins);
+            }
+        }
+    }
+    newpc[n] = out.len() as u32;
+    remap_targets(&mut out, &newpc);
+    *n_iregs = (*n_iregs).max(next_reg as usize);
+    local_dce(out)
+}
+
+/// Rewrites every branch target through an old-pc → new-pc map.
+fn remap_targets(code: &mut [Instr], newpc: &[u32]) {
+    for ins in code {
+        match ins {
+            Instr::Jump { to } | Instr::BrVarGe { to, .. } | Instr::LoopNext { back: to, .. } => {
+                *to = newpc[*to as usize]
+            }
+            Instr::BrCmp {
+                on_true, on_false, ..
+            } => {
+                *on_true = newpc[*on_true as usize];
+                *on_false = newpc[*on_false as usize];
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Backward dead-code elimination over the pure integer instructions:
+/// removes defs whose register is never read again, using the union of
+/// every block's upward-exposed reads (reads before any write in that
+/// block) as the conservative live-out set of *every* block — sound for
+/// any control flow, and enough to sweep the operand chains stranded
+/// when [`local_cse`] replaces a recomputation with a copy.
+fn local_dce(code: Vec<Instr>) -> Vec<Instr> {
+    let n = code.len();
+    if n == 0 {
+        return code;
+    }
+    let mut is_start = vec![false; n + 1];
+    is_start[0] = true;
+    for (pc, ins) in code.iter().enumerate() {
+        match ins {
+            Instr::Jump { to } => {
+                is_start[*to as usize] = true;
+                is_start[pc + 1] = true;
+            }
+            Instr::BrVarGe { to, .. } | Instr::LoopNext { back: to, .. } => {
+                is_start[*to as usize] = true;
+                is_start[pc + 1] = true;
+            }
+            Instr::BrCmp {
+                on_true, on_false, ..
+            } => {
+                is_start[*on_true as usize] = true;
+                is_start[*on_false as usize] = true;
+                is_start[pc + 1] = true;
+            }
+            _ => {}
+        }
+    }
+    // Upward-exposed reads across all blocks.
+    let mut ue: std::collections::HashSet<u16> = std::collections::HashSet::new();
+    let mut written: std::collections::HashSet<u16> = std::collections::HashSet::new();
+    for (pc, ins) in code.iter().enumerate() {
+        if is_start[pc] {
+            written.clear();
+        }
+        let mut probe = ins.clone();
+        ireg_reads_mut(&mut probe, &mut |r| {
+            if !written.contains(r) {
+                ue.insert(*r);
+            }
+        });
+        if let Some(d) = ireg_write(ins) {
+            written.insert(d);
+        }
+    }
+    // Backward sweep, block by block.
+    let mut keep = vec![true; n];
+    let mut live: std::collections::HashSet<u16> = std::collections::HashSet::new();
+    let mut block_ranges: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0usize;
+    for (pc, st) in is_start.iter().enumerate().take(n).skip(1) {
+        if *st {
+            block_ranges.push((start, pc));
+            start = pc;
+        }
+    }
+    if n > 0 {
+        block_ranges.push((start, n));
+    }
+    for &(lo, hi) in &block_ranges {
+        live.clear();
+        live.extend(ue.iter().copied());
+        for pc in (lo..hi).rev() {
+            let ins = &code[pc];
+            let pure = matches!(
+                ins,
+                Instr::IConst { .. }
+                    | Instr::IVar { .. }
+                    | Instr::ICopy { .. }
+                    | Instr::IBin { .. }
+                    | Instr::IBinC { .. }
+                    | Instr::IBinV { .. }
+                    | Instr::ILoad { .. }
+                    | Instr::ILoadV { .. }
+            );
+            if pure {
+                if let Some(d) = ireg_write(ins) {
+                    if !live.contains(&d) {
+                        keep[pc] = false;
+                        continue;
+                    }
+                }
+            }
+            if let Some(d) = ireg_write(ins) {
+                live.remove(&d);
+            }
+            let mut probe = ins.clone();
+            ireg_reads_mut(&mut probe, &mut |r| {
+                live.insert(*r);
+            });
+        }
+    }
+    let mut newpc = vec![0u32; n + 1];
+    let mut out = Vec::with_capacity(n);
+    for (pc, ins) in code.into_iter().enumerate() {
+        newpc[pc] = out.len() as u32;
+        if keep[pc] {
+            out.push(ins);
+        }
+    }
+    newpc[n] = out.len() as u32;
+    remap_targets(&mut out, &newpc);
+    out
 }
 
 /// Matches the canonical fusable reduction store
@@ -2057,6 +2614,7 @@ impl VmMachine<'_> {
             },
             &mut OwnedBufs(fbufs),
             stats,
+            &mut MapScratch::default(),
         );
     }
 }
@@ -2078,6 +2636,17 @@ trait FloatBufs {
     /// Contiguous read-only view of a slot, when one exists (used by the
     /// fused-loop fast paths; `None` falls back to per-element `get`).
     fn ro(&self, slot: u32) -> Option<&[f32]>;
+
+    /// Stores a chunk of values into the contiguous range
+    /// `out[o0 .. o0 + vals.len()]` under the given combine rule — the
+    /// unit-stride store sweep of [`FusedMap`]. Element order and the
+    /// per-element float op are those of the serial store loop, so the
+    /// result is bit-identical in every mode. Returns `false` when this
+    /// representation has no contiguous view of `out` (caller falls back
+    /// to per-element stores).
+    fn store_chunk(&mut self, _out: u32, _o0: usize, _kind: StoreKind, _vals: &[f32]) -> bool {
+        false
+    }
 
     /// `out[o0 + t] += s * b[b0 + t]` for `t in 0..n`, the vectorizable
     /// unit-stride shape of [`FusedMulAcc`]. Returns `false` when this
@@ -2114,7 +2683,9 @@ trait FloatBufs {
     /// The per-row dot panel of [`FusedMulAcc2`]:
     /// `out[o0 + t] += Σ_u a[a0 + t·sa_o + u] · b[b0 + t·sb_o + u]`
     /// (`u in 0..n_i`) for `t in 0..n_o`. Same contract as
-    /// [`FloatBufs::saxpy_panel`].
+    /// [`FloatBufs::saxpy_panel`], except that under [`MathMode::Fast`]
+    /// each row's reduction may reassociate across lanes (still
+    /// deterministic).
     #[allow(clippy::too_many_arguments)]
     fn dot_panel(
         &mut self,
@@ -2128,18 +2699,43 @@ trait FloatBufs {
         _sb_o: usize,
         _n_i: usize,
         _n_o: usize,
+        _mode: MathMode,
     ) -> bool {
         false
     }
 }
 
+/// Applies one [`StoreKind`] combine across a contiguous output chunk,
+/// in ascending element order — the single store-sweep implementation
+/// every [`FloatBufs::store_chunk`] funnels into.
+fn store_chunk_slice(out: &mut [f32], kind: StoreKind, vals: &[f32]) {
+    match kind {
+        StoreKind::Assign => out.copy_from_slice(vals),
+        StoreKind::AddAssign => {
+            for (o, v) in out.iter_mut().zip(vals) {
+                *o += *v;
+            }
+        }
+        StoreKind::MaxAssign => {
+            for (o, v) in out.iter_mut().zip(vals) {
+                *o = o.max(*v);
+            }
+        }
+    }
+}
+
 /// Shared panel kernels over plain slices — the single implementation
 /// every [`FloatBufs`] fast path funnels into, so all representations
-/// compute identical float sequences.
+/// compute identical float sequences. Thin adapters over the
+/// [`crate::microkernel`] SIMD bodies.
 mod panel {
     #![allow(clippy::too_many_arguments)]
 
-    /// `out_row += a[t·sa_o] · b_row(t)`, `t` ascending.
+    use crate::microkernel::{self, MathMode};
+
+    /// `out_row += a[t·sa_o] · b_row(t)`, `t` ascending per element —
+    /// the register-blocked microkernel is bit-identical to the scalar
+    /// nest in both math modes.
     pub(super) fn saxpy(
         out: &mut [f32],
         o0: usize,
@@ -2152,18 +2748,11 @@ mod panel {
         sb_o: usize,
         n_o: usize,
     ) {
-        let orow = &mut out[o0..o0 + n_i];
-        for t in 0..n_o {
-            let s = a[a0 + t * sa_o];
-            let brow = &b[b0 + t * sb_o..b0 + t * sb_o + n_i];
-            for (o, x) in orow.iter_mut().zip(brow) {
-                *o += s * *x;
-            }
-        }
+        microkernel::saxpy_panel(&mut out[o0..o0 + n_i], a, a0, sa_o, b, b0, sb_o, n_o);
     }
 
-    /// `out[t] += a_row(t) · b_row(t)`, `t` ascending, accumulation in
-    /// element order.
+    /// `out[t] += a_row(t) · b_row(t)`, `t` ascending; `Strict`
+    /// accumulates each row in element order, `Fast` across lanes.
     pub(super) fn dot(
         out: &mut [f32],
         o0: usize,
@@ -2175,16 +2764,9 @@ mod panel {
         sb_o: usize,
         n_i: usize,
         n_o: usize,
+        mode: MathMode,
     ) {
-        for t in 0..n_o {
-            let ar = &a[a0 + t * sa_o..a0 + t * sa_o + n_i];
-            let br = &b[b0 + t * sb_o..b0 + t * sb_o + n_i];
-            let mut acc = out[o0 + t];
-            for (x, y) in ar.iter().zip(br) {
-                acc += *x * *y;
-            }
-            out[o0 + t] = acc;
-        }
+        microkernel::dot_panel(out, o0, a, a0, sa_o, b, b0, sb_o, n_i, n_o, mode);
     }
 }
 
@@ -2230,6 +2812,11 @@ impl FloatBufs for OwnedBufs<'_> {
     #[inline]
     fn ro(&self, slot: u32) -> Option<&[f32]> {
         Some(&self.0[slot as usize])
+    }
+
+    fn store_chunk(&mut self, out: u32, o0: usize, kind: StoreKind, vals: &[f32]) -> bool {
+        store_chunk_slice(&mut self.0[out as usize][o0..o0 + vals.len()], kind, vals);
+        true
     }
 
     fn saxpy(&mut self, out: u32, o0: usize, b: u32, b0: usize, s: f32, n: usize) -> bool {
@@ -2284,6 +2871,7 @@ impl FloatBufs for OwnedBufs<'_> {
         sb_o: usize,
         n_i: usize,
         n_o: usize,
+        mode: MathMode,
     ) -> bool {
         let mut ovec = std::mem::take(&mut self.0[out as usize]);
         panel::dot(
@@ -2297,6 +2885,7 @@ impl FloatBufs for OwnedBufs<'_> {
             sb_o,
             n_i,
             n_o,
+            mode,
         );
         self.0[out as usize] = ovec;
         true
@@ -2394,6 +2983,15 @@ impl FloatBufs for BorrowedBufs<'_> {
         }
     }
 
+    fn store_chunk(&mut self, out: u32, o0: usize, kind: StoreKind, vals: &[f32]) -> bool {
+        // A read-only output binding returns `false`; the per-element
+        // fallback then raises the canonical bound-read-only panic.
+        self.with_out_taken(out, |ov, _| {
+            store_chunk_slice(&mut ov[o0..o0 + vals.len()], kind, vals);
+            true
+        })
+    }
+
     fn saxpy(&mut self, out: u32, o0: usize, b: u32, b0: usize, s: f32, n: usize) -> bool {
         fn run(ov: &mut [f32], o0: usize, bv: &[f32], b0: usize, s: f32, n: usize) {
             for (o, x) in ov[o0..o0 + n].iter_mut().zip(&bv[b0..b0 + n]) {
@@ -2468,12 +3066,13 @@ impl FloatBufs for BorrowedBufs<'_> {
         sb_o: usize,
         n_i: usize,
         n_o: usize,
+        mode: MathMode,
     ) -> bool {
         self.with_out_taken(out, |ov, me| {
             let (Some(av), Some(bv)) = (me.ro(a), me.ro(b)) else {
                 return false;
             };
-            panel::dot(ov, o0, av, a0, sa_o, bv, b0, sb_o, n_i, n_o);
+            panel::dot(ov, o0, av, a0, sa_o, bv, b0, sb_o, n_i, n_o, mode);
             true
         })
     }
@@ -2521,6 +3120,7 @@ fn dispatch<B: FloatBufs>(
     regs: &mut Regs<'_>,
     fbufs: &mut B,
     stats: &mut InterpStats,
+    map_scratch: &mut MapScratch,
 ) {
     let code = prog.code.as_slice();
     let Regs {
@@ -2587,7 +3187,7 @@ fn dispatch<B: FloatBufs>(
             }
             Instr::LetVar { slot, src, aux } => {
                 vars[*slot as usize] = iregs[*src as usize];
-                st.aux_loads += u64::from(*aux);
+                st.aux_loads += *aux;
             }
             Instr::BrVarGe { slot, lim, to } => {
                 if vars[*slot as usize] >= iregs[*lim as usize] {
@@ -2627,12 +3227,12 @@ fn dispatch<B: FloatBufs>(
             }
             Instr::Guard { aux } => {
                 st.guards += 1;
-                st.aux_loads += u64::from(*aux);
+                st.aux_loads += *aux;
             }
-            Instr::BumpAux { n } => st.aux_loads += u64::from(*n),
+            Instr::BumpAux { n } => st.aux_loads += *n,
             Instr::FConst { dst, v } => fregs[*dst as usize] = *v,
             Instr::FLoad { dst, buf, idx, aux } => {
-                st.aux_loads += u64::from(*aux);
+                st.aux_loads += *aux;
                 let i = iregs[*idx as usize];
                 let iu = usize::try_from(i).unwrap_or_else(|_| {
                     panic!("negative load index {i} into `{}`", fbuf_name(prog, *buf))
@@ -2640,7 +3240,7 @@ fn dispatch<B: FloatBufs>(
                 fregs[*dst as usize] = fbufs.get(*buf, iu);
             }
             Instr::FCast { dst, src, aux } => {
-                st.aux_loads += u64::from(*aux);
+                st.aux_loads += *aux;
                 fregs[*dst as usize] = iregs[*src as usize] as f32;
             }
             Instr::FCopy { dst, src } => {
@@ -2673,7 +3273,7 @@ fn dispatch<B: FloatBufs>(
                 kind,
                 aux,
             } => {
-                st.aux_loads += u64::from(*aux);
+                st.aux_loads += *aux;
                 let i = iregs[*idx as usize];
                 let v = fregs[*val as usize];
                 let iu = usize::try_from(i).unwrap_or_else(|_| {
@@ -2693,7 +3293,7 @@ fn dispatch<B: FloatBufs>(
                 st.stores += 1;
             }
             Instr::FAlloc { slot, size, aux } => {
-                st.aux_loads += u64::from(*aux);
+                st.aux_loads += *aux;
                 let n = iregs[*size as usize];
                 let nu = usize::try_from(n)
                     .unwrap_or_else(|_| panic!("negative alloc size {n} for scratch buffer"));
@@ -2710,7 +3310,7 @@ fn dispatch<B: FloatBufs>(
                 let sb = iregs[op.b1 as usize] - b0;
                 run_fused_mul_acc(prog, fbufs, op.out, op.a, op.b, n, o0, so, a0, sa, b0, sb);
                 let iters = n as u64;
-                st.aux_loads += iters * u64::from(op.aux);
+                st.aux_loads += iters * op.aux;
                 st.flops += 2 * iters;
                 st.stores += iters;
             }
@@ -2719,10 +3319,10 @@ fn dispatch<B: FloatBufs>(
                 debug_assert!(n > 0, "zero-trip fused loops are branched around");
                 let o0 = iregs[op.o0 as usize];
                 let so = iregs[op.o1 as usize] - o0;
-                run_fused_map(prog, fbufs, op, n, o0, so, iregs);
+                run_fused_map(prog, fbufs, op, n, o0, so, iregs, map_scratch);
                 let iters = n as u64;
-                st.aux_loads += iters * u64::from(op.aux);
-                st.flops += iters * u64::from(op.flops);
+                st.aux_loads += iters * op.aux;
+                st.flops += iters * op.flops;
                 st.stores += iters;
             }
             Instr::FMulAcc2(op) => {
@@ -2731,7 +3331,7 @@ fn dispatch<B: FloatBufs>(
                 let n_i = iregs[op.n_inner as usize];
                 // The serial nest charges the inner loop header's bound
                 // loads once per outer iteration, body or not.
-                st.aux_loads += (n_o as u64) * u64::from(op.aux_inner_bounds);
+                st.aux_loads += (n_o as u64) * op.aux_inner_bounds;
                 if n_i > 0 {
                     let o00 = iregs[op.o00 as usize];
                     let (so_i, so_o) = (iregs[op.o0i as usize] - o00, iregs[op.o0o as usize] - o00);
@@ -2749,7 +3349,7 @@ fn dispatch<B: FloatBufs>(
                         [b00, sb_i, sb_o],
                     );
                     let iters = (n_o as u64) * (n_i as u64);
-                    st.aux_loads += iters * u64::from(op.aux);
+                    st.aux_loads += iters * op.aux;
                     st.flops += 2 * iters;
                     st.stores += iters;
                 }
@@ -2766,6 +3366,7 @@ fn dispatch<B: FloatBufs>(
 /// keeps the per-element float sequence identical) and stored in
 /// ascending element order, so reductions accumulate exactly as the
 /// unfused loop would.
+#[allow(clippy::too_many_arguments)]
 fn run_fused_map<B: FloatBufs>(
     prog: &VmProgram,
     fbufs: &mut B,
@@ -2774,6 +3375,7 @@ fn run_fused_map<B: FloatBufs>(
     o0: i64,
     so: i64,
     iregs: &[i64],
+    map_scratch: &mut MapScratch,
 ) {
     let nneg = |i: i64, slot: u32, what: &str| -> usize {
         usize::try_from(i).unwrap_or_else(|_| {
@@ -2785,7 +3387,23 @@ fn run_fused_map<B: FloatBufs>(
         let b = iregs[s.r0 as usize];
         bases[i] = (b, iregs[s.r1 as usize] - b);
     }
-    let mut scratch = [[0f32; MAP_CHUNK]; MAX_MAP_TAPE];
+    // An entry is *uniform* when every element of its chunk holds the
+    // same value — constants, stride-0 loads/casts, and any op whose
+    // inputs are all uniform. Uniform entries are computed once per
+    // chunk and broadcast: the same operation on the same input yields
+    // the same bits, so this is legal even in Strict mode (it hoists
+    // the per-element `1/rowsum`, `rsqrt(var)`-style scalars that
+    // row-normalise and layer-norm tapes recompute per element).
+    let mut uniform = [false; MAX_MAP_TAPE];
+    for (ti, t) in op.tape.iter().enumerate() {
+        uniform[ti] = match t {
+            MapOp::Const { .. } => true,
+            MapOp::Load { site } | MapOp::Cast { site } => bases[*site as usize].1 == 0,
+            MapOp::Bin { a, b, .. } => uniform[*a as usize] && uniform[*b as usize],
+            MapOp::Un { a, .. } => uniform[*a as usize],
+        };
+    }
+    let scratch = &mut map_scratch.0;
     let mut start = 0i64;
     while start < n {
         let m = ((n - start) as usize).min(MAP_CHUNK);
@@ -2817,25 +3435,99 @@ fn run_fused_map<B: FloatBufs>(
                 }
                 MapOp::Cast { site } => {
                     let (base, stride) = bases[*site as usize];
-                    for (e, d) in dst.iter_mut().enumerate() {
-                        *d = (base + (start + e as i64) * stride) as f32;
+                    if stride == 0 {
+                        dst.fill(base as f32);
+                    } else {
+                        for (e, d) in dst.iter_mut().enumerate() {
+                            *d = (base + (start + e as i64) * stride) as f32;
+                        }
                     }
                 }
                 MapOp::Bin { op: bop, a, b } => {
                     let (av, bv) = (&prev[*a as usize], &prev[*b as usize]);
-                    for (e, d) in dst.iter_mut().enumerate() {
-                        *d = fbin_apply(*bop, av[e], bv[e]);
+                    let (ua, ub) = (uniform[*a as usize], uniform[*b as usize]);
+                    if ua && ub {
+                        dst.fill(fbin_apply(*bop, av[0], bv[0]));
+                    } else if ua {
+                        bin_chunk_sv(*bop, dst, av[0], &bv[..m]);
+                    } else if ub {
+                        bin_chunk_vs(*bop, dst, &av[..m], bv[0]);
+                    } else {
+                        bin_chunk(*bop, dst, &av[..m], &bv[..m]);
                     }
                 }
                 MapOp::Un { op: uop, a } => {
                     let av = &prev[*a as usize];
-                    for (e, d) in dst.iter_mut().enumerate() {
-                        *d = apply_unary(*uop, av[e]);
+                    if uniform[*a as usize] {
+                        let v = match (prog.math, uop) {
+                            (MathMode::Fast, FUnaryOp::Exp) => microkernel::exp_fast(av[0]),
+                            (MathMode::Fast, FUnaryOp::Tanh) => microkernel::tanh_fast(av[0]),
+                            _ => apply_unary(*uop, av[0]),
+                        };
+                        dst.fill(v);
+                    } else {
+                        match (prog.math, uop) {
+                            // Fast mode swaps the libm transcendentals
+                            // for the branch-free polynomial chunk
+                            // sweeps, under the microkernel module's
+                            // documented tolerances.
+                            (MathMode::Fast, FUnaryOp::Exp) => {
+                                microkernel::exp_chunk(dst, &av[..m]);
+                            }
+                            (MathMode::Fast, FUnaryOp::Tanh) => {
+                                microkernel::tanh_chunk(dst, &av[..m]);
+                            }
+                            _ => un_chunk(*uop, dst, &av[..m]),
+                        }
                     }
                 }
             }
         }
         let vals = &scratch[op.tape.len() - 1][..m];
+        let first = o0 + start * so;
+        if so == 1 {
+            // Contiguous output: one bounds-checked chunk store instead
+            // of a dispatch per element (bit-identical element order).
+            let i0 = nneg(first, op.out, "store");
+            if fbufs.store_chunk(op.out, i0, op.kind, vals) {
+                start += m as i64;
+                continue;
+            }
+        }
+        if so == 0 {
+            // Every element of the chunk lands on one output cell:
+            // fold locally and touch memory once per chunk. Chunks are
+            // combined in ascending order, so Strict folds reproduce
+            // the serial store sequence exactly; Fast reassociates the
+            // in-chunk reduction across lanes (still deterministic).
+            let idx = nneg(first, op.out, "store");
+            match op.kind {
+                // Repeated plain stores: the last value wins.
+                StoreKind::Assign => fbufs.set(op.out, idx, vals[m - 1]),
+                StoreKind::AddAssign => {
+                    let mut acc = fbufs.get(op.out, idx);
+                    match prog.math {
+                        MathMode::Strict => {
+                            for v in vals {
+                                acc += *v;
+                            }
+                        }
+                        MathMode::Fast => acc += microkernel::sum_fast(vals),
+                    }
+                    fbufs.set(op.out, idx, acc);
+                }
+                StoreKind::MaxAssign => {
+                    let acc = fbufs.get(op.out, idx);
+                    let acc = match prog.math {
+                        MathMode::Strict => vals.iter().fold(acc, |c, v| c.max(*v)),
+                        MathMode::Fast => microkernel::max_fast(acc, vals),
+                    };
+                    fbufs.set(op.out, idx, acc);
+                }
+            }
+            start += m as i64;
+            continue;
+        }
         match op.kind {
             StoreKind::Assign => {
                 for (e, v) in vals.iter().enumerate() {
@@ -2876,42 +3568,60 @@ fn run_fused_mul_acc2<B: FloatBufs>(
 ) {
     let [n_o, n_i] = n;
     let ([o00, so_i, so_o], [a00, sa_i, sa_o], [b00, sb_i, sb_o]) = (o, a, b);
-    let bases_ok = o00 >= 0 && a00 >= 0 && b00 >= 0 && sa_o >= 0 && sb_o >= 0 && so_o >= 0;
-    // i-k-j GEMM row: out_row += a[t] · b_row(t).
-    if bases_ok && so_i == 1 && so_o == 0 && sa_i == 0 && sb_i == 1 {
-        let done = fbufs.saxpy_panel(
-            op.out,
-            o00 as usize,
-            n_i as usize,
-            op.a,
-            a00 as usize,
-            sa_o as usize,
-            op.b,
-            b00 as usize,
-            sb_o as usize,
-            n_o as usize,
-        );
-        if done {
-            return;
+    // The nest's runtime stride shape, pattern-matched against the
+    // declarative microkernel ISA (`microkernel::PANEL_KERNELS`) instead
+    // of hard-coded stride peepholes; negative outer strides never
+    // classify (the kernels address `usize` ranges).
+    let shape = PanelShape {
+        out: (so_i, so_o),
+        a: (sa_i, sa_o),
+        b: (sb_i, sb_o),
+    };
+    let bases_ok = o00 >= 0 && a00 >= 0 && b00 >= 0;
+    let kind = if bases_ok {
+        microkernel::classify_panel(&shape)
+    } else {
+        None
+    };
+    match kind {
+        // i-k-j GEMM row: out_row += a[t] · b_row(t).
+        Some(PanelKind::Saxpy) => {
+            let done = fbufs.saxpy_panel(
+                op.out,
+                o00 as usize,
+                n_i as usize,
+                op.a,
+                a00 as usize,
+                sa_o as usize,
+                op.b,
+                b00 as usize,
+                sb_o as usize,
+                n_o as usize,
+            );
+            if done {
+                return;
+            }
         }
-    }
-    // Per-row dots: out[t] += a_row(t) · b_row(t).
-    if bases_ok && so_i == 0 && so_o == 1 && sa_i == 1 && sb_i == 1 {
-        let done = fbufs.dot_panel(
-            op.out,
-            o00 as usize,
-            op.a,
-            a00 as usize,
-            sa_o as usize,
-            op.b,
-            b00 as usize,
-            sb_o as usize,
-            n_i as usize,
-            n_o as usize,
-        );
-        if done {
-            return;
+        // Per-row dots: out[t] += a_row(t) · b_row(t).
+        Some(PanelKind::Dot) => {
+            let done = fbufs.dot_panel(
+                op.out,
+                o00 as usize,
+                op.a,
+                a00 as usize,
+                sa_o as usize,
+                op.b,
+                b00 as usize,
+                sb_o as usize,
+                n_i as usize,
+                n_o as usize,
+                prog.math,
+            );
+            if done {
+                return;
+            }
         }
+        None => {}
     }
     for t in 0..n_o {
         run_fused_mul_acc(
@@ -2959,46 +3669,60 @@ fn run_fused_mul_acc<B: FloatBufs>(
             .unwrap_or_else(|_| panic!("negative store index {i} into `{}`", fbuf_name(prog, out)))
     };
     let nu = n as usize;
-    if so == 0 {
-        // A reduction into one element: accumulate locally and write
-        // once. The float-add sequence `((out + x₀y₀) + x₁y₁) + …` is
-        // exactly what per-iteration read-modify-writes produce.
-        let o = store_idx(o0);
-        let mut acc = fbufs.get(out, o);
-        if sa == 1 && sb == 1 {
-            if let (Some(av), Some(bv)) = (fbufs.ro(a), fbufs.ro(b)) {
-                let ab = load_idx(a0, 1, 0, a);
-                let bb = load_idx(b0, 1, 0, b);
-                for (x, y) in av[ab..ab + nu].iter().zip(&bv[bb..bb + nu]) {
-                    acc += *x * *y;
+    // Classify the stride triple against the one-deep microkernel ISA
+    // (`microkernel::AXPY_KERNELS`) rather than matching strides inline.
+    match microkernel::classify_axpy(so, sa, sb) {
+        Some(AxpyKind::DotAcc) => {
+            // A reduction into one element: accumulate locally and write
+            // once. In Strict mode the float-add sequence
+            // `((out + x₀y₀) + x₁y₁) + …` is exactly what per-iteration
+            // read-modify-writes produce; Fast mode reassociates the
+            // unit-stride shape across lanes.
+            let o = store_idx(o0);
+            let mut acc = fbufs.get(out, o);
+            if sa == 1 && sb == 1 {
+                if let (Some(av), Some(bv)) = (fbufs.ro(a), fbufs.ro(b)) {
+                    let ab = load_idx(a0, 1, 0, a);
+                    let bb = load_idx(b0, 1, 0, b);
+                    let (ar, br) = (&av[ab..ab + nu], &bv[bb..bb + nu]);
+                    match prog.math {
+                        MathMode::Strict => {
+                            for (x, y) in ar.iter().zip(br) {
+                                acc += *x * *y;
+                            }
+                        }
+                        MathMode::Fast => acc += microkernel::dot_fast(ar, br),
+                    }
+                    fbufs.set(out, o, acc);
+                    return;
                 }
-                fbufs.set(out, o, acc);
-                return;
             }
-        }
-        for t in 0..n {
-            let x = fbufs.get(a, load_idx(a0, sa, t, a));
-            let y = fbufs.get(b, load_idx(b0, sb, t, b));
-            acc += x * y;
-        }
-        fbufs.set(out, o, acc);
-    } else if sa == 0 && so == 1 && sb == 1 {
-        // The vectorizable saxpy shape: a scalar left operand streaming
-        // over contiguous right/output rows.
-        let s = fbufs.get(a, load_idx(a0, 0, 0, a));
-        let ob = store_idx(o0);
-        let bb = load_idx(b0, 1, 0, b);
-        if !fbufs.saxpy(out, ob, b, bb, s, nu) {
             for t in 0..n {
-                let y = fbufs.get(b, load_idx(b0, 1, t, b));
-                fbufs.rmw(out, store_idx(o0 + t), |c| c + s * y);
+                let x = fbufs.get(a, load_idx(a0, sa, t, a));
+                let y = fbufs.get(b, load_idx(b0, sb, t, b));
+                acc += x * y;
+            }
+            fbufs.set(out, o, acc);
+        }
+        Some(AxpyKind::Saxpy) => {
+            // The vectorizable saxpy shape: a scalar left operand
+            // streaming over contiguous right/output rows.
+            let s = fbufs.get(a, load_idx(a0, 0, 0, a));
+            let ob = store_idx(o0);
+            let bb = load_idx(b0, 1, 0, b);
+            if !fbufs.saxpy(out, ob, b, bb, s, nu) {
+                for t in 0..n {
+                    let y = fbufs.get(b, load_idx(b0, 1, t, b));
+                    fbufs.rmw(out, store_idx(o0 + t), |c| c + s * y);
+                }
             }
         }
-    } else {
-        for t in 0..n {
-            let x = fbufs.get(a, load_idx(a0, sa, t, a));
-            let y = fbufs.get(b, load_idx(b0, sb, t, b));
-            fbufs.rmw(out, store_idx(o0 + t * so), |c| c + x * y);
+        None => {
+            for t in 0..n {
+                let x = fbufs.get(a, load_idx(a0, sa, t, a));
+                let y = fbufs.get(b, load_idx(b0, sb, t, b));
+                fbufs.rmw(out, store_idx(o0 + t * so), |c| c + x * y);
+            }
         }
     }
 }
@@ -3024,6 +3748,83 @@ fn fbin_apply(op: FBinOp, x: f32, y: f32) -> f32 {
         FBinOp::Mul => x * y,
         FBinOp::Div => x / y,
         FBinOp::Max => x.max(y),
+    }
+}
+
+/// Tape binary over a chunk, dispatching on the op *once* so each arm is
+/// a tight loop the compiler vectorizes (per-element results identical
+/// to `fbin_apply`, so both math modes use these).
+fn bin_chunk(op: FBinOp, dst: &mut [f32], a: &[f32], b: &[f32]) {
+    macro_rules! sweep {
+        ($f:expr) => {
+            for ((d, x), y) in dst.iter_mut().zip(a).zip(b) {
+                *d = $f(*x, *y);
+            }
+        };
+    }
+    match op {
+        FBinOp::Add => sweep!(|x: f32, y: f32| x + y),
+        FBinOp::Sub => sweep!(|x: f32, y: f32| x - y),
+        FBinOp::Mul => sweep!(|x: f32, y: f32| x * y),
+        FBinOp::Div => sweep!(|x: f32, y: f32| x / y),
+        FBinOp::Max => sweep!(|x: f32, y: f32| x.max(y)),
+    }
+}
+
+/// [`bin_chunk`] with a uniform (broadcast-scalar) left operand.
+fn bin_chunk_sv(op: FBinOp, dst: &mut [f32], x: f32, b: &[f32]) {
+    macro_rules! sweep {
+        ($f:expr) => {
+            for (d, y) in dst.iter_mut().zip(b) {
+                *d = $f(x, *y);
+            }
+        };
+    }
+    match op {
+        FBinOp::Add => sweep!(|x: f32, y: f32| x + y),
+        FBinOp::Sub => sweep!(|x: f32, y: f32| x - y),
+        FBinOp::Mul => sweep!(|x: f32, y: f32| x * y),
+        FBinOp::Div => sweep!(|x: f32, y: f32| x / y),
+        FBinOp::Max => sweep!(|x: f32, y: f32| x.max(y)),
+    }
+}
+
+/// [`bin_chunk`] with a uniform (broadcast-scalar) right operand.
+fn bin_chunk_vs(op: FBinOp, dst: &mut [f32], a: &[f32], y: f32) {
+    macro_rules! sweep {
+        ($f:expr) => {
+            for (d, x) in dst.iter_mut().zip(a) {
+                *d = $f(*x, y);
+            }
+        };
+    }
+    match op {
+        FBinOp::Add => sweep!(|x: f32, y: f32| x + y),
+        FBinOp::Sub => sweep!(|x: f32, y: f32| x - y),
+        FBinOp::Mul => sweep!(|x: f32, y: f32| x * y),
+        FBinOp::Div => sweep!(|x: f32, y: f32| x / y),
+        FBinOp::Max => sweep!(|x: f32, y: f32| x.max(y)),
+    }
+}
+
+/// Tape unary over a chunk with the op dispatch hoisted out of the loop
+/// (per-element results identical to `apply_unary`; `Fast` transcendental
+/// sweeps are handled by the caller).
+fn un_chunk(op: FUnaryOp, dst: &mut [f32], a: &[f32]) {
+    macro_rules! sweep {
+        ($f:expr) => {
+            for (d, x) in dst.iter_mut().zip(a) {
+                *d = $f(*x);
+            }
+        };
+    }
+    match op {
+        FUnaryOp::Neg => sweep!(|x: f32| -x),
+        FUnaryOp::Exp => sweep!(|x: f32| x.exp()),
+        FUnaryOp::Sqrt => sweep!(|x: f32| x.sqrt()),
+        FUnaryOp::Recip => sweep!(|x: f32| 1.0 / x),
+        FUnaryOp::Tanh => sweep!(|x: f32| x.tanh()),
+        FUnaryOp::Relu => sweep!(|x: f32| x.max(0.0)),
     }
 }
 
@@ -3269,6 +4070,29 @@ impl FloatBufs for WorkerBufs<'_> {
         }
     }
 
+    #[allow(unsafe_code)] // exclusive chunk view of the shared output; see SAFETY below
+    fn store_chunk(&mut self, out: u32, o0: usize, kind: StoreKind, vals: &[f32]) -> bool {
+        if out == self.out_slot {
+            for idx in o0..o0 + vals.len() {
+                self.out_claim(idx);
+            }
+            // SAFETY: this block stores to exactly `[o0, o0 + len)` of
+            // the output (claimed above in debug builds); under the
+            // disjoint-store contract the view is exclusive.
+            let orow = unsafe { self.out.slice_mut(o0, vals.len()) };
+            store_chunk_slice(orow, kind, vals);
+            true
+        } else if (out as usize) >= self.n_free {
+            let ov = &mut self.scratch[out as usize - self.n_free];
+            store_chunk_slice(&mut ov[o0..o0 + vals.len()], kind, vals);
+            true
+        } else {
+            // Storing to a shared input: fall back so `set`/`rmw` raise
+            // the canonical compiler-bug panic.
+            false
+        }
+    }
+
     fn saxpy(&mut self, out: u32, o0: usize, b: u32, b0: usize, s: f32, n: usize) -> bool {
         if out == self.out_slot {
             // `b` is never the output (compile-time contract), so `ro`
@@ -3358,6 +4182,7 @@ impl FloatBufs for WorkerBufs<'_> {
         sb_o: usize,
         n_i: usize,
         n_o: usize,
+        mode: MathMode,
     ) -> bool {
         if out == self.out_slot {
             for idx in o0..o0 + n_o {
@@ -3369,7 +4194,7 @@ impl FloatBufs for WorkerBufs<'_> {
             // SAFETY: as in `saxpy_panel` — the block owns
             // `[o0, o0+n_o)` of the output, so the view is exclusive.
             let orow = unsafe { self.out.slice_mut(o0, n_o) };
-            panel::dot(orow, 0, av, a0, sa_o, bv, b0, sb_o, n_i, n_o);
+            panel::dot(orow, 0, av, a0, sa_o, bv, b0, sb_o, n_i, n_o, mode);
             true
         } else if (out as usize) >= self.n_free {
             let mut ovec = std::mem::take(&mut self.scratch[out as usize - self.n_free]);
@@ -3377,7 +4202,7 @@ impl FloatBufs for WorkerBufs<'_> {
                 self.scratch[out as usize - self.n_free] = ovec;
                 return false;
             };
-            panel::dot(&mut ovec, o0, av, a0, sa_o, bv, b0, sb_o, n_i, n_o);
+            panel::dot(&mut ovec, o0, av, a0, sa_o, bv, b0, sb_o, n_i, n_o, mode);
             self.scratch[out as usize - self.n_free] = ovec;
             true
         } else {
@@ -3559,6 +4384,7 @@ impl VmShared<'_> {
             },
             &mut bufs,
             &mut stats,
+            &mut MapScratch::default(),
         );
         stats
     }
@@ -3712,6 +4538,7 @@ impl VmShared<'_> {
                 cur_block: 0,
             };
             let mut stats = InterpStats::default();
+            let mut map_scratch = MapScratch::default();
             for &bv in &batches[bi] {
                 vars[block_slot as usize] = bv;
                 #[cfg(debug_assertions)]
@@ -3730,6 +4557,7 @@ impl VmShared<'_> {
                     },
                     &mut bufs,
                     &mut stats,
+                    &mut map_scratch,
                 );
             }
             let mut t = total.lock().unwrap_or_else(|e| e.into_inner());
@@ -3829,6 +4657,41 @@ mod tests {
         // Two inner-loop entries, each charging one extent load.
         assert_eq!(stats.aux_loads, 2);
         assert_eq!(stats.stores, 5);
+    }
+
+    #[test]
+    fn aux_counts_survive_u32_overflow() {
+        // Regression: aux metadata used to be `u32`, and Rc-shared
+        // doubling expression DAGs produce per-site load counts past
+        // 2^32, so `compile` panicked on the checked cast. The fields
+        // are `u64` now. Building a real >2^32-load expression is
+        // exponential-time, so inject a boundary-crossing count into
+        // the compiled code directly and check each evaluation charges
+        // the full 64-bit value.
+        const BIG: u64 = u32::MAX as u64 + 7;
+        let body = Stmt::store("B", Expr::var("i"), FExpr::load("A", Expr::var("i")));
+        let nest = Stmt::loop_(
+            "i",
+            Expr::int(4),
+            Stmt::if_then(Expr::var("i").lt(Expr::int(2)), body),
+        );
+        let mut prog = compile(&nest);
+        let mut patched = 0u64;
+        for ins in &mut prog.code {
+            if let Instr::Guard { aux } = ins {
+                *aux = BIG;
+                patched += 1;
+            }
+        }
+        assert_eq!(patched, 1, "expected exactly one guard in the loop body");
+        let mut vm = prog.machine();
+        vm.set_fbuffer("A", vec![1.0; 4]);
+        vm.set_fbuffer("B", vec![0.0; 4]);
+        vm.run();
+        // One guard evaluation per iteration, each charging the full
+        // (formerly truncated) count.
+        assert_eq!(vm.stats.guards, 4);
+        assert_eq!(vm.stats.aux_loads, 4 * BIG);
     }
 
     #[test]

@@ -520,10 +520,13 @@ pub struct CompiledEncoderLayer {
     cfg: EncoderConfig,
     lens: Vec<usize>,
     rows: usize,
+    math: MathMode,
 }
 
 impl CompiledEncoderLayer {
-    /// Lowers, compiles and wires every stage for the batch shape.
+    /// Lowers, compiles and wires every stage for the batch shape under
+    /// [`MathMode::Strict`] semantics (bit-identical to the interpreter
+    /// and, to within a few ULPs, the reference kernels).
     ///
     /// # Errors
     ///
@@ -533,6 +536,32 @@ impl CompiledEncoderLayer {
         cfg: &EncoderConfig,
         lens: &[usize],
     ) -> Result<CompiledEncoderLayer, ScheduleError> {
+        Self::build_with_math(cfg, lens, MathMode::Strict)
+    }
+
+    /// [`CompiledEncoderLayer::build`] with an explicit [`MathMode`].
+    ///
+    /// The mode is threaded per stage: the reduction- and
+    /// transcendental-heavy stages (projection/score/attention GEMMs,
+    /// softmax max/exp/sum, GELU, layer-norm sums and variances) opt
+    /// into the requested mode, while purely elementwise stages (bias
+    /// adds, scaling, softmax normalise, layer-norm apply) always run
+    /// Strict — Fast semantics change nothing for per-element maps, so
+    /// opting them in would only blur the contract. Under
+    /// [`MathMode::Fast`] the layer output drifts from the Strict run by
+    /// at most the per-op tolerances documented in
+    /// `cora_exec::microkernel`, compounded across stages; the
+    /// differential suite bounds the end-to-end error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the schedule error if lowering rejects a built-in
+    /// schedule — a compiler regression by definition.
+    pub fn build_with_math(
+        cfg: &EncoderConfig,
+        lens: &[usize],
+        math: MathMode,
+    ) -> Result<CompiledEncoderLayer, ScheduleError> {
         cfg.validate().expect("consistent encoder config");
         let rows: usize = lens.iter().sum();
         if rows == 0 {
@@ -541,11 +570,17 @@ impl CompiledEncoderLayer {
                 cfg: *cfg,
                 lens: lens.to_vec(),
                 rows,
+                math,
             });
         }
         let (h, ff) = (cfg.hidden, cfg.ff);
+        // `c` compiles a stage that always runs Strict (elementwise
+        // maps); `cf` compiles one that opts into the requested mode.
         let c =
             |op: &Operator| -> Result<CompiledProgram, ScheduleError> { Ok(lower(op)?.compile()) };
+        let cf = |op: &Operator| -> Result<CompiledProgram, ScheduleError> {
+            Ok(lower(op)?.compile().with_math_mode(math))
+        };
         let mut b = PipelineBuilder::new("encoder_layer");
         let ext = [
             ("X", rows * h),
@@ -577,7 +612,7 @@ impl CompiledEncoderLayer {
         wire(
             &mut b,
             "qkv_proj",
-            c(&proj_operator("qkv_proj", rows, h, 3 * h))?,
+            cf(&proj_operator("qkv_proj", rows, h, 3 * h))?,
             &[("In", "X"), ("W", "Wqkv")],
             "QKV0",
         );
@@ -591,7 +626,7 @@ impl CompiledEncoderLayer {
         wire(
             &mut b,
             "scores",
-            c(&enc_scores_operator(cfg, lens))?,
+            cf(&enc_scores_operator(cfg, lens))?,
             &[("QKV", "QKV")],
             "S0",
         );
@@ -605,21 +640,21 @@ impl CompiledEncoderLayer {
         wire(
             &mut b,
             "row_max",
-            c(&row_max_operator(cfg, lens))?,
+            cf(&row_max_operator(cfg, lens))?,
             &[("S", "S")],
             "M",
         );
         wire(
             &mut b,
             "row_exp",
-            c(&row_exp_operator(cfg, lens))?,
+            cf(&row_exp_operator(cfg, lens))?,
             &[("S", "S"), ("M", "M")],
             "EX",
         );
         wire(
             &mut b,
             "row_sum",
-            c(&row_sum_operator(cfg, lens))?,
+            cf(&row_sum_operator(cfg, lens))?,
             &[("Ex", "EX")],
             "E",
         );
@@ -633,14 +668,14 @@ impl CompiledEncoderLayer {
         wire(
             &mut b,
             "attnv",
-            c(&enc_attnv_operator(cfg, lens))?,
+            cf(&enc_attnv_operator(cfg, lens))?,
             &[("P", "P"), ("QKV", "QKV")],
             "O",
         );
         wire(
             &mut b,
             "out_proj",
-            c(&merge_proj_operator(cfg, rows))?,
+            cf(&merge_proj_operator(cfg, rows))?,
             &[("O", "O"), ("W", "Wo")],
             "AO",
         );
@@ -655,14 +690,14 @@ impl CompiledEncoderLayer {
         wire(
             &mut b,
             "ln1_sum",
-            c(&ln_sum_operator("ln1_sum", rows, h))?,
+            cf(&ln_sum_operator("ln1_sum", rows, h))?,
             &[("In", "Y1")],
             "S1",
         );
         wire(
             &mut b,
             "ln1_var",
-            c(&ln_var_operator("ln1_var", rows, h))?,
+            cf(&ln_var_operator("ln1_var", rows, h))?,
             &[("In", "Y1"), ("S", "S1")],
             "V1",
         );
@@ -683,21 +718,21 @@ impl CompiledEncoderLayer {
         wire(
             &mut b,
             "ff1",
-            c(&proj_operator("ff1", rows, h, ff))?,
+            cf(&proj_operator("ff1", rows, h, ff))?,
             &[("In", "Z1"), ("W", "W1")],
             "F0",
         );
         wire(
             &mut b,
             "ff1_bias_gelu",
-            c(&bias_gelu_operator("ff1_bias_gelu", rows, ff))?,
+            cf(&bias_gelu_operator("ff1_bias_gelu", rows, ff))?,
             &[("In", "F0"), ("B", "B1")],
             "F",
         );
         wire(
             &mut b,
             "ff2",
-            c(&proj_operator("ff2", rows, ff, h))?,
+            cf(&proj_operator("ff2", rows, ff, h))?,
             &[("In", "F"), ("W", "W2")],
             "G0",
         );
@@ -712,14 +747,14 @@ impl CompiledEncoderLayer {
         wire(
             &mut b,
             "ln2_sum",
-            c(&ln_sum_operator("ln2_sum", rows, h))?,
+            cf(&ln_sum_operator("ln2_sum", rows, h))?,
             &[("In", "Y2")],
             "S2",
         );
         wire(
             &mut b,
             "ln2_var",
-            c(&ln_var_operator("ln2_var", rows, h))?,
+            cf(&ln_var_operator("ln2_var", rows, h))?,
             &[("In", "Y2"), ("S", "S2")],
             "V2",
         );
@@ -742,6 +777,7 @@ impl CompiledEncoderLayer {
             cfg: *cfg,
             lens: lens.to_vec(),
             rows,
+            math,
         })
     }
 
@@ -749,6 +785,11 @@ impl CompiledEncoderLayer {
     /// non-empty.
     pub fn pipeline(&self) -> Option<&CompiledPipeline> {
         self.pipeline.as_ref()
+    }
+
+    /// The [`MathMode`] the compute-heavy stages were compiled under.
+    pub fn math_mode(&self) -> MathMode {
+        self.math
     }
 
     /// Total flattened rows of the batch shape.

@@ -93,8 +93,10 @@ fn fused_source_reads_fusion_maps_and_param() {
 fn vm_disassembly_of_fig4_is_golden() {
     // The full bytecode of the block-bound Fig. 4 kernel, one line per
     // instruction with resolved slot names. Any change to slot
-    // resolution, peepholes, loop shape or the outliner's input shows up
-    // here as a one-line diff.
+    // resolution, peepholes, the block-local CSE/DCE pass, loop shape or
+    // the outliner's input shows up here as a one-line diff. Note the
+    // CSE pass loading each row-offset table (`B__A0`, `A__A0`) once and
+    // reusing the register across both index probes.
     let mut op = fig4_operator();
     op.schedule_mut().bind("o", ForKind::GpuBlockX);
     let p = lower(&op).unwrap();
@@ -104,30 +106,24 @@ fn vm_disassembly_of_fig4_is_golden() {
    2  bumpaux  n=0
    3  setvar   o@0, r0
    4  iadd     r0, r0, r1
-   5  br.ge    o@0, r0 -> 29
+   5  br.ge    o@0, r0 -> 23
    6  iconst   r1, 0
    7  iload.v  r2, fig4__ext_i[o@0]
    8  bumpaux  n=1
    9  setvar   i@1, r1
-  10  iconst   r3, 0
-  11  br.le    r2, r3 -> 28, 12
-  12  iload.v  r4, B__A0[o@0]
-  13  ivar     r5, i@1
-  14  iadd     r4, r4, r5
-  15  iload.v  r5, A__A0[o@0]
-  16  ivar     r6, i@1
-  17  iadd     r5, r5, r6
-  18  ivar     r6, i@1
-  19  iadd.c   r6, r6, #1
-  20  setvar   i@1, r6
-  21  iload.v  r7, B__A0[o@0]
-  22  ivar     r8, i@1
-  23  iadd     r7, r7, r8
-  24  iload.v  r8, A__A0[o@0]
-  25  ivar     r9, i@1
-  26  iadd     r8, r8, r9
-  27  fmap     B[r4:r7] assign (ld0; #2.0; fmul t0 t1), sites=[A[r5:r8]], n=r2, aux=2, flops=1
-  28  loop     o@0, r0 -> 6
+  10  br.le    r2, r1 -> 22, 11
+  11  iload.v  r10, B__A0[o@0]
+  12  ivar     r11, i@1
+  13  iadd     r12, r10, r11
+  14  iload.v  r13, A__A0[o@0]
+  15  iadd     r14, r13, r11
+  16  iadd.c   r15, r11, #1
+  17  setvar   i@1, r15
+  18  ivar     r16, i@1
+  19  iadd     r17, r10, r16
+  20  iadd     r18, r13, r16
+  21  fmap     B[r12:r17] assign (ld0; #2.0; fmul t0 t1), sites=[A[r14:r18]], n=r2, aux=2, flops=1
+  22  loop     o@0, r0 -> 6
 ";
     assert_eq!(
         compiled.vm().to_string(),
@@ -138,28 +134,22 @@ fn vm_disassembly_of_fig4_is_golden() {
     // block loop's header/back-edge, with `o` resolved as a *free*
     // variable (no `@slot` suffix) — the block-indexed entry point each
     // worker executes.
-    let body_golden = "   0  iconst   r0, 0
+    let body_golden = "   0  iconst   r9, 0
    1  iload.v  r1, fig4__ext_i[o]
    2  bumpaux  n=1
-   3  setvar   i@1, r0
-   4  iconst   r2, 0
-   5  br.le    r1, r2 -> 22, 6
-   6  iload.v  r3, B__A0[o]
-   7  ivar     r4, i@1
-   8  iadd     r3, r3, r4
-   9  iload.v  r4, A__A0[o]
-  10  ivar     r5, i@1
-  11  iadd     r4, r4, r5
-  12  ivar     r5, i@1
-  13  iadd.c   r5, r5, #1
-  14  setvar   i@1, r5
-  15  iload.v  r6, B__A0[o]
-  16  ivar     r7, i@1
-  17  iadd     r6, r6, r7
-  18  iload.v  r7, A__A0[o]
-  19  ivar     r8, i@1
-  20  iadd     r7, r7, r8
-  21  fmap     B[r3:r6] assign (ld0; #2.0; fmul t0 t1), sites=[A[r4:r7]], n=r1, aux=2, flops=1
+   3  setvar   i@1, r9
+   4  br.le    r1, r9 -> 16, 5
+   5  iload.v  r10, B__A0[o]
+   6  ivar     r11, i@1
+   7  iadd     r12, r10, r11
+   8  iload.v  r13, A__A0[o]
+   9  iadd     r14, r13, r11
+  10  iadd.c   r15, r11, #1
+  11  setvar   i@1, r15
+  12  ivar     r16, i@1
+  13  iadd     r17, r10, r16
+  14  iadd     r18, r13, r16
+  15  fmap     B[r12:r17] assign (ld0; #2.0; fmul t0 t1), sites=[A[r14:r18]], n=r1, aux=2, flops=1
 ";
     let body = compiled
         .parallel_body()
@@ -191,9 +181,11 @@ fn vm_disassembly_of_projection_gemm_is_golden() {
     // The encoder's projection GEMM (reordered r, d, c): the whole
     // two-deep (d, c) reduction nest compiles to a single `fmulacc2` —
     // index probes at (0,0), (0,1) and (1,0) describe each affine index,
-    // and the instruction runs the i-k-j panel natively. Any change to
-    // the reorder directive, the affine screen or the fused emission
-    // shows here as a text diff.
+    // and the instruction runs the i-k-j panel natively. The CSE pass
+    // shares `r*2` across all probes and even discovers that In's (0,0)
+    // and (0,1) probes coincide (`In[r25:r25:r36]` — In has no c term).
+    // Any change to the reorder directive, the affine screen, the fused
+    // emission or the CSE/DCE pass shows here as a text diff.
     let p = lower(&cora::transformer::encoder_compiled::proj_operator(
         "proj", 3, 2, 2,
     ))
@@ -204,70 +196,39 @@ fn vm_disassembly_of_projection_gemm_is_golden() {
    2  bumpaux  n=0
    3  setvar   r@0, r0
    4  iadd     r0, r0, r1
-   5  br.ge    r@0, r0 -> 69
+   5  br.ge    r@0, r0 -> 38
    6  iconst   r1, 0
    7  iconst   r2, 2
    8  bumpaux  n=0
    9  setvar   d@1, r1
-  10  iconst   r3, 0
-  11  br.le    r2, r3 -> 68, 12
-  12  iconst   r4, 0
-  13  iconst   r5, 2
-  14  setvar   c@2, r4
-  15  ivar     r6, r@0
-  16  iconst   r7, 2
-  17  imul     r6, r6, r7
-  18  ivar     r7, c@2
-  19  iadd     r6, r6, r7
-  20  ivar     r7, r@0
-  21  iconst   r8, 2
-  22  imul     r7, r7, r8
-  23  ivar     r8, d@1
-  24  iadd     r7, r7, r8
-  25  ivar     r8, d@1
-  26  iconst   r9, 2
-  27  imul     r8, r8, r9
-  28  ivar     r9, c@2
-  29  iadd     r8, r8, r9
-  30  ivar     r9, c@2
-  31  iadd.c   r9, r9, #1
-  32  setvar   c@2, r9
-  33  ivar     r10, r@0
-  34  iconst   r11, 2
-  35  imul     r10, r10, r11
-  36  ivar     r11, c@2
-  37  iadd     r10, r10, r11
-  38  ivar     r11, r@0
-  39  iconst   r12, 2
-  40  imul     r11, r11, r12
-  41  ivar     r12, d@1
-  42  iadd     r11, r11, r12
-  43  ivar     r12, d@1
-  44  iconst   r13, 2
-  45  imul     r12, r12, r13
-  46  ivar     r13, c@2
-  47  iadd     r12, r12, r13
-  48  setvar   c@2, r4
-  49  ivar     r13, d@1
-  50  iadd.c   r13, r13, #1
-  51  setvar   d@1, r13
-  52  ivar     r14, r@0
-  53  iconst   r15, 2
-  54  imul     r14, r14, r15
-  55  ivar     r15, c@2
-  56  iadd     r14, r14, r15
-  57  ivar     r15, r@0
-  58  iconst   r16, 2
-  59  imul     r15, r15, r16
-  60  ivar     r16, d@1
-  61  iadd     r15, r15, r16
-  62  ivar     r16, d@1
-  63  iconst   r17, 2
-  64  imul     r16, r16, r17
-  65  ivar     r17, c@2
-  66  iadd     r16, r16, r17
-  67  fmulacc2 Out[r6:r10:r14] += In[r7:r11:r15] * W[r8:r12:r16], n=r2xr5, aux=0, baux=0
-  68  loop     r@0, r0 -> 6
+  10  br.le    r2, r1 -> 37, 11
+  11  iconst   r18, 0
+  12  iconst   r19, 2
+  13  setvar   c@2, r18
+  14  ivar     r20, r@0
+  15  imul     r21, r20, r19
+  16  ivar     r22, c@2
+  17  iadd     r23, r21, r22
+  18  ivar     r24, d@1
+  19  iadd     r25, r21, r24
+  20  imul     r26, r24, r19
+  21  iadd     r27, r26, r22
+  22  iadd.c   r28, r22, #1
+  23  setvar   c@2, r28
+  24  ivar     r29, c@2
+  25  iadd     r30, r21, r29
+  26  iadd     r31, r26, r29
+  27  setvar   c@2, r18
+  28  iadd.c   r32, r24, #1
+  29  setvar   d@1, r32
+  30  ivar     r33, c@2
+  31  iadd     r34, r21, r33
+  32  ivar     r35, d@1
+  33  iadd     r36, r21, r35
+  34  imul     r37, r35, r19
+  35  iadd     r38, r37, r33
+  36  fmulacc2 Out[r23:r30:r34] += In[r25:r25:r36] * W[r27:r31:r38], n=r2xr19, aux=0, baux=0
+  37  loop     r@0, r0 -> 6
 ";
     assert_eq!(
         compiled.vm().to_string(),
@@ -276,68 +237,37 @@ fn vm_disassembly_of_projection_gemm_is_golden() {
     );
     // The outlined block body: the row loop's header/back-edge gone, `r`
     // free, the fused inner loop unchanged.
-    let body_golden = "   0  iconst   r0, 0
+    let body_golden = "   0  iconst   r17, 0
    1  iconst   r1, 2
    2  bumpaux  n=0
-   3  setvar   d@1, r0
-   4  iconst   r2, 0
-   5  br.le    r1, r2 -> 62, 6
-   6  iconst   r3, 0
-   7  iconst   r4, 2
-   8  setvar   c@2, r3
-   9  ivar     r5, r
-  10  iconst   r6, 2
-  11  imul     r5, r5, r6
-  12  ivar     r6, c@2
-  13  iadd     r5, r5, r6
-  14  ivar     r6, r
-  15  iconst   r7, 2
-  16  imul     r6, r6, r7
-  17  ivar     r7, d@1
-  18  iadd     r6, r6, r7
-  19  ivar     r7, d@1
-  20  iconst   r8, 2
-  21  imul     r7, r7, r8
-  22  ivar     r8, c@2
-  23  iadd     r7, r7, r8
-  24  ivar     r8, c@2
-  25  iadd.c   r8, r8, #1
-  26  setvar   c@2, r8
-  27  ivar     r9, r
-  28  iconst   r10, 2
-  29  imul     r9, r9, r10
-  30  ivar     r10, c@2
-  31  iadd     r9, r9, r10
-  32  ivar     r10, r
-  33  iconst   r11, 2
-  34  imul     r10, r10, r11
-  35  ivar     r11, d@1
-  36  iadd     r10, r10, r11
-  37  ivar     r11, d@1
-  38  iconst   r12, 2
-  39  imul     r11, r11, r12
-  40  ivar     r12, c@2
-  41  iadd     r11, r11, r12
-  42  setvar   c@2, r3
-  43  ivar     r12, d@1
-  44  iadd.c   r12, r12, #1
-  45  setvar   d@1, r12
-  46  ivar     r13, r
-  47  iconst   r14, 2
-  48  imul     r13, r13, r14
-  49  ivar     r14, c@2
-  50  iadd     r13, r13, r14
-  51  ivar     r14, r
-  52  iconst   r15, 2
-  53  imul     r14, r14, r15
-  54  ivar     r15, d@1
-  55  iadd     r14, r14, r15
-  56  ivar     r15, d@1
-  57  iconst   r16, 2
-  58  imul     r15, r15, r16
-  59  ivar     r16, c@2
-  60  iadd     r15, r15, r16
-  61  fmulacc2 Out[r5:r9:r13] += In[r6:r10:r14] * W[r7:r11:r15], n=r1xr4, aux=0, baux=0
+   3  setvar   d@1, r17
+   4  br.le    r1, r17 -> 31, 5
+   5  iconst   r18, 0
+   6  iconst   r19, 2
+   7  setvar   c@2, r18
+   8  ivar     r20, r
+   9  imul     r21, r20, r19
+  10  ivar     r22, c@2
+  11  iadd     r23, r21, r22
+  12  ivar     r24, d@1
+  13  iadd     r25, r21, r24
+  14  imul     r26, r24, r19
+  15  iadd     r27, r26, r22
+  16  iadd.c   r28, r22, #1
+  17  setvar   c@2, r28
+  18  ivar     r29, c@2
+  19  iadd     r30, r21, r29
+  20  iadd     r31, r26, r29
+  21  setvar   c@2, r18
+  22  iadd.c   r32, r24, #1
+  23  setvar   d@1, r32
+  24  ivar     r33, c@2
+  25  iadd     r34, r21, r33
+  26  ivar     r35, d@1
+  27  iadd     r36, r21, r35
+  28  imul     r37, r35, r19
+  29  iadd     r38, r37, r33
+  30  fmulacc2 Out[r23:r30:r34] += In[r25:r25:r36] * W[r27:r31:r38], n=r1xr19, aux=0, baux=0
 ";
     let body = compiled
         .parallel_body()
@@ -355,6 +285,9 @@ fn vm_disassembly_of_layernorm_is_golden() {
     // to a fused-map tape (`fmap`) whose op sequence mirrors the
     // reference kernel exactly (sub, div-by-n, sqrt, recip, two muls,
     // add), with the row-invariant S/V loads deduplicated into sites.
+    // After CSE the In site shares Out's registers (`In[r21:r24]` — the
+    // same affine index), S/V share the row register, and G/Bt the
+    // column register.
     let p = lower(&cora::transformer::encoder_compiled::ln_norm_operator(
         "ln_norm", 2, 2,
     ))
@@ -365,90 +298,44 @@ fn vm_disassembly_of_layernorm_is_golden() {
    2  bumpaux  n=0
    3  setvar   r@0, r0
    4  iadd     r0, r0, r1
-   5  br.ge    r@0, r0 -> 45
+   5  br.ge    r@0, r0 -> 22
    6  iconst   r1, 0
    7  iconst   r2, 2
    8  bumpaux  n=0
    9  setvar   d@1, r1
-  10  iconst   r3, 0
-  11  br.le    r2, r3 -> 44, 12
-  12  ivar     r4, r@0
-  13  iconst   r5, 2
-  14  imul     r4, r4, r5
-  15  ivar     r5, d@1
-  16  iadd     r4, r4, r5
-  17  ivar     r5, r@0
-  18  iconst   r6, 2
-  19  imul     r5, r5, r6
-  20  ivar     r6, d@1
-  21  iadd     r5, r5, r6
-  22  ivar     r6, r@0
-  23  ivar     r7, r@0
-  24  ivar     r8, d@1
-  25  ivar     r9, d@1
-  26  ivar     r10, d@1
-  27  iadd.c   r10, r10, #1
-  28  setvar   d@1, r10
-  29  ivar     r11, r@0
-  30  iconst   r12, 2
-  31  imul     r11, r11, r12
-  32  ivar     r12, d@1
-  33  iadd     r11, r11, r12
-  34  ivar     r12, r@0
-  35  iconst   r13, 2
-  36  imul     r12, r12, r13
-  37  ivar     r13, d@1
-  38  iadd     r12, r12, r13
-  39  ivar     r13, r@0
-  40  ivar     r14, r@0
-  41  ivar     r15, d@1
-  42  ivar     r16, d@1
-  43  fmap     Out[r4:r11] assign (ld0; ld1; #2.0; fdiv t1 t2; fsub t0 t3; ld2; #2.0; fdiv t5 t6; #1e-5; fadd t7 t8; sqrt t9; recip t10; fmul t4 t11; ld3; fmul t12 t13; ld4; fadd t14 t15), sites=[In[r5:r12], S[r6:r13], V[r7:r14], G[r8:r15], Bt[r9:r16]], n=r2, aux=0, flops=9
-  44  loop     r@0, r0 -> 6
+  10  br.le    r2, r1 -> 21, 11
+  11  ivar     r17, r@0
+  12  iconst   r18, 2
+  13  imul     r19, r17, r18
+  14  ivar     r20, d@1
+  15  iadd     r21, r19, r20
+  16  iadd.c   r22, r20, #1
+  17  setvar   d@1, r22
+  18  ivar     r23, d@1
+  19  iadd     r24, r19, r23
+  20  fmap     Out[r21:r24] assign (ld0; ld1; #2.0; fdiv t1 t2; fsub t0 t3; ld2; #2.0; fdiv t5 t6; #1e-5; fadd t7 t8; sqrt t9; recip t10; fmul t4 t11; ld3; fmul t12 t13; ld4; fadd t14 t15), sites=[In[r21:r24], S[r17:r17], V[r17:r17], G[r20:r23], Bt[r20:r23]], n=r2, aux=0, flops=9
+  21  loop     r@0, r0 -> 6
 ";
     assert_eq!(
         compiled.vm().to_string(),
         golden,
         "layer-norm serial bytecode diverged"
     );
-    let body_golden = "   0  iconst   r0, 0
+    let body_golden = "   0  iconst   r16, 0
    1  iconst   r1, 2
    2  bumpaux  n=0
-   3  setvar   d@1, r0
-   4  iconst   r2, 0
-   5  br.le    r1, r2 -> 38, 6
-   6  ivar     r3, r
-   7  iconst   r4, 2
-   8  imul     r3, r3, r4
-   9  ivar     r4, d@1
-  10  iadd     r3, r3, r4
-  11  ivar     r4, r
-  12  iconst   r5, 2
-  13  imul     r4, r4, r5
-  14  ivar     r5, d@1
-  15  iadd     r4, r4, r5
-  16  ivar     r5, r
-  17  ivar     r6, r
-  18  ivar     r7, d@1
-  19  ivar     r8, d@1
-  20  ivar     r9, d@1
-  21  iadd.c   r9, r9, #1
-  22  setvar   d@1, r9
-  23  ivar     r10, r
-  24  iconst   r11, 2
-  25  imul     r10, r10, r11
-  26  ivar     r11, d@1
-  27  iadd     r10, r10, r11
-  28  ivar     r11, r
-  29  iconst   r12, 2
-  30  imul     r11, r11, r12
-  31  ivar     r12, d@1
-  32  iadd     r11, r11, r12
-  33  ivar     r12, r
-  34  ivar     r13, r
-  35  ivar     r14, d@1
-  36  ivar     r15, d@1
-  37  fmap     Out[r3:r10] assign (ld0; ld1; #2.0; fdiv t1 t2; fsub t0 t3; ld2; #2.0; fdiv t5 t6; #1e-5; fadd t7 t8; sqrt t9; recip t10; fmul t4 t11; ld3; fmul t12 t13; ld4; fadd t14 t15), sites=[In[r4:r11], S[r5:r12], V[r6:r13], G[r7:r14], Bt[r8:r15]], n=r1, aux=0, flops=9
+   3  setvar   d@1, r16
+   4  br.le    r1, r16 -> 15, 5
+   5  ivar     r17, r
+   6  iconst   r18, 2
+   7  imul     r19, r17, r18
+   8  ivar     r20, d@1
+   9  iadd     r21, r19, r20
+  10  iadd.c   r22, r20, #1
+  11  setvar   d@1, r22
+  12  ivar     r23, d@1
+  13  iadd     r24, r19, r23
+  14  fmap     Out[r21:r24] assign (ld0; ld1; #2.0; fdiv t1 t2; fsub t0 t3; ld2; #2.0; fdiv t5 t6; #1e-5; fadd t7 t8; sqrt t9; recip t10; fmul t4 t11; ld3; fmul t12 t13; ld4; fadd t14 t15), sites=[In[r21:r24], S[r17:r17], V[r17:r17], G[r20:r23], Bt[r20:r23]], n=r1, aux=0, flops=9
 ";
     let body = compiled
         .parallel_body()

@@ -15,7 +15,7 @@
 
 use proptest::prelude::*;
 
-use cora::exec::{Backend, CpuPool};
+use cora::exec::{Backend, CpuPool, MathMode};
 use cora::transformer::encoder_compiled::CompiledEncoderLayer;
 use cora::transformer::{encoder_layer_ragged, EncoderConfig, EncoderWeights, RaggedBatch};
 
@@ -94,6 +94,80 @@ proptest! {
                 }
                 prop_assert_eq!(par.total_stats(), serial.total_stats());
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Strict vs Fast differential across random ragged batches
+    /// (0-/1-length sequences included): a Fast-mode layer stays within
+    /// the compounded microkernel tolerances of both the Strict run and
+    /// the hand-written reference, and Fast is deterministic — parallel
+    /// runs are bit-identical to the Fast serial run.
+    #[test]
+    fn fast_encoder_layer_matches_strict_within_tolerance(
+        lens in prop::collection::vec(0usize..7, 1..5),
+        heads_idx in 0usize..3,
+        head_dim_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let heads = [1usize, 2, 4][heads_idx];
+        let head_dim = [2usize, 4, 8][head_dim_idx];
+        let cfg = small_config(heads, head_dim, 2);
+        let w = EncoderWeights::random(&cfg, seed);
+        let x = RaggedBatch::random(&lens, cfg.hidden, seed.wrapping_add(1));
+
+        let strict = CompiledEncoderLayer::build(&cfg, &lens).expect("legal schedules");
+        let fast = CompiledEncoderLayer::build_with_math(&cfg, &lens, MathMode::Fast)
+            .expect("legal schedules");
+        prop_assert_eq!(strict.math_mode(), MathMode::Strict);
+        prop_assert_eq!(fast.math_mode(), MathMode::Fast);
+
+        let mut s_session = strict.session().expect("stages outline");
+        let mut f_session = fast.session().expect("stages outline");
+        let s_out = s_session.run(None, &w, &x);
+        let f_out = f_session.run(None, &w, &x);
+        prop_assert_eq!(s_out.output.len(), f_out.output.len());
+
+        // Layer-norm at the end keeps outputs O(1), so an absolute bound
+        // covers the compounded per-op tolerances across all 21 stages.
+        let worst = s_out
+            .output
+            .iter()
+            .zip(&f_out.output)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        prop_assert!(
+            worst < 5e-3,
+            "fast layer diverges from strict by {}", worst
+        );
+        let reference = encoder_layer_ragged(&CpuPool::new(4), &cfg, &w, &x);
+        let worst_ref = reference
+            .data
+            .iter()
+            .zip(&f_out.output)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        prop_assert!(
+            worst_ref < 5e-3,
+            "fast layer diverges from reference by {}", worst_ref
+        );
+
+        // Stats are static metadata: mode must not change the charge.
+        prop_assert_eq!(s_out.total_stats(), f_out.total_stats());
+
+        // Fast is deterministic: parallel == serial, bit for bit.
+        for workers in [2usize, 8] {
+            let pool = CpuPool::new(workers);
+            let par = f_session.run(Some(&pool), &w, &x);
+            let fb: Vec<u32> = f_out.output.iter().map(|v| v.to_bits()).collect();
+            let pb: Vec<u32> = par.output.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(
+                fb, pb,
+                "fast parallel output diverges at {} workers", workers
+            );
         }
     }
 }

@@ -254,6 +254,161 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// MathMode: strict/fast differential and fmap tail correctness
+// ---------------------------------------------------------------------
+
+/// `|a - b| <= abs + rel * |b|`, with NaN/inf required to agree exactly.
+fn close(a: f32, b: f32, rel: f32, abs: f32) -> bool {
+    if a.is_finite() && b.is_finite() {
+        (a - b).abs() <= abs + rel * b.abs()
+    } else {
+        a.to_bits() == b.to_bits()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Strict vs Fast differential across random ragged batches: Strict
+    /// stays bit-identical to the interpreter; Fast stays within the
+    /// documented microkernel tolerances of Strict, and charges exactly
+    /// the same statistics (stats are static metadata, not a function of
+    /// the executing microkernel).
+    #[test]
+    fn fast_mode_matches_strict_within_tolerance(
+        lens in prop::collection::vec(0usize..12, 1..7),
+        pad in 1usize..5,
+        body_kind in 0usize..3,
+        sched in 0usize..6,
+    ) {
+        let mut op = make_op(&lens, pad, body_kind);
+        apply_schedule(&mut op, sched, pad);
+        let p = lower(&op).unwrap();
+        let input: Vec<f32> = (0..p.output_size())
+            .map(|x| x as f32 * 0.25 - 3.0)
+            .collect();
+        let interp = p.run(&[("A", input.clone())]);
+        let strict = p.compile().run(&[("A", input.clone())]);
+        let fast = p
+            .compile()
+            .with_math_mode(MathMode::Fast)
+            .run(&[("A", input)]);
+        for (i, (a, b)) in interp.output.iter().zip(&strict.output).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "strict element {} diverges from interpreter: {} vs {}", i, a, b
+            );
+        }
+        prop_assert_eq!(&interp.stats, &strict.stats);
+        for (i, (f, s)) in fast.output.iter().zip(&strict.output).enumerate() {
+            prop_assert!(
+                close(*f, *s, 1e-5, 1e-6),
+                "fast element {} out of tolerance: fast {} vs strict {}", i, f, s
+            );
+        }
+        prop_assert_eq!(
+            &strict.stats, &fast.stats,
+            "stats must be mode-independent"
+        );
+    }
+
+    /// Fast mode is deterministic: the parallel tier is bit-identical to
+    /// the serial tier in Fast mode too (fixed-tree lane combines, no
+    /// data races), at several worker counts.
+    #[test]
+    fn fast_mode_parallel_matches_fast_serial(
+        lens in prop::collection::vec(0usize..12, 1..7),
+        pad in 1usize..5,
+        body_kind in 0usize..3,
+        sched in 0usize..4,
+    ) {
+        let mut op = make_op(&lens, pad, body_kind);
+        apply_block_schedule(&mut op, sched, pad);
+        let p = lower(&op).unwrap();
+        let compiled = p.compile().with_math_mode(MathMode::Fast);
+        let input: Vec<f32> = (0..p.output_size())
+            .map(|x| x as f32 * 0.25 - 3.0)
+            .collect();
+        let serial = compiled.run(&[("A", input.clone())]);
+        for workers in [1usize, 4] {
+            let pool = CpuPool::new(workers);
+            let par = compiled.run_parallel(&pool, &[("A", input.clone())]).unwrap();
+            for (i, (a, b)) in serial.output.iter().zip(&par.output).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "fast element {} diverges at {} workers: serial {} vs parallel {}",
+                    i, workers, a, b
+                );
+            }
+            prop_assert_eq!(&serial.stats, &par.stats);
+        }
+    }
+}
+
+/// The fused-map chunk sweep (`MAP_CHUNK`-wide vector body + scalar
+/// tail) must be bit-identical to the interpreter's serial loop at every
+/// tail residue — lengths congruent to 1..=7 (mod 8), exactly 0, and
+/// straddling the chunk boundaries 63/64/65 and 127/128/129.
+#[test]
+fn fmap_tail_lengths_are_bit_identical() {
+    for body_kind in 0..3 {
+        for len in [0usize, 1, 2, 3, 4, 5, 6, 7, 9, 63, 64, 65, 127, 128, 129] {
+            let lens = [len];
+            let op = make_op(&lens, 1, body_kind);
+            let p = lower(&op).unwrap();
+            let input: Vec<f32> = (0..p.output_size())
+                .map(|x| (x as f32).mul_add(0.37, -11.0))
+                .collect();
+            let r1 = p.run(&[("A", input.clone())]);
+            let r2 = p.run_compiled(&[("A", input)]);
+            for (i, (a, b)) in r1.output.iter().zip(&r2.output).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "len {len} body {body_kind} element {i}: interp {a} vs vm {b}"
+                );
+            }
+            assert_eq!(r1.stats, r2.stats, "len {len} body {body_kind} stats");
+        }
+    }
+}
+
+/// A reduction store (`AddAssign`) whose row crosses the chunk boundary
+/// must preserve the serial accumulation order in Strict mode. The
+/// inputs alternate magnitudes so any reassociation changes the bits.
+#[test]
+fn reduction_store_order_preserved_across_chunk_boundary() {
+    for len in [63usize, 64, 65, 127, 128, 129, 200] {
+        let lens = [len, 3];
+        let a = ragged_2d("A", &lens, 1);
+        let out = TensorRef::new("S", RaggedLayout::dense(&[lens.len()]));
+        let a2 = a.clone();
+        let body: BodyFn = Rc::new(move |args| a2.at(args));
+        let op = Operator::new(
+            "rowsum",
+            vec![LoopSpec::fixed("o", lens.len())],
+            vec![LoopSpec::variable("i", 0, lens.to_vec())],
+            out,
+            vec![a],
+            body,
+        );
+        let p = lower(&op).unwrap();
+        let n: usize = lens.iter().sum();
+        // Alternate huge and tiny addends: the sum is order-sensitive,
+        // so a reassociated fold would produce different bits.
+        let input: Vec<f32> = (0..n)
+            .map(|x| if x % 2 == 0 { 1.0e7 } else { 1.125 })
+            .collect();
+        let r1 = p.run(&[("A", input.clone())]);
+        let r2 = p.run_compiled(&[("A", input)]);
+        for (a, b) in r1.output.iter().zip(&r2.output) {
+            assert_eq!(a.to_bits(), b.to_bits(), "len {len}: interp {a} vs vm {b}");
+        }
+        assert_eq!(r1.stats, r2.stats);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Buffer-planned pipelines
 // ---------------------------------------------------------------------
 
