@@ -23,10 +23,15 @@
 //!   sharing a statically planned buffer arena, with preludes and
 //!   dispatch orders resolved once per shape.
 //! * [`builder`] — a compact facade for common operator shapes.
+//! * [`autotune`] — shape-bucketed schedule search: candidate spaces
+//!   over `Schedule` directives, a versioned persistent tuning cache
+//!   keyed by length-histogram buckets, and a deterministic seeded
+//!   search driver.
 
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod autotune;
 pub mod bounds;
 pub mod builder;
 pub mod lower;
@@ -40,6 +45,10 @@ pub mod schedule;
 /// Convenience re-exports for downstream code and examples.
 pub mod prelude {
     pub use crate::api::{BodyFn, LoopExtent, LoopShift, LoopSpec, Operator, TensorRef};
+    pub use crate::autotune::{
+        Autotuner, BucketKey, CacheEntry, CacheLoad, StageChoice, StageSpace, StageTuneResult,
+        TuneBudget, TuningCache,
+    };
     pub use crate::builder::{BuildError, BuiltOp, OpBuilder};
     pub use crate::lower::lower;
     pub use crate::opsplit::{hfuse_sim, split_operation};

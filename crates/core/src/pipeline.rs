@@ -457,6 +457,13 @@ impl CompiledPipeline {
         self.stages.iter().map(|s| s.label.as_str()).collect()
     }
 
+    /// `(label, compiled program)` per stage, in execution order — the
+    /// autotuner's deterministic measurer reads each stage's bytecode
+    /// census from here.
+    pub fn stage_programs(&self) -> impl Iterator<Item = (&str, &CompiledProgram)> {
+        self.stages.iter().map(|s| (s.label.as_str(), &s.program))
+    }
+
     /// The arena buffer plan.
     pub fn plan(&self) -> &BufferPlan {
         &self.plan

@@ -15,7 +15,7 @@
 use cora_ir::ForKind;
 
 /// Thread-remapping policies for the block-axis loop (§4.1, Fig. 15).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum RemapPolicy {
     /// Blocks dispatch in loop order.
     #[default]

@@ -59,7 +59,7 @@ pub mod profile;
 pub mod runtime;
 pub mod vm;
 
-pub use cost::{CpuModel, GpuModel, KernelTraits};
+pub use cost::{proxy_score, CpuModel, GpuModel, KernelTraits};
 pub use cpu::{Backend, CpuPool};
 pub use gpu::{GpuRunReport, GpuSim, KernelReport, SimKernel};
 pub use interp::{InterpStats, Machine};

@@ -458,6 +458,23 @@ impl VmProgram {
         &self.slots
     }
 
+    /// Counts of the fused superinstructions in the stream, as
+    /// `(fmulacc, fmulacc2, fmap)`. The autotuner's deterministic proxy
+    /// measurer uses these to credit schedules whose loop nests the
+    /// fusion pass could collapse into panel microkernels.
+    pub fn fused_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0usize, 0usize, 0usize);
+        for instr in &self.code {
+            match instr {
+                Instr::FMulAcc(_) => counts.0 += 1,
+                Instr::FMulAcc2(_) => counts.1 += 1,
+                Instr::FMap(_) => counts.2 += 1,
+                _ => {}
+            }
+        }
+        counts
+    }
+
     /// Float semantics the fused microkernels execute under.
     pub fn math_mode(&self) -> MathMode {
         self.math

@@ -1,0 +1,699 @@
+//! Shape-bucketed autotuning for the compiled encoder layer: the
+//! concrete schedule spaces for every tunable pipeline stage, the
+//! stage-level micro-benchmark measurers, and [`EncoderAutotuner`] —
+//! the session-facing driver that self-tunes on first contact with a
+//! shape bucket and reuses the cached winner thereafter.
+//!
+//! The generic machinery (bucket keys, candidate enumeration, the
+//! seeded search driver, the versioned cache) lives in
+//! [`cora_core::autotune`]; this module binds it to the encoder:
+//!
+//! * [`encoder_stage_spaces`] declares, per stage, the candidate
+//!   [`StageChoice`]s — loop reorders, divisible tiling splits, and
+//!   block-axis remap policies. Every candidate is **value-preserving**:
+//!   each output element's reduction still accumulates in ascending
+//!   reduction-index order, so tuned layers are bit-identical to the
+//!   default under [`MathMode::Strict`] (locked by
+//!   `tests/autotune_props.rs`).
+//! * [`EncoderAutotuner::tuned_layer`] runs the search: per-stage
+//!   micro-benchmarks of the compiled VM (wall-clock by default, or a
+//!   deterministic [`proxy_score`] of the interpreter-identical run
+//!   statistics in `deterministic` mode), then an end-to-end
+//!   tuned-vs-default comparison that **falls back to the hand-picked
+//!   schedule** whenever the assembled winner does not beat it — tuning
+//!   can never ship a slower-than-default program.
+//!
+//! Environment knobs (read by [`EncoderAutotuner::from_env`]):
+//!
+//! | Variable | Effect |
+//! |---|---|
+//! | `CORA_TUNE_CACHE` | Path of the persistent JSON tuning cache. |
+//! | `CORA_TUNE_SEED` | Search seed (default 42). |
+//! | `CORA_TUNE_TRIALS` | Total measured candidates per tuning run. |
+//! | `CORA_TUNE_MAX_MS` | Wall-clock cap (ignored in deterministic mode). |
+//! | `CORA_TUNE_DETERMINISTIC` | `1`/`true`: proxy-score measurement, byte-reproducible cache files. |
+//! | `CORA_TUNE_DISABLE` | `1`/`true`: always use the hand-picked schedules. |
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use cora_core::autotune::{
+    synthetic_data, Autotuner, BucketKey, CacheEntry, CacheLoad, StageChoice, StageSpace,
+    TuneBudget, TuningCache,
+};
+use cora_core::prelude::*;
+use cora_exec::{proxy_score, KernelTraits};
+
+use crate::config::EncoderConfig;
+use crate::encoder::RaggedBatch;
+use crate::encoder_compiled::{
+    bias_gelu_operator, enc_attnv_operator, enc_scores_operator, merge_proj_operator,
+    proj_operator, row_exp_operator, row_max_operator, row_softmax_operator, row_sum_operator,
+    score_scale_operator, CompiledEncoderLayer,
+};
+use crate::weights::EncoderWeights;
+
+/// Applies one autotuner choice on top of an operator's hand-picked
+/// schedule: the `reorder` (if any) replaces the default loop order
+/// (a later full-permutation reorder overrides an earlier one), then
+/// the `split` and `remap` are layered after it.
+pub fn apply_choice(op: &mut Operator, choice: &StageChoice) {
+    if let Some(order) = &choice.reorder {
+        let names: Vec<&str> = order.iter().map(String::as_str).collect();
+        op.schedule_mut().reorder(&names);
+    }
+    if let Some((name, factor)) = &choice.split {
+        op.schedule_mut().split(name.clone(), *factor);
+    }
+    if let Some(remap) = choice.remap {
+        op.schedule_mut().thread_remap(remap);
+    }
+}
+
+/// The encoder's shape-bucket key: the model/math descriptor plus the
+/// batch's length-histogram class (see
+/// [`cora_core::autotune::length_class`]).
+pub fn bucket_key(cfg: &EncoderConfig, math: MathMode, lens: &[usize]) -> BucketKey {
+    let mode = match math {
+        MathMode::Strict => "strict",
+        MathMode::Fast => "fast",
+    };
+    BucketKey::new(
+        format!("enc_h{}_hd{}_ff{}_{mode}", cfg.hidden, cfg.head_dim, cfg.ff),
+        lens,
+    )
+}
+
+/// Largest of {8, 4} dividing `n`, if any — candidate tiling factors
+/// are restricted to divisors so splits never introduce tail guards
+/// (and stay value-preserving for reduction loops).
+fn tile_factor(n: usize) -> Option<usize> {
+    [8usize, 4].into_iter().find(|f| n % f == 0)
+}
+
+/// The per-stage schedule spaces of the compiled encoder layer.
+/// Candidate 0 of every space is the hand-picked default. All
+/// candidates preserve each output element's reduction accumulation
+/// order, so every schedule this enumerator can emit is bit-identical
+/// to the default under [`MathMode::Strict`].
+pub fn encoder_stage_spaces(cfg: &EncoderConfig) -> Vec<StageSpace> {
+    let (h, ff) = (cfg.hidden, cfg.ff);
+    let d = StageChoice::default_choice;
+    let mut spaces = Vec::new();
+
+    // Projection GEMMs (default i-k-j): alternate i-j-k order, column
+    // tiling, and reduction tiling. Splitting `d` into `d_o, d_i` still
+    // enumerates the reduction in ascending `d` per output element.
+    for (stage, k, n) in [("qkv_proj", h, 3 * h), ("ff1", h, ff), ("ff2", ff, h)] {
+        let mut c = vec![d(), d().with_reorder(&["r", "c", "d"])];
+        if let Some(f) = tile_factor(n) {
+            c.push(d().with_split("c", f));
+        }
+        if let Some(f) = tile_factor(k) {
+            c.push(d().with_reorder(&["r", "c", "d"]).with_split("d", f));
+        }
+        spaces.push(StageSpace::new(stage, c));
+    }
+
+    // Head-merging output projection (default r, head, e, c): any order
+    // keeping (head, e) lexicographically ascending per element is
+    // bit-identical.
+    let mut c = vec![
+        d(),
+        d().with_reorder(&["r", "c", "head", "e"]),
+        d().with_reorder(&["r", "head", "c", "e"]),
+    ];
+    if let Some(f) = tile_factor(h) {
+        c.push(d().with_split("c", f));
+    }
+    spaces.push(StageSpace::new("out_proj", c));
+
+    // Attention score GEMM: the `d` reduction can move inside-out, and
+    // the ragged block axis can dispatch under any remap policy.
+    spaces.push(StageSpace::new(
+        "scores",
+        vec![
+            d(),
+            d().with_reorder(&["hr", "d", "j"]),
+            d().with_remap(RemapPolicy::Identity),
+            d().with_remap(RemapPolicy::Reversed),
+        ],
+    ));
+
+    // Attention × values (default hr, j, e): saxpy vs dot inner shape.
+    spaces.push(StageSpace::new(
+        "attnv",
+        vec![
+            d(),
+            d().with_reorder(&["hr", "e", "j"]),
+            d().with_remap(RemapPolicy::Identity),
+            d().with_remap(RemapPolicy::Reversed),
+        ],
+    ));
+
+    // Ragged row sweeps: dispatch-order-only spaces (numerically the
+    // remap changes nothing; it only reorders block execution).
+    for stage in ["scale", "row_max", "row_exp", "row_sum", "row_softmax"] {
+        spaces.push(StageSpace::new(
+            stage,
+            vec![
+                d(),
+                d().with_remap(RemapPolicy::Identity),
+                d().with_remap(RemapPolicy::Reversed),
+            ],
+        ));
+    }
+
+    // Dense GELU sweep: remap-only (rows are uniform, so this probes
+    // dispatch overhead, not balance).
+    spaces.push(StageSpace::new(
+        "ff1_bias_gelu",
+        vec![
+            d(),
+            d().with_remap(RemapPolicy::LongestFirst),
+            d().with_remap(RemapPolicy::Reversed),
+        ],
+    ));
+
+    spaces
+}
+
+/// Builds the standalone operator of a tunable stage for one batch
+/// shape — the unit the per-stage micro-benchmarks compile and run.
+/// Returns `None` for stage labels this enumerator does not tune.
+pub fn stage_operator(stage: &str, cfg: &EncoderConfig, lens: &[usize]) -> Option<Operator> {
+    let rows: usize = lens.iter().sum();
+    let (h, ff) = (cfg.hidden, cfg.ff);
+    Some(match stage {
+        "qkv_proj" => proj_operator("qkv_proj", rows, h, 3 * h),
+        "ff1" => proj_operator("ff1", rows, h, ff),
+        "ff2" => proj_operator("ff2", rows, ff, h),
+        "out_proj" => merge_proj_operator(cfg, rows),
+        "scores" => enc_scores_operator(cfg, lens),
+        "scale" => score_scale_operator(cfg, lens),
+        "row_max" => row_max_operator(cfg, lens),
+        "row_exp" => row_exp_operator(cfg, lens),
+        "row_sum" => row_sum_operator(cfg, lens),
+        "row_softmax" => row_softmax_operator(cfg, lens),
+        "attnv" => enc_attnv_operator(cfg, lens),
+        "ff1_bias_gelu" => bias_gelu_operator("ff1_bias_gelu", rows, ff),
+        _ => return None,
+    })
+}
+
+/// Analytic pruning estimate for one candidate (arbitrary units,
+/// deterministic): the operator's iteration count priced by
+/// [`KernelTraits`] — indirect-access cost for aux-table operators, a
+/// small loop-overhead charge for tiling splits.
+fn estimate_choice(op: &Operator, choice: &StageChoice) -> f64 {
+    let mut traits = KernelTraits::generated();
+    if !op.aux_tables.is_empty() {
+        traits = traits.with_hoisted_indirect();
+    }
+    let mut mult = traits.cost_multiplier();
+    if choice.split.is_some() {
+        mult *= 1.05;
+    }
+    op.iteration_count() as f64 * mult
+}
+
+/// What one [`EncoderAutotuner::tuned_layer`] call did.
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    /// The batch's shape bucket.
+    pub bucket: BucketKey,
+    /// True when the bucket was served from the cache (zero trials).
+    pub cache_hit: bool,
+    /// Candidates measured (search trials) this call.
+    pub trials: usize,
+    /// Candidates skipped by cost-model pruning.
+    pub pruned: usize,
+    /// Wall-clock spent in this call, milliseconds.
+    pub tuning_ms: f64,
+    /// Non-default winning choices per stage (empty = pure default).
+    pub chosen: BTreeMap<String, StageChoice>,
+    /// True when the end-to-end comparison rejected the assembled
+    /// winner and the hand-picked default shipped instead.
+    pub fell_back: bool,
+    /// End-to-end score of the default schedule (lower is better; ns in
+    /// wall-clock mode, proxy units in deterministic mode). Zero for
+    /// cache hits and disabled runs, which measure nothing.
+    pub default_score: f64,
+    /// End-to-end score of the shipped schedule.
+    pub tuned_score: f64,
+    /// Log-and-retune diagnostics (stale/corrupt cache), if any.
+    pub cache_note: Option<String>,
+}
+
+/// The session-facing autotuner: owns the [`TuningCache`], keys batches
+/// into shape buckets, searches on first contact and reuses winners
+/// thereafter.
+///
+/// ```no_run
+/// use cora_transformer::autotune::EncoderAutotuner;
+/// use cora_transformer::EncoderConfig;
+/// use cora_exec::MathMode;
+///
+/// let cfg = EncoderConfig::scaled(64);
+/// let mut tuner = EncoderAutotuner::from_env();
+/// // First contact with this length histogram: searches, caches.
+/// let (layer, out) = tuner.tuned_layer(&cfg, &[18, 5, 33], MathMode::Strict).unwrap();
+/// assert!(!out.cache_hit);
+/// let mut session = layer.session().unwrap();
+/// // Same bucket, different exact lengths: served from the cache.
+/// let (_, again) = tuner.tuned_layer(&cfg, &[17, 5, 40], MathMode::Strict).unwrap();
+/// assert!(again.cache_hit && again.trials == 0);
+/// # let _ = &mut session;
+/// ```
+#[derive(Debug)]
+pub struct EncoderAutotuner {
+    /// Trial/time caps for one tuning run (the trial cap is shared
+    /// across all stages of the layer).
+    pub budget: TuneBudget,
+    /// Seed for the candidate visit order and the synthetic
+    /// measurement data.
+    pub seed: u64,
+    /// Measure with the deterministic proxy score instead of
+    /// wall-clock: same seed ⇒ byte-identical cache files. Implies the
+    /// time cap is ignored (it could truncate two identical runs
+    /// differently).
+    pub deterministic: bool,
+    /// Skip search entirely and always build the hand-picked default.
+    pub disabled: bool,
+    cache: TuningCache,
+    cache_path: Option<PathBuf>,
+    load_note: Option<String>,
+}
+
+impl EncoderAutotuner {
+    /// A tuner with no cache file (in-memory only).
+    pub fn new(budget: TuneBudget, seed: u64) -> EncoderAutotuner {
+        EncoderAutotuner {
+            budget,
+            seed,
+            deterministic: false,
+            disabled: false,
+            cache: TuningCache::new(),
+            cache_path: None,
+            load_note: None,
+        }
+    }
+
+    /// Switches to deterministic proxy-score measurement.
+    pub fn deterministic(mut self, on: bool) -> EncoderAutotuner {
+        self.deterministic = on;
+        self
+    }
+
+    /// Attaches a persistent cache file, loading it robustly: a missing
+    /// file starts empty; an unknown schema version or malformed
+    /// contents also start empty, with the reason recorded (surfaced in
+    /// the next [`TuneOutcome::cache_note`]) — never a panic, never a
+    /// silently applied stale schedule.
+    pub fn with_cache_path(mut self, path: impl Into<PathBuf>) -> EncoderAutotuner {
+        let path = path.into();
+        let (cache, status) = TuningCache::load(&path);
+        self.load_note = match &status {
+            CacheLoad::Loaded(_) | CacheLoad::Missing => None,
+            CacheLoad::UnknownVersion(v) => Some(format!("ignoring tuning cache: {v}; re-tuning")),
+            CacheLoad::Malformed(m) => Some(format!("ignoring tuning cache: {m}; re-tuning")),
+        };
+        self.cache = cache;
+        self.cache_path = Some(path);
+        self
+    }
+
+    /// Builds a tuner from the `CORA_TUNE_*` environment knobs (see the
+    /// module docs for the table).
+    pub fn from_env() -> EncoderAutotuner {
+        let flag = |name: &str| {
+            std::env::var(name)
+                .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+                .unwrap_or(false)
+        };
+        let mut t = EncoderAutotuner::new(TuneBudget::default(), 42);
+        if let Some(seed) = std::env::var("CORA_TUNE_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            t.seed = seed;
+        }
+        if let Some(trials) = std::env::var("CORA_TUNE_TRIALS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            t.budget.max_trials = trials;
+        }
+        if let Some(ms) = std::env::var("CORA_TUNE_MAX_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            t.budget.max_ms = Some(ms);
+        }
+        t.deterministic = flag("CORA_TUNE_DETERMINISTIC");
+        t.disabled = flag("CORA_TUNE_DISABLE");
+        if let Ok(path) = std::env::var("CORA_TUNE_CACHE") {
+            t = t.with_cache_path(path);
+        }
+        t
+    }
+
+    /// The in-memory cache (loaded + tuned entries).
+    pub fn cache(&self) -> &TuningCache {
+        &self.cache
+    }
+
+    /// Builds a compiled layer for the batch shape, self-tuning on
+    /// first contact with its shape bucket:
+    ///
+    /// 1. cache hit → rebuild from the cached choices, zero trials
+    ///    (a stale entry that no longer builds is discarded and
+    ///    re-tuned, with the reason in [`TuneOutcome::cache_note`]);
+    /// 2. otherwise search every stage space under the budget, assemble
+    ///    the per-stage winners, and compare end-to-end against the
+    ///    hand-picked default — **falling back to the default if the
+    ///    assembled winner is not at least as good** — then persist the
+    ///    bucket's entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the schedule error only if the *default* schedule fails
+    /// to build — a compiler regression by definition. Candidate or
+    /// cached-choice failures are handled by disqualification/re-tune.
+    pub fn tuned_layer(
+        &mut self,
+        cfg: &EncoderConfig,
+        lens: &[usize],
+        math: MathMode,
+    ) -> Result<(CompiledEncoderLayer, TuneOutcome), ScheduleError> {
+        let t0 = Instant::now();
+        let bucket = bucket_key(cfg, math, lens);
+        let mut outcome = TuneOutcome {
+            bucket: bucket.clone(),
+            cache_hit: false,
+            trials: 0,
+            pruned: 0,
+            tuning_ms: 0.0,
+            chosen: BTreeMap::new(),
+            fell_back: false,
+            default_score: 0.0,
+            tuned_score: 0.0,
+            cache_note: self.load_note.take(),
+        };
+        let rows: usize = lens.iter().sum();
+
+        if self.disabled || rows == 0 {
+            let layer = CompiledEncoderLayer::build_with_math(cfg, lens, math)?;
+            outcome.tuning_ms = t0.elapsed().as_secs_f64() * 1e3;
+            return Ok((layer, outcome));
+        }
+
+        // Cache hit: rebuild the cached winner; a stale entry (e.g.
+        // stage spaces changed since it was written) is discarded.
+        if let Some(entry) = self.cache.get(&bucket) {
+            match CompiledEncoderLayer::build_with_choices(cfg, lens, math, &entry.stages) {
+                Ok(layer) => {
+                    outcome.cache_hit = true;
+                    outcome.chosen = entry.stages.clone();
+                    outcome.tuning_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    return Ok((layer, outcome));
+                }
+                Err(e) => {
+                    outcome.cache_note = Some(format!("stale cache entry ({e}); re-tuning"));
+                }
+            }
+        }
+
+        // Search. The trial budget is shared across stages; the time
+        // cap (wall-clock mode only) counts from this call's start.
+        let deadline = (!self.deterministic)
+            .then_some(self.budget.max_ms)
+            .flatten();
+        for space in encoder_stage_spaces(cfg) {
+            if outcome.trials >= self.budget.max_trials {
+                break;
+            }
+            if let Some(max_ms) = deadline {
+                if t0.elapsed().as_secs_f64() * 1e3 > max_ms {
+                    break;
+                }
+            }
+            let Some(op0) = stage_operator(space.stage(), cfg, lens) else {
+                continue;
+            };
+            let stage_budget = TuneBudget {
+                max_trials: self.budget.max_trials - outcome.trials,
+                max_ms: deadline.map(|ms| ms - t0.elapsed().as_secs_f64() * 1e3),
+            };
+            let tuner = Autotuner::new(stage_budget, self.seed);
+            let result = tuner.tune_stage(
+                &space,
+                |choice| estimate_choice(&op0, choice),
+                |_idx, choice| self.measure_stage(space.stage(), cfg, lens, math, choice),
+            );
+            outcome.trials += result.measured;
+            outcome.pruned += result.pruned;
+            if result.best != 0 {
+                outcome.chosen.insert(
+                    space.stage().to_string(),
+                    space.choices()[result.best].clone(),
+                );
+            }
+        }
+
+        // Fallback guarantee: the assembled winner must beat the
+        // hand-picked default end-to-end, or the default ships.
+        let (default_score, tuned_score) = self.end_to_end(cfg, lens, math, &outcome.chosen)?;
+        outcome.default_score = default_score;
+        outcome.tuned_score = tuned_score;
+        if tuned_score > default_score {
+            outcome.chosen.clear();
+            outcome.fell_back = true;
+            outcome.tuned_score = default_score;
+        }
+
+        let layer = CompiledEncoderLayer::build_with_choices(cfg, lens, math, &outcome.chosen)?;
+        self.cache.insert(
+            &bucket,
+            CacheEntry {
+                stages: outcome.chosen.clone(),
+                measurer: if self.deterministic {
+                    "deterministic".to_string()
+                } else {
+                    "wallclock".to_string()
+                },
+                trials: outcome.trials,
+            },
+        );
+        if let Some(path) = &self.cache_path {
+            if let Err(e) = self.cache.save(path) {
+                outcome.cache_note = Some(format!("failed to write tuning cache: {e}"));
+            }
+        }
+        outcome.tuning_ms = t0.elapsed().as_secs_f64() * 1e3;
+        Ok((layer, outcome))
+    }
+
+    /// Micro-benchmarks one candidate: compile the stage operator with
+    /// the choice applied, run it serially on seeded synthetic inputs,
+    /// and score it (lower is better). `None` disqualifies a candidate
+    /// whose directives fail to lower.
+    fn measure_stage(
+        &self,
+        stage: &str,
+        cfg: &EncoderConfig,
+        lens: &[usize],
+        math: MathMode,
+        choice: &StageChoice,
+    ) -> Option<f64> {
+        let mut op = stage_operator(stage, cfg, lens)?;
+        apply_choice(&mut op, choice);
+        let prog = lower(&op).ok()?.compile().with_math_mode(math);
+        let inputs: Vec<(String, Vec<f32>)> = op
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let size = t.layout().size();
+                (
+                    t.name().to_string(),
+                    synthetic_data(size, self.seed ^ (i as u64 + 1)),
+                )
+            })
+            .collect();
+        let bound: Vec<(&str, Vec<f32>)> = inputs
+            .iter()
+            .map(|(n, d)| (n.as_str(), d.clone()))
+            .collect();
+        if self.deterministic {
+            let run = prog.run(&bound);
+            let s = run.stats;
+            Some(proxy_score(
+                s.flops,
+                s.guards,
+                s.aux_loads,
+                s.stores,
+                prog.vm().fused_counts(),
+            ))
+        } else {
+            // One warmup, then best-of-3 wall clock.
+            prog.run(&bound);
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let t = Instant::now();
+                prog.run(&bound);
+                best = best.min(t.elapsed().as_secs_f64() * 1e9);
+            }
+            Some(best)
+        }
+    }
+
+    /// End-to-end scores `(default, tuned)` of the full layer on seeded
+    /// synthetic weights/activations (serial runs — dispatch-order
+    /// candidates are judged by their serial cost here; the parallel
+    /// tier's balance gains ride along for free).
+    fn end_to_end(
+        &self,
+        cfg: &EncoderConfig,
+        lens: &[usize],
+        math: MathMode,
+        chosen: &BTreeMap<String, StageChoice>,
+    ) -> Result<(f64, f64), ScheduleError> {
+        let default = CompiledEncoderLayer::build_with_math(cfg, lens, math)?;
+        let tuned = CompiledEncoderLayer::build_with_choices(cfg, lens, math, chosen)?;
+        let w = EncoderWeights::random(cfg, self.seed ^ 0x5EED);
+        let x = RaggedBatch::random(lens, cfg.hidden, self.seed ^ 0xBA7C);
+        Ok((
+            self.score_layer(&default, &w, &x)?,
+            self.score_layer(&tuned, &w, &x)?,
+        ))
+    }
+
+    fn score_layer(
+        &self,
+        layer: &CompiledEncoderLayer,
+        w: &EncoderWeights,
+        x: &RaggedBatch,
+    ) -> Result<f64, ScheduleError> {
+        let mut session = layer.session()?;
+        if self.deterministic {
+            let run = session.run(None, w, x);
+            let fused: BTreeMap<String, (usize, usize, usize)> = layer
+                .pipeline()
+                .map(|p| {
+                    p.stage_programs()
+                        .map(|(label, prog)| (label.to_string(), prog.vm().fused_counts()))
+                        .collect()
+                })
+                .unwrap_or_default();
+            Ok(run
+                .stages
+                .iter()
+                .map(|s| {
+                    proxy_score(
+                        s.stats.flops,
+                        s.stats.guards,
+                        s.stats.aux_loads,
+                        s.stats.stores,
+                        fused.get(&s.label).copied().unwrap_or((0, 0, 0)),
+                    )
+                })
+                .sum())
+        } else {
+            session.forward_serial(w, x);
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let t = Instant::now();
+                session.forward_serial(w, x);
+                best = best.min(t.elapsed().as_secs_f64() * 1e9);
+            }
+            Ok(best)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spaces_have_defaults_first_and_divisible_splits() {
+        let cfg = EncoderConfig::scaled(8);
+        let spaces = encoder_stage_spaces(&cfg);
+        assert!(spaces.len() >= 8);
+        for space in &spaces {
+            assert!(space.choices()[0].is_default(), "{}", space.stage());
+            assert!(
+                stage_operator(space.stage(), &cfg, &[3, 1]).is_some(),
+                "space {} has no operator builder",
+                space.stage()
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_key_separates_math_modes_and_models() {
+        let a = EncoderConfig::scaled(8);
+        let b = EncoderConfig::scaled(16);
+        let lens = [4usize, 9];
+        assert_ne!(
+            bucket_key(&a, MathMode::Strict, &lens),
+            bucket_key(&a, MathMode::Fast, &lens)
+        );
+        assert_ne!(
+            bucket_key(&a, MathMode::Strict, &lens),
+            bucket_key(&b, MathMode::Strict, &lens)
+        );
+    }
+
+    #[test]
+    fn deterministic_tuning_caches_and_hits() {
+        let cfg = EncoderConfig::scaled(8);
+        let lens = [5usize, 2, 0, 7];
+        let mut tuner = EncoderAutotuner::new(TuneBudget::trials(64), 42).deterministic(true);
+        let (_, first) = tuner.tuned_layer(&cfg, &lens, MathMode::Strict).unwrap();
+        assert!(!first.cache_hit);
+        assert!(first.trials > 0);
+        // Same bucket, resampled lengths within the same histogram
+        // classes: zero-trial cache hit with the same choices.
+        let resampled = [4usize, 3, 0, 6];
+        let (_, second) = tuner
+            .tuned_layer(&cfg, &resampled, MathMode::Strict)
+            .unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.trials, 0);
+        assert_eq!(second.chosen, first.chosen);
+    }
+
+    #[test]
+    fn disabled_tuner_ships_defaults() {
+        let cfg = EncoderConfig::scaled(8);
+        let mut tuner = EncoderAutotuner::new(TuneBudget::trials(64), 42);
+        tuner.disabled = true;
+        let (_, out) = tuner.tuned_layer(&cfg, &[3, 2], MathMode::Strict).unwrap();
+        assert!(out.chosen.is_empty());
+        assert_eq!(out.trials, 0);
+    }
+
+    #[test]
+    fn corrupt_cache_file_is_reported_and_retuned() {
+        let dir = std::env::temp_dir().join(format!("cora_enc_tune_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        std::fs::write(&path, r#"{"schema": 99, "entries": {}}"#).unwrap();
+        let mut tuner = EncoderAutotuner::new(TuneBudget::trials(8), 42)
+            .deterministic(true)
+            .with_cache_path(&path);
+        let cfg = EncoderConfig::scaled(8);
+        let (_, out) = tuner.tuned_layer(&cfg, &[2, 1], MathMode::Strict).unwrap();
+        let note = out.cache_note.expect("corrupt cache must be reported");
+        assert!(note.contains("re-tuning"), "{note}");
+        assert!(!out.cache_hit);
+        // The rewritten cache is valid and schema-current again.
+        let (reloaded, status) = TuningCache::load(&path);
+        assert!(status.is_usable(), "{status:?}");
+        assert_eq!(reloaded.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

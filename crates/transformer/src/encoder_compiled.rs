@@ -562,6 +562,30 @@ impl CompiledEncoderLayer {
         lens: &[usize],
         math: MathMode,
     ) -> Result<CompiledEncoderLayer, ScheduleError> {
+        Self::build_with_choices(cfg, lens, math, &Default::default())
+    }
+
+    /// [`CompiledEncoderLayer::build_with_math`] with per-stage schedule
+    /// overrides from the autotuner: each stage label present in
+    /// `choices` has its [`StageChoice`] applied on top of the
+    /// hand-picked schedule (a choice's `reorder` *replaces* the
+    /// default order; its `split`/`remap` are layered after it). An
+    /// empty map reproduces the default build exactly. Every choice the
+    /// stage spaces in [`crate::autotune`] emit is value-preserving, so
+    /// tuned layers stay bit-identical to default ones under
+    /// [`MathMode::Strict`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the schedule error if lowering rejects a directive — for
+    /// cached choices this means the cache is stale and the caller
+    /// should re-tune.
+    pub fn build_with_choices(
+        cfg: &EncoderConfig,
+        lens: &[usize],
+        math: MathMode,
+        choices: &std::collections::BTreeMap<String, cora_core::autotune::StageChoice>,
+    ) -> Result<CompiledEncoderLayer, ScheduleError> {
         cfg.validate().expect("consistent encoder config");
         let rows: usize = lens.iter().sum();
         if rows == 0 {
@@ -576,10 +600,19 @@ impl CompiledEncoderLayer {
         let (h, ff) = (cfg.hidden, cfg.ff);
         // `c` compiles a stage that always runs Strict (elementwise
         // maps); `cf` compiles one that opts into the requested mode.
-        let c =
-            |op: &Operator| -> Result<CompiledProgram, ScheduleError> { Ok(lower(op)?.compile()) };
-        let cf = |op: &Operator| -> Result<CompiledProgram, ScheduleError> {
-            Ok(lower(op)?.compile().with_math_mode(math))
+        // `tune` layers the autotuner's per-stage choice (if any) on the
+        // hand-picked schedule before lowering.
+        let tune = |mut op: Operator, label: &str| -> Operator {
+            if let Some(choice) = choices.get(label) {
+                crate::autotune::apply_choice(&mut op, choice);
+            }
+            op
+        };
+        let c = |label: &str, op: Operator| -> Result<CompiledProgram, ScheduleError> {
+            Ok(lower(&tune(op, label))?.compile())
+        };
+        let cf = |label: &str, op: Operator| -> Result<CompiledProgram, ScheduleError> {
+            Ok(lower(&tune(op, label))?.compile().with_math_mode(math))
         };
         let mut b = PipelineBuilder::new("encoder_layer");
         let ext = [
@@ -612,77 +645,80 @@ impl CompiledEncoderLayer {
         wire(
             &mut b,
             "qkv_proj",
-            cf(&proj_operator("qkv_proj", rows, h, 3 * h))?,
+            cf("qkv_proj", proj_operator("qkv_proj", rows, h, 3 * h))?,
             &[("In", "X"), ("W", "Wqkv")],
             "QKV0",
         );
         wire(
             &mut b,
             "qkv_bias",
-            c(&bias_operator("qkv_bias", rows, 3 * h, false))?,
+            c("qkv_bias", bias_operator("qkv_bias", rows, 3 * h, false))?,
             &[("In", "QKV0"), ("B", "Bqkv")],
             "QKV",
         );
         wire(
             &mut b,
             "scores",
-            cf(&enc_scores_operator(cfg, lens))?,
+            cf("scores", enc_scores_operator(cfg, lens))?,
             &[("QKV", "QKV")],
             "S0",
         );
         wire(
             &mut b,
             "scale",
-            c(&score_scale_operator(cfg, lens))?,
+            c("scale", score_scale_operator(cfg, lens))?,
             &[("S", "S0")],
             "S",
         );
         wire(
             &mut b,
             "row_max",
-            cf(&row_max_operator(cfg, lens))?,
+            cf("row_max", row_max_operator(cfg, lens))?,
             &[("S", "S")],
             "M",
         );
         wire(
             &mut b,
             "row_exp",
-            cf(&row_exp_operator(cfg, lens))?,
+            cf("row_exp", row_exp_operator(cfg, lens))?,
             &[("S", "S"), ("M", "M")],
             "EX",
         );
         wire(
             &mut b,
             "row_sum",
-            cf(&row_sum_operator(cfg, lens))?,
+            cf("row_sum", row_sum_operator(cfg, lens))?,
             &[("Ex", "EX")],
             "E",
         );
         wire(
             &mut b,
             "row_softmax",
-            c(&row_softmax_operator(cfg, lens))?,
+            c("row_softmax", row_softmax_operator(cfg, lens))?,
             &[("Ex", "EX"), ("E", "E")],
             "P",
         );
         wire(
             &mut b,
             "attnv",
-            cf(&enc_attnv_operator(cfg, lens))?,
+            cf("attnv", enc_attnv_operator(cfg, lens))?,
             &[("P", "P"), ("QKV", "QKV")],
             "O",
         );
         wire(
             &mut b,
             "out_proj",
-            cf(&merge_proj_operator(cfg, rows))?,
+            cf("out_proj", merge_proj_operator(cfg, rows))?,
             &[("O", "O"), ("W", "Wo")],
             "AO",
         );
         wire(
             &mut b,
             "attn_bias_residual",
-            c(&bias_operator("attn_bias_residual", rows, h, true))?,
+            c(
+                "attn_bias_residual",
+                bias_operator("attn_bias_residual", rows, h, true),
+            )?,
             &[("In", "AO"), ("B", "Bo"), ("R", "X")],
             "Y1",
         );
@@ -690,21 +726,21 @@ impl CompiledEncoderLayer {
         wire(
             &mut b,
             "ln1_sum",
-            cf(&ln_sum_operator("ln1_sum", rows, h))?,
+            cf("ln1_sum", ln_sum_operator("ln1_sum", rows, h))?,
             &[("In", "Y1")],
             "S1",
         );
         wire(
             &mut b,
             "ln1_var",
-            cf(&ln_var_operator("ln1_var", rows, h))?,
+            cf("ln1_var", ln_var_operator("ln1_var", rows, h))?,
             &[("In", "Y1"), ("S", "S1")],
             "V1",
         );
         wire(
             &mut b,
             "ln1_norm",
-            c(&ln_norm_operator("ln1_norm", rows, h))?,
+            c("ln1_norm", ln_norm_operator("ln1_norm", rows, h))?,
             &[
                 ("In", "Y1"),
                 ("S", "S1"),
@@ -718,28 +754,34 @@ impl CompiledEncoderLayer {
         wire(
             &mut b,
             "ff1",
-            cf(&proj_operator("ff1", rows, h, ff))?,
+            cf("ff1", proj_operator("ff1", rows, h, ff))?,
             &[("In", "Z1"), ("W", "W1")],
             "F0",
         );
         wire(
             &mut b,
             "ff1_bias_gelu",
-            cf(&bias_gelu_operator("ff1_bias_gelu", rows, ff))?,
+            cf(
+                "ff1_bias_gelu",
+                bias_gelu_operator("ff1_bias_gelu", rows, ff),
+            )?,
             &[("In", "F0"), ("B", "B1")],
             "F",
         );
         wire(
             &mut b,
             "ff2",
-            cf(&proj_operator("ff2", rows, ff, h))?,
+            cf("ff2", proj_operator("ff2", rows, ff, h))?,
             &[("In", "F"), ("W", "W2")],
             "G0",
         );
         wire(
             &mut b,
             "ff_bias_residual",
-            c(&bias_operator("ff_bias_residual", rows, h, true))?,
+            c(
+                "ff_bias_residual",
+                bias_operator("ff_bias_residual", rows, h, true),
+            )?,
             &[("In", "G0"), ("B", "B2"), ("R", "Z1")],
             "Y2",
         );
@@ -747,21 +789,21 @@ impl CompiledEncoderLayer {
         wire(
             &mut b,
             "ln2_sum",
-            cf(&ln_sum_operator("ln2_sum", rows, h))?,
+            cf("ln2_sum", ln_sum_operator("ln2_sum", rows, h))?,
             &[("In", "Y2")],
             "S2",
         );
         wire(
             &mut b,
             "ln2_var",
-            cf(&ln_var_operator("ln2_var", rows, h))?,
+            cf("ln2_var", ln_var_operator("ln2_var", rows, h))?,
             &[("In", "Y2"), ("S", "S2")],
             "V2",
         );
         wire(
             &mut b,
             "ln2_norm",
-            c(&ln_norm_operator("ln2_norm", rows, h))?,
+            c("ln2_norm", ln_norm_operator("ln2_norm", rows, h))?,
             &[
                 ("In", "Y2"),
                 ("S", "S2"),

@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod autotune;
 pub mod compiled;
 pub mod config;
 pub mod encoder;
@@ -24,6 +25,7 @@ pub mod prelude_costs;
 pub mod variants;
 pub mod weights;
 
+pub use autotune::{EncoderAutotuner, TuneOutcome};
 pub use config::EncoderConfig;
 pub use encoder::{encoder_layer_padded, encoder_layer_ragged, RaggedBatch};
 pub use encoder_compiled::{encoder_layer_compiled, CompiledEncoderLayer, EncoderSession};

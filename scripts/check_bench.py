@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validate bench reports (schema v1) and the BENCH_cpu.json trajectory.
+
+Two validation surfaces, both exercised by CI's bench-smoke job:
+
+* ``--reports DIR`` — every ``BENCH_*.json`` file written by the
+  harnesses in ``crates/bench/src/bin``: top-level ``schema == 1``,
+  a ``name`` matching the filename, a ``params`` object whose ``seed``
+  equals ``--seed`` (the workload-sampling seed every harness records),
+  and non-empty ``measurements`` whose variants carry positive
+  ``ns_per_op`` timings.
+
+* ``--trajectory FILE`` — the per-PR trajectory at the repo root:
+  ``schema == 1``, entries strictly sorted by ``pr``, each entry
+  carrying the required keys (``pr``/``date``/``note``/``env``/
+  ``repro``/``reports``) and each embedded report passing the same
+  schema-v1 structural checks (embedded reports predate the shared
+  ``--seed`` flag, so their seed is only checked when present).
+
+Exits non-zero with a per-file message on the first violation.
+
+Usage:
+    python3 scripts/check_bench.py --seed 42 --reports bench-reports \
+        --trajectory BENCH_cpu.json
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+ENTRY_KEYS = ("pr", "date", "note", "env", "repro", "reports")
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_report(report, where, seed=None):
+    """Validate one schema-v1 bench report (the dict a harness writes)."""
+    if not isinstance(report, dict):
+        fail(f"{where}: report is not an object")
+    if report.get("schema") != 1:
+        fail(f"{where}: schema must be 1, got {report.get('schema')!r}")
+    name = report.get("name")
+    if not isinstance(name, str) or not name:
+        fail(f"{where}: missing report name")
+    params = report.get("params")
+    if not isinstance(params, dict):
+        fail(f"{where}: params must be an object")
+    if seed is not None and params.get("seed") != seed:
+        fail(f"{where}: params.seed is {params.get('seed')!r}, expected {seed}")
+    measurements = report.get("measurements")
+    if not isinstance(measurements, list) or not measurements:
+        fail(f"{where}: measurements must be a non-empty list")
+    for m in measurements:
+        mname = m.get("name")
+        if not isinstance(mname, str) or not mname:
+            fail(f"{where}: measurement without a name")
+        variants = m.get("variants")
+        if not isinstance(variants, list) or not variants:
+            fail(f"{where}: measurement {mname!r} has no variants")
+        for v in variants:
+            vname = v.get("name")
+            if not isinstance(vname, str) or not vname:
+                fail(f"{where}: {mname!r} has a variant without a name")
+            ns = v.get("ns_per_op")
+            if not isinstance(ns, (int, float)) or ns <= 0:
+                fail(f"{where}: {mname}/{vname}: bad ns_per_op {ns!r}")
+            speedup = v.get("speedup")
+            if not isinstance(speedup, (int, float)) or speedup <= 0:
+                fail(f"{where}: {mname}/{vname}: bad speedup {speedup!r}")
+    return name
+
+
+def check_reports_dir(directory, seed):
+    paths = sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
+    if not paths:
+        fail(f"no BENCH_*.json reports found in {directory!r}")
+    for path in paths:
+        try:
+            with open(path) as f:
+                report = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"{path}: unreadable: {e}")
+        name = check_report(report, path, seed=seed)
+        expected = f"BENCH_{name}.json"
+        if os.path.basename(path) != expected:
+            fail(f"{path}: report name {name!r} implies {expected}")
+        print(f"check_bench: ok: {path} (seed {seed})")
+    return len(paths)
+
+
+def check_trajectory(path):
+    try:
+        with open(path) as f:
+            traj = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: unreadable: {e}")
+    if traj.get("schema") != 1:
+        fail(f"{path}: trajectory schema must be 1, got {traj.get('schema')!r}")
+    if not isinstance(traj.get("description"), str) or not traj["description"]:
+        fail(f"{path}: missing description")
+    entries = traj.get("entries")
+    if not isinstance(entries, list) or not entries:
+        fail(f"{path}: entries must be a non-empty list")
+    prev_pr = None
+    for i, entry in enumerate(entries):
+        where = f"{path}: entries[{i}]"
+        for key in ENTRY_KEYS:
+            if key not in entry:
+                fail(f"{where}: missing required key {key!r}")
+        pr = entry["pr"]
+        if not isinstance(pr, int):
+            fail(f"{where}: pr must be an integer, got {pr!r}")
+        if prev_pr is not None and pr <= prev_pr:
+            fail(f"{where}: entries not sorted by pr ({pr} after {prev_pr})")
+        prev_pr = pr
+        if not isinstance(entry["date"], str) or not DATE_RE.match(entry["date"]):
+            fail(f"{where}: date must be YYYY-MM-DD, got {entry['date']!r}")
+        if not isinstance(entry["note"], str) or not entry["note"]:
+            fail(f"{where}: note must be a non-empty string")
+        if not isinstance(entry["env"], dict):
+            fail(f"{where}: env must be an object")
+        repro = entry["repro"]
+        if not isinstance(repro, list) or not repro or not all(
+            isinstance(r, str) and r for r in repro
+        ):
+            fail(f"{where}: repro must be a non-empty list of commands")
+        reports = entry["reports"]
+        if not isinstance(reports, dict) or not reports:
+            fail(f"{where}: reports must be a non-empty object")
+        for rname, report in reports.items():
+            check_report(report, f"{where}.reports[{rname!r}]")
+            if report.get("name") != rname:
+                fail(f"{where}: report key {rname!r} != name {report.get('name')!r}")
+    print(f"check_bench: ok: {path} ({len(entries)} entries, pr {entries[0]['pr']}..{prev_pr})")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--seed", type=int, help="required params.seed for fresh reports")
+    ap.add_argument("--reports", help="directory of BENCH_*.json reports to validate")
+    ap.add_argument("--trajectory", help="per-PR trajectory file (BENCH_cpu.json)")
+    args = ap.parse_args()
+    if not args.reports and not args.trajectory:
+        ap.error("nothing to check: pass --reports and/or --trajectory")
+    if args.reports:
+        if args.seed is None:
+            ap.error("--reports requires --seed (harnesses record the shared seed)")
+        check_reports_dir(args.reports, args.seed)
+    if args.trajectory:
+        check_trajectory(args.trajectory)
+    print("check_bench: all checks passed")
+
+
+if __name__ == "__main__":
+    main()
