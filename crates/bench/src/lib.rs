@@ -3,6 +3,7 @@
 //! the matmul experiment builders (Figs. 9/10).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod matmul;
 pub mod report;

@@ -27,8 +27,13 @@
 //!   over `Schedule` directives, a versioned persistent tuning cache
 //!   keyed by length-histogram buckets, and a deterministic seeded
 //!   search driver.
+//! * [`verify`] — the shape-symbolic safety verifier: per-shape proofs
+//!   of in-bounds accesses and the disjoint-store contract for every
+//!   outlined program, producing the `StoreCert` the parallel executor
+//!   enforces at run time.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod api;
 pub mod autotune;
@@ -41,6 +46,7 @@ pub mod pipeline;
 pub mod prelude_gen;
 pub mod program;
 pub mod schedule;
+pub mod verify;
 
 /// Convenience re-exports for downstream code and examples.
 pub mod prelude {
@@ -59,6 +65,7 @@ pub mod prelude {
     pub use crate::prelude_gen::{FusionSpec, PreludeData, PreludeSpec};
     pub use crate::program::{CompiledProgram, ParallelSession, Program, RunResult};
     pub use crate::schedule::{Directive, RemapPolicy, Schedule, ScheduleError};
+    pub use crate::verify::{ProofKind, VerifyError, VerifyOutcome};
     pub use cora_exec::{CpuPool, MathMode};
     pub use cora_ir::{Expr, FExpr, FUnaryOp, ForKind};
 }

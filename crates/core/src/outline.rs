@@ -35,11 +35,13 @@
 
 use std::collections::BTreeSet;
 
+use cora_ir::printer::print_c;
 use cora_ir::slots::StmtSlots;
 use cora_ir::visit::{count_loads, free_vars};
 use cora_ir::{Expr, Stmt};
 
 use crate::schedule::ScheduleError;
+use crate::verify;
 
 /// A `LetInt` binding hoisted above the block loop; the parallel driver
 /// evaluates it once on the host and binds it as a free variable of the
@@ -179,7 +181,15 @@ fn validate_body(
         )));
     }
     let mut taint: Vec<String> = vec![block_var.to_string()];
-    check_store_dependence(body, output, &mut taint, fail)
+    check_store_dependence(body, output, &mut taint, fail)?;
+    // The screen above is syntactic: it asks whether the index *mentions*
+    // a block-derived variable. The symbolic pass asks the stronger
+    // question — whether the block variable's coefficient survives in the
+    // index's linear form — catching cancellations (`out[b - b + i]`,
+    // `out[b*0 + i]`) that mention the block variable yet are
+    // block-invariant for every shape.
+    verify::symbolic_store_check(body, output, block_var)
+        .map_err(|e| fail(format!("a store to `{output}` is block-invariant: {e}")))
 }
 
 /// Verifies every store to `output` indexes through a tainted variable
@@ -203,7 +213,8 @@ fn check_store_dependence(
                 return Err(fail(format!(
                     "a store to `{output}` indexes only block-invariant \
                      variables, so different blocks would write the same \
-                     elements"
+                     elements\n  store: {}  index: `{index}`",
+                    print_c(s).trim_end()
                 )));
             }
             Ok(())
@@ -425,6 +436,34 @@ mod tests {
         };
         let s = Stmt::loop_kind("b", Expr::int(2), ForKind::GpuBlockX, body);
         assert!(outline(&s, "out").unwrap().is_some());
+    }
+
+    #[test]
+    fn block_invariant_diagnostic_cites_the_offending_store() {
+        // Satellite check: the message carries the pretty-printed store
+        // statement and its index expression, not just a category.
+        let body = Stmt::loop_("i", Expr::int(4), block_store("i"));
+        let s = Stmt::loop_kind("b", Expr::int(2), ForKind::GpuBlockX, body);
+        let msg = outline(&s, "out").unwrap_err().to_string();
+        assert!(msg.contains("out[i] = 1.0f;"), "store cited: {msg}");
+        assert!(msg.contains("index: `i`"), "index cited: {msg}");
+        assert!(msg.contains("block-invariant"), "{msg}");
+    }
+
+    #[test]
+    fn cancelled_block_coefficient_is_rejected_symbolically() {
+        // out[b - b + i] mentions `b`, so the syntactic screen passes;
+        // the linear-form pass sees coefficient 0 and rejects.
+        let store = Stmt::store(
+            "out",
+            Expr::var("b") - Expr::var("b") + Expr::var("i"),
+            FExpr::constant(1.0),
+        );
+        let body = Stmt::loop_("i", Expr::int(4), store);
+        let s = Stmt::loop_kind("b", Expr::int(2), ForKind::GpuBlockX, body);
+        let msg = outline(&s, "out").unwrap_err().to_string();
+        assert!(msg.contains("coefficient 0"), "{msg}");
+        assert!(msg.contains("block-invariant"), "{msg}");
     }
 
     #[test]

@@ -489,6 +489,25 @@ impl CompiledPipeline {
         for spec in &self.stages {
             let (serial, _) = spec.program.serial_shared();
             let par = spec.program.parallel_session()?;
+            if let Some(session) = &par {
+                // Cross-check the verifier's proven access hulls against
+                // the planner's buffer sizes: every input the stage reads
+                // must fit inside the arena slot it is wired to. Both
+                // derive from the same lowering, so a mismatch is a
+                // planner or verifier bug, not a user error.
+                let outcome = session.verify_outcome();
+                for (name, buf) in &spec.inputs {
+                    if let Some(need) = outcome.required_input_len(name) {
+                        let planned = self.decls[*buf as usize].size;
+                        assert!(
+                            planned as i64 >= need,
+                            "stage `{}`: verified access hull of `{name}` needs \
+                             {need} elements but the plan allots {planned}",
+                            spec.label
+                        );
+                    }
+                }
+            }
             stages.push(PreparedStage { spec, serial, par });
         }
         Ok(PipelineSession {
@@ -565,6 +584,23 @@ impl PipelineSession<'_> {
     /// Panics if an external input is missing, misnamed or mis-sized.
     pub fn run(&mut self, pool: &CpuPool, inputs: &[(&str, &[f32])]) -> PipelineRun {
         self.run_inner(Some(pool), inputs)
+    }
+
+    /// The safety proof behind each stage, in stage order: `Some` with
+    /// the stage's [`crate::verify::VerifyOutcome`] when it runs on the
+    /// parallel tier (in-bounds and disjoint-store proven at this
+    /// shape), `None` when the stage has no block axis and runs
+    /// serially (no shared-output writes to prove anything about).
+    pub fn verify_outcomes(&self) -> Vec<(&str, Option<&crate::verify::VerifyOutcome>)> {
+        self.stages
+            .iter()
+            .map(|st| {
+                (
+                    st.spec.label.as_str(),
+                    st.par.as_ref().map(|p| p.verify_outcome()),
+                )
+            })
+            .collect()
     }
 
     /// Runs every stage on the calling thread.

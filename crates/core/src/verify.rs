@@ -1,0 +1,1160 @@
+//! The shape-symbolic safety verifier: machine-checked proofs of the
+//! two theorems the parallel tier's soundness rests on.
+//!
+//! CoRa's lowering emits dense-like unpredicated loops whose bounds come
+//! from auxiliary data structures (PAPER.md §4), so every memory-safety
+//! guarantee of the compiled tier is a statement about affine index
+//! arithmetic over those bounds. This module proves, per outlined
+//! program and shape:
+//!
+//! 1. **in-bounds** — every output store and auxiliary-table load lands
+//!    inside its planned buffer, and every float input access implies a
+//!    minimal input length ([`VerifyOutcome::required_inputs`]) that the
+//!    execution entry points check against the buffers actually bound;
+//! 2. **disjoint-store** — the store-index sets of any two distinct
+//!    block-variable values are disjoint, the contract
+//!    `VmShared::run_blocks` needs for lock-free shared-output writes.
+//!
+//! # How the proof works
+//!
+//! The engine is an abstract interpretation over the *strided interval*
+//! domain [`SInt`] from `cora_ir::interval`. For each block value `b`
+//! the outlined body is walked once with the block variable bound to
+//! the point `{b}`, host parameters and hoisted bindings bound to their
+//! concrete values, and auxiliary-table loads *grounded* in the built
+//! prelude data (a point index reads the exact table entry; a range
+//! index yields the table slice's min/max hull). Loop variables become
+//! dense ranges; `If` guards narrow variable ranges along the taken
+//! branch by Fourier–Motzkin elimination over the guard's linear form
+//! ([`cora_ir::affine`]) — which is what makes padded/guarded schedules
+//! (`pad_loop` + `split`) verify precisely. Every store to the output
+//! records a strided region; after all blocks are walked, a
+//! sort-and-sweep proves the regions of distinct blocks pairwise
+//! disjoint, by interval separation or, for interleaved lanes, by
+//! stride/congruence separation.
+//!
+//! The result is a [`StoreCert`] — the certificate the safe executor
+//! entry point `VmShared::run_blocks_proven` enforces per store at run
+//! time. Soundness therefore does not hinge on this module being
+//! bug-free: the certificate is re-validated on construction and every
+//! store is checked against it before it lands, so a verifier bug
+//! surfaces as a deterministic panic, never a data race.
+//!
+//! Failures produce structured [`VerifyError`]s carrying the offending
+//! store statement (pretty-printed via `cora_ir::printer`), its index
+//! expression, and — for overlaps — the two block values and witness
+//! regions, replacing the previously opaque "cannot be outlined"
+//! rejection.
+//!
+//! [`symbolic_store_check`] is the *symbolic* companion (Rule A): a
+//! shape-independent linear-form pass the outliner runs before any
+//! concrete data exists, catching stores whose block-variable
+//! coefficient cancels (`out[b - b + i]`) — programs that evade the
+//! syntactic taint screen yet are definitely wrong for every shape.
+
+// `VerifyError` carries full overlap witnesses (two regions + the
+// pretty-printed store); the size only matters on the cold compile path.
+#![allow(clippy::result_large_err)]
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use cora_exec::vm::StoreCert;
+use cora_ir::affine::{linearize, LinForm, LinTerm};
+use cora_ir::interval::SInt;
+use cora_ir::printer::print_c;
+use cora_ir::visit::free_vars;
+use cora_ir::{Cond, CondKind, Env, Expr, ExprKind, FExpr, FExprKind, Stmt};
+
+/// A failed safety proof, with the evidence.
+#[derive(Debug, Clone)]
+pub enum VerifyError {
+    /// Two distinct block values may store to the same output element.
+    StoreOverlap {
+        /// Pretty-printed offending store statement.
+        store: String,
+        /// The store's index expression.
+        index: String,
+        /// First witness block value.
+        block_a: i64,
+        /// Its store region containing the collision.
+        region_a: SInt,
+        /// Second witness block value.
+        block_b: i64,
+        /// Its overlapping store region.
+        region_b: SInt,
+    },
+    /// An access provably escapes a buffer of known size.
+    OutOfBounds {
+        /// Buffer name.
+        buffer: String,
+        /// The access's index expression.
+        index: String,
+        /// The abstract index range of the access.
+        range: SInt,
+        /// The buffer's planned size in elements.
+        size: i64,
+    },
+    /// A store to the output whose index is block-invariant: every
+    /// block writes the same elements (found symbolically, so it holds
+    /// for *all* shapes).
+    BlockInvariantStore {
+        /// Pretty-printed offending store statement.
+        store: String,
+        /// The store's index expression.
+        index: String,
+    },
+    /// The program uses a construct the verifier cannot bound (e.g. an
+    /// unbounded store index).
+    Unsupported {
+        /// Description of the unsupported construct.
+        what: String,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::StoreOverlap {
+                store,
+                index,
+                block_a,
+                region_a,
+                block_b,
+                region_b,
+            } => write!(
+                f,
+                "blocks {block_a} and {block_b} may store to the same output \
+                 elements: regions {region_a} and {region_b} overlap at the \
+                 store `{}` (index `{index}`)",
+                store.trim_end()
+            ),
+            VerifyError::OutOfBounds {
+                buffer,
+                index,
+                range,
+                size,
+            } => write!(
+                f,
+                "access to `{buffer}` via `{index}` spans {range}, escaping \
+                 the planned size {size}"
+            ),
+            VerifyError::BlockInvariantStore { store, index } => write!(
+                f,
+                "the store `{}` indexes through `{index}`, whose linear form \
+                 has block-variable coefficient 0: every block writes the \
+                 same elements",
+                store.trim_end()
+            ),
+            VerifyError::Unsupported { what } => {
+                write!(f, "cannot bound {what}")
+            }
+        }
+    }
+}
+
+/// Which proof strategy discharged the obligations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProofKind {
+    /// Per-block concrete abstract interpretation over strided
+    /// intervals, grounded in the built prelude tables (shape-exact).
+    ConcreteInterpretation,
+}
+
+/// A successful safety proof for one outlined program at one shape.
+///
+/// Recorded by `ParallelSession` so the safe wrapper around the
+/// parallel executor cites a machine-checked artifact, and so callers
+/// (tests, CI, the README's safety story) can inspect what was proven.
+#[derive(Debug, Clone)]
+pub struct VerifyOutcome {
+    /// The proof strategy used.
+    pub proof: ProofKind,
+    /// The disjoint-store certificate (per-block store regions,
+    /// re-validated on construction) the executor enforces at run time.
+    pub cert: StoreCert,
+    /// Number of block values covered by the proof.
+    pub n_blocks: usize,
+    /// Number of distinct syntactic store sites to the output.
+    pub store_sites: usize,
+    /// Minimal length of each float input buffer implied by the proven
+    /// access hulls, sorted by name. Execution entry points check the
+    /// buffers actually bound against these.
+    pub required_inputs: Vec<(String, i64)>,
+}
+
+impl VerifyOutcome {
+    /// Minimal required length of `input`, if the program reads it.
+    pub fn required_input_len(&self, input: &str) -> Option<i64> {
+        self.required_inputs
+            .binary_search_by(|(n, _)| n.as_str().cmp(input))
+            .ok()
+            .map(|i| self.required_inputs[i].1)
+    }
+}
+
+/// Shape-level context the concrete proof runs against.
+pub struct VerifyCtx<'a> {
+    /// Host environment holding the built auxiliary integer tables
+    /// (grounding for `Load` expressions).
+    pub env: &'a Env,
+    /// Scalar bindings: prelude parameters plus hoisted `LetInt`s,
+    /// already evaluated on the host.
+    pub scalars: &'a [(String, i64)],
+    /// The designated output buffer name.
+    pub output: &'a str,
+    /// The output buffer's planned size in elements.
+    pub output_size: usize,
+}
+
+/// Proves the in-bounds and disjoint-store theorems for an outlined
+/// block body at one concrete shape.
+///
+/// `min` and `n_blocks` are the block loop's (host-evaluated) lower
+/// bound and trip count: block values `min .. min + n_blocks` are each
+/// interpreted abstractly and their store regions checked pairwise
+/// disjoint.
+///
+/// # Errors
+///
+/// Returns a structured [`VerifyError`] naming the offending store,
+/// its index expression and the witness regions when a proof fails.
+pub fn verify_outlined(
+    body: &Stmt,
+    block_var: &str,
+    min: i64,
+    n_blocks: usize,
+    ctx: &VerifyCtx<'_>,
+) -> Result<VerifyOutcome, VerifyError> {
+    let mut sites = SiteTable::default();
+    let mut required: HashMap<String, i64> = HashMap::new();
+    // (block value, site id, region) triples across all blocks.
+    let mut spans: Vec<(i64, usize, SInt)> = Vec::new();
+
+    for b in 0..n_blocks {
+        let bv = min + i64::try_from(b).expect("block count fits i64");
+        let mut st = BlockState {
+            vars: HashMap::new(),
+            env: ctx.env,
+            output: ctx.output,
+            output_size: i64::try_from(ctx.output_size).expect("output size fits i64"),
+            scratch: Vec::new(),
+            regions: Vec::new(),
+            required: &mut required,
+            sites: &mut sites,
+        };
+        for (name, v) in ctx.scalars {
+            st.vars.insert(name.clone(), SInt::point(*v));
+        }
+        st.vars.insert(block_var.to_string(), SInt::point(bv));
+        walk_stmt(body, &mut st)?;
+        for (site, region) in st.regions {
+            if !matches!(region, SInt::Empty) {
+                spans.push((bv, site, region));
+            }
+        }
+    }
+
+    // Cross-block disjointness: sort by interval start and sweep; any
+    // hull overlap between different blocks must be refuted by the
+    // stride/congruence test.
+    let mut sorted: Vec<(i64, i64, i64, usize, SInt)> = spans
+        .iter()
+        .filter_map(|&(bv, site, r)| r.hull().map(|(lo, hi)| (lo, hi, bv, site, r)))
+        .collect();
+    sorted.sort_by_key(|&(lo, hi, bv, _, _)| (lo, hi, bv));
+    for i in 0..sorted.len() {
+        let (_, hi_i, bv_i, site_i, r_i) = sorted[i];
+        for &(lo_j, _, bv_j, site_j, r_j) in sorted.iter().skip(i + 1) {
+            if lo_j > hi_i {
+                break;
+            }
+            if bv_i != bv_j && !r_i.disjoint(r_j) {
+                let (store, index) = sites.describe(site_i.min(site_j));
+                return Err(VerifyError::StoreOverlap {
+                    store,
+                    index,
+                    block_a: bv_i,
+                    region_a: r_i,
+                    block_b: bv_j,
+                    region_b: r_j,
+                });
+            }
+        }
+    }
+
+    // Assemble the certificate; its constructor re-validates the
+    // disjointness we just proved (defence-in-depth, not redundancy:
+    // the executor trusts only the certificate's own invariant).
+    let mut per_block: HashMap<i64, Vec<SInt>> = HashMap::new();
+    for (bv, _, r) in spans {
+        per_block.entry(bv).or_default().push(r);
+    }
+    let cert = StoreCert::new(per_block).map_err(|e| VerifyError::Unsupported {
+        what: format!("certificate re-validation disagreed with the proof: {e}"),
+    })?;
+
+    let mut required_inputs: Vec<(String, i64)> = required.into_iter().collect();
+    required_inputs.sort();
+    Ok(VerifyOutcome {
+        proof: ProofKind::ConcreteInterpretation,
+        cert,
+        n_blocks,
+        store_sites: sites.len(),
+        required_inputs,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Concrete per-block abstract interpretation
+// ---------------------------------------------------------------------
+
+/// Interns output-store sites by their pretty print, so regions from
+/// different blocks attribute overlaps to a stable site identity.
+#[derive(Default)]
+struct SiteTable {
+    ids: HashMap<String, usize>,
+    /// `(store print, index print)` per site id.
+    descs: Vec<(String, String)>,
+}
+
+impl SiteTable {
+    fn intern(&mut self, s: &Stmt, index: &Expr) -> usize {
+        let store = print_c(s);
+        if let Some(&id) = self.ids.get(&store) {
+            return id;
+        }
+        let id = self.descs.len();
+        self.ids.insert(store.clone(), id);
+        self.descs.push((store, format!("{index}")));
+        id
+    }
+
+    fn describe(&self, id: usize) -> (String, String) {
+        self.descs[id].clone()
+    }
+
+    fn len(&self) -> usize {
+        self.descs.len()
+    }
+}
+
+struct BlockState<'a> {
+    /// Abstract values of in-scope integer variables.
+    vars: HashMap<String, SInt>,
+    /// Ground truth for auxiliary-table loads.
+    env: &'a Env,
+    output: &'a str,
+    output_size: i64,
+    /// Innermost-last `Alloc` scopes: scratch name and minimal
+    /// guaranteed capacity (when the size expression is bounded below).
+    scratch: Vec<(String, Option<i64>)>,
+    /// Output store regions recorded by this block, per site.
+    regions: Vec<(usize, SInt)>,
+    /// Float-input access hulls (minimal required lengths), shared
+    /// across blocks.
+    required: &'a mut HashMap<String, i64>,
+    sites: &'a mut SiteTable,
+}
+
+impl BlockState<'_> {
+    /// The innermost `Alloc` scope covering `name`, if any.
+    fn scratch_capacity(&self, name: &str) -> Option<Option<i64>> {
+        self.scratch
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, cap)| *cap)
+    }
+
+    /// Binds `var`, returning the shadowed value for scope restoration.
+    fn bind(&mut self, var: &str, v: SInt) -> Option<SInt> {
+        self.vars.insert(var.to_string(), v)
+    }
+
+    fn restore(&mut self, var: &str, old: Option<SInt>) {
+        match old {
+            Some(v) => {
+                self.vars.insert(var.to_string(), v);
+            }
+            None => {
+                self.vars.remove(var);
+            }
+        }
+    }
+}
+
+fn walk_stmt(s: &Stmt, st: &mut BlockState<'_>) -> Result<(), VerifyError> {
+    match s {
+        Stmt::For {
+            var,
+            min,
+            extent,
+            body,
+            ..
+        } => {
+            let mn = eval_expr(min, st)?;
+            let ext = eval_expr(extent, st)?;
+            // A provably zero-trip loop contributes nothing (the empty
+            // rows of a ragged batch).
+            if matches!(ext.hull(), Some((_, hi)) if hi <= 0) {
+                return Ok(());
+            }
+            let range = match (mn.hull(), ext.hull()) {
+                (Some((lo, _)), Some((_, ehi))) => {
+                    let (_, mhi) = mn.hull().expect("checked");
+                    SInt::range(lo, mhi.saturating_add(ehi).saturating_sub(1))
+                }
+                _ => SInt::Top,
+            };
+            let old = st.bind(var, range);
+            let r = walk_stmt(body, st);
+            st.restore(var, old);
+            r
+        }
+        Stmt::LetInt { var, value, body } => {
+            let v = eval_expr(value, st)?;
+            let old = st.bind(var, v);
+            let r = walk_stmt(body, st);
+            st.restore(var, old);
+            r
+        }
+        Stmt::Store {
+            buffer,
+            index,
+            value,
+            ..
+        } => {
+            walk_fexpr(value, st)?;
+            let idx = eval_expr(index, st)?;
+            if let Some(cap) = st.scratch_capacity(buffer) {
+                check_known_bounds(buffer, index, idx, cap, st)?;
+            } else if buffer == st.output {
+                check_known_bounds(buffer, index, idx, Some(st.output_size), st)?;
+                let site = st.sites.intern(s, index);
+                match st.regions.iter_mut().find(|(id, _)| *id == site) {
+                    Some((_, r)) => *r = r.union(idx),
+                    None => st.regions.push((site, idx)),
+                }
+            } else {
+                // The outliner's screen rejects stores to shared inputs
+                // before the verifier ever runs; record the hull anyway
+                // so a direct caller still gets the bound.
+                record_required(buffer, idx, st);
+            }
+            Ok(())
+        }
+        Stmt::If { cond, then_, else_ } => {
+            match eval_cond(cond, st)? {
+                Some(true) => walk_stmt(then_, st),
+                Some(false) => match else_ {
+                    Some(e) => walk_stmt(e, st),
+                    None => Ok(()),
+                },
+                None => {
+                    // Walk the taken branch under the guard-narrowed
+                    // ranges; infeasible narrowing skips the branch.
+                    walk_under_narrowing(cond, then_, st)?;
+                    if let Some(e) = else_ {
+                        walk_stmt(e, st)?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        Stmt::Seq(items) => {
+            for item in items {
+                walk_stmt(item, st)?;
+            }
+            Ok(())
+        }
+        Stmt::Alloc { buffer, size, body } => {
+            let sz = eval_expr(size, st)?;
+            let cap = sz.hull().map(|(lo, _)| lo);
+            st.scratch.push((buffer.clone(), cap));
+            let r = walk_stmt(body, st);
+            st.scratch.pop();
+            r
+        }
+        Stmt::Nop => Ok(()),
+    }
+}
+
+fn walk_fexpr(f: &FExpr, st: &mut BlockState<'_>) -> Result<(), VerifyError> {
+    match f.kind() {
+        FExprKind::Const(_) => Ok(()),
+        FExprKind::Load(buf, idx) => {
+            let r = eval_expr(idx, st)?;
+            if let Some(cap) = st.scratch_capacity(buf) {
+                check_known_bounds(buf, idx, r, cap, st)?;
+            } else if buf == st.output {
+                // The outliner rejects in-place programs; a direct
+                // caller still gets the output bound checked.
+                check_known_bounds(buf, idx, r, Some(st.output_size), st)?;
+            } else {
+                record_required(buf, r, st);
+            }
+            Ok(())
+        }
+        FExprKind::Cast(e) => eval_expr(e, st).map(|_| ()),
+        FExprKind::Add(a, b)
+        | FExprKind::Sub(a, b)
+        | FExprKind::Mul(a, b)
+        | FExprKind::Div(a, b)
+        | FExprKind::Max(a, b) => {
+            walk_fexpr(a, st)?;
+            walk_fexpr(b, st)
+        }
+        FExprKind::Unary(_, a) => walk_fexpr(a, st),
+        FExprKind::Select(cond, a, b) => match eval_cond(cond, st)? {
+            Some(true) => walk_fexpr(a, st),
+            Some(false) => walk_fexpr(b, st),
+            None => {
+                walk_fexpr_under_narrowing(cond, a, st)?;
+                walk_fexpr(b, st)
+            }
+        },
+    }
+}
+
+/// Bounds check for a buffer with a known (minimum) capacity. `None`
+/// capacity means the size expression itself was unbounded — nothing
+/// can be proven, which is an error for the output and tolerated for
+/// scratch (the VM's slice indexing still panics safely at run time).
+fn check_known_bounds(
+    buffer: &str,
+    index: &Expr,
+    r: SInt,
+    cap: Option<i64>,
+    st: &BlockState<'_>,
+) -> Result<(), VerifyError> {
+    if matches!(r, SInt::Empty) {
+        return Ok(());
+    }
+    let oob = |size: i64| VerifyError::OutOfBounds {
+        buffer: buffer.to_string(),
+        index: format!("{index}"),
+        range: r,
+        size,
+    };
+    match cap {
+        Some(size) => match r.hull() {
+            Some((lo, hi)) if lo >= 0 && hi < size => Ok(()),
+            _ => Err(oob(size)),
+        },
+        None if buffer == st.output => Err(oob(st.output_size)),
+        None => Ok(()),
+    }
+}
+
+/// Records the minimal length `buf` must have to cover the access `r`.
+fn record_required(buf: &str, r: SInt, st: &mut BlockState<'_>) {
+    if let Some((_, hi)) = r.hull() {
+        let need = hi.saturating_add(1).max(0);
+        let e = st.required.entry(buf.to_string()).or_insert(0);
+        *e = (*e).max(need);
+    }
+}
+
+// -- Expression evaluation over strided intervals ---------------------
+
+fn eval_expr(e: &Expr, st: &mut BlockState<'_>) -> Result<SInt, VerifyError> {
+    Ok(match e.kind() {
+        ExprKind::Int(v) => SInt::point(*v),
+        ExprKind::Var(n) => st.vars.get(n).copied().unwrap_or(SInt::Top),
+        ExprKind::Add(a, b) => eval_expr(a, st)?.add(eval_expr(b, st)?),
+        ExprKind::Sub(a, b) => eval_expr(a, st)?.sub(eval_expr(b, st)?),
+        ExprKind::Mul(a, b) => eval_expr(a, st)?.mul(eval_expr(b, st)?),
+        ExprKind::FloorDiv(a, b) => {
+            let sa = eval_expr(a, st)?;
+            match eval_expr(b, st)?.as_point() {
+                Some(c) if c >= 1 => sa.floor_div_const(c),
+                _ => SInt::Top,
+            }
+        }
+        ExprKind::FloorMod(a, b) => {
+            let sa = eval_expr(a, st)?;
+            match eval_expr(b, st)?.as_point() {
+                Some(c) if c >= 1 => sa.floor_mod_const(c),
+                _ => SInt::Top,
+            }
+        }
+        ExprKind::Min(a, b) => eval_expr(a, st)?.min_s(eval_expr(b, st)?),
+        ExprKind::Max(a, b) => eval_expr(a, st)?.max_s(eval_expr(b, st)?),
+        ExprKind::Select(c, a, b) => match eval_cond(c, st)? {
+            Some(true) => eval_expr(a, st)?,
+            Some(false) => eval_expr(b, st)?,
+            None => eval_expr(a, st)?.union(eval_expr(b, st)?),
+        },
+        // Outlined bodies carry no uninterpreted functions (lowering
+        // grounds them into aux tables), but be total regardless.
+        ExprKind::Uf(..) => SInt::Top,
+        ExprKind::Load(buf, idx) => {
+            let r = eval_expr(idx, st)?;
+            let Some(data) = st.env.buffer(buf) else {
+                return Err(VerifyError::Unsupported {
+                    what: format!("a load from unbuilt auxiliary table `{buf}`"),
+                });
+            };
+            let len = i64::try_from(data.len()).expect("table length fits i64");
+            match r {
+                SInt::Empty => SInt::Empty,
+                SInt::Top => {
+                    return Err(VerifyError::OutOfBounds {
+                        buffer: buf.clone(),
+                        index: format!("{idx}"),
+                        range: SInt::Top,
+                        size: len,
+                    });
+                }
+                SInt::Set { lo, hi, stride } => {
+                    if lo < 0 || hi >= len {
+                        return Err(VerifyError::OutOfBounds {
+                            buffer: buf.clone(),
+                            index: format!("{idx}"),
+                            range: r,
+                            size: len,
+                        });
+                    }
+                    if lo == hi {
+                        SInt::point(data[usize::try_from(lo).expect("non-negative")])
+                    } else {
+                        // Hull of the touched members: exact min/max over
+                        // the congruence class within the slice.
+                        let mut vmin = i64::MAX;
+                        let mut vmax = i64::MIN;
+                        let mut i = lo;
+                        while i <= hi {
+                            let v = data[usize::try_from(i).expect("non-negative")];
+                            vmin = vmin.min(v);
+                            vmax = vmax.max(v);
+                            i += stride;
+                        }
+                        SInt::range(vmin, vmax)
+                    }
+                }
+            }
+        }
+    })
+}
+
+/// Three-valued condition evaluation: `Some(b)` when provable, `None`
+/// when the hulls do not decide it.
+fn eval_cond(c: &Cond, st: &mut BlockState<'_>) -> Result<Option<bool>, VerifyError> {
+    Ok(match c.kind() {
+        CondKind::Const(b) => Some(*b),
+        CondKind::Lt(a, b) => cmp_hulls(eval_expr(a, st)?, eval_expr(b, st)?, true),
+        CondKind::Le(a, b) => cmp_hulls(eval_expr(a, st)?, eval_expr(b, st)?, false),
+        CondKind::Eq(a, b) => {
+            let (sa, sb) = (eval_expr(a, st)?, eval_expr(b, st)?);
+            match (sa.as_point(), sb.as_point()) {
+                (Some(x), Some(y)) => Some(x == y),
+                _ if sa.disjoint(sb) => Some(false),
+                _ => None,
+            }
+        }
+        CondKind::Ne(a, b) => {
+            let (sa, sb) = (eval_expr(a, st)?, eval_expr(b, st)?);
+            match (sa.as_point(), sb.as_point()) {
+                (Some(x), Some(y)) => Some(x != y),
+                _ if sa.disjoint(sb) => Some(true),
+                _ => None,
+            }
+        }
+        CondKind::And(x, y) => match (eval_cond(x, st)?, eval_cond(y, st)?) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        CondKind::Or(x, y) => match (eval_cond(x, st)?, eval_cond(y, st)?) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        CondKind::Not(x) => eval_cond(x, st)?.map(|b| !b),
+    })
+}
+
+/// `a < b` (strict) or `a <= b` over interval hulls.
+fn cmp_hulls(a: SInt, b: SInt, strict: bool) -> Option<bool> {
+    let ((alo, ahi), (blo, bhi)) = (a.hull()?, b.hull()?);
+    if (strict && ahi < blo) || (!strict && ahi <= blo) {
+        Some(true)
+    } else if (strict && alo >= bhi) || (!strict && alo > bhi) {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+// -- Guard narrowing (Fourier–Motzkin over linear forms) --------------
+
+/// Walks `body` with variable ranges narrowed by assuming `cond` holds;
+/// a narrowing that empties a range proves the branch infeasible for
+/// this block, so the body is skipped.
+fn walk_under_narrowing(
+    cond: &Cond,
+    body: &Stmt,
+    st: &mut BlockState<'_>,
+) -> Result<(), VerifyError> {
+    let (saved, feasible) = apply_narrowing(cond, st)?;
+    let r = if feasible {
+        walk_stmt(body, st)
+    } else {
+        Ok(())
+    };
+    for (name, old) in saved {
+        st.restore(&name, old);
+    }
+    r
+}
+
+/// [`walk_under_narrowing`] for a float `Select`'s taken branch.
+fn walk_fexpr_under_narrowing(
+    cond: &Cond,
+    f: &FExpr,
+    st: &mut BlockState<'_>,
+) -> Result<(), VerifyError> {
+    let (saved, feasible) = apply_narrowing(cond, st)?;
+    let r = if feasible { walk_fexpr(f, st) } else { Ok(()) };
+    for (name, old) in saved {
+        st.restore(&name, old);
+    }
+    r
+}
+
+/// Bindings shadowed by a guard narrowing, to restore on branch exit.
+type Shadowed = Vec<(String, Option<SInt>)>;
+
+/// Applies the narrowings implied by `cond` to the variable ranges,
+/// returning the shadowed bindings and whether the branch remains
+/// feasible (an emptied range means it cannot execute).
+fn apply_narrowing(cond: &Cond, st: &mut BlockState<'_>) -> Result<(Shadowed, bool), VerifyError> {
+    let mut saved = Vec::new();
+    let feasible = narrow_cond(cond, st, &mut saved)?;
+    Ok((saved, feasible))
+}
+
+fn narrow_cond(
+    cond: &Cond,
+    st: &mut BlockState<'_>,
+    saved: &mut Vec<(String, Option<SInt>)>,
+) -> Result<bool, VerifyError> {
+    match cond.kind() {
+        CondKind::And(a, b) => Ok(narrow_cond(a, st, saved)? && narrow_cond(b, st, saved)?),
+        // `a < b`  ⇔  a − b ≤ −1;  `a <= b`  ⇔  a − b ≤ 0.
+        CondKind::Lt(a, b) => narrow_le(a, b, -1, st, saved),
+        CondKind::Le(a, b) => narrow_le(a, b, 0, st, saved),
+        CondKind::Eq(a, b) => Ok(narrow_le(a, b, 0, st, saved)? && narrow_le(b, a, 0, st, saved)?),
+        // `Or`/`Not`/`Ne` narrow nothing (sound: wider ranges only).
+        _ => Ok(true),
+    }
+}
+
+/// Narrows every variable appearing linearly in `lhs − rhs ≤ bound`:
+/// for coefficient `c > 0`, `v ≤ ⌊(bound − rest_lo) / c⌋`; for
+/// `c < 0` (as `−d`), `v ≥ ⌈(rest_lo − bound) / d⌉`, where `rest` is
+/// the form without `v`'s term, evaluated over the current ranges.
+fn narrow_le(
+    lhs: &Expr,
+    rhs: &Expr,
+    bound: i64,
+    st: &mut BlockState<'_>,
+    saved: &mut Vec<(String, Option<SInt>)>,
+) -> Result<bool, VerifyError> {
+    let binds = HashMap::new();
+    let form = linearize(lhs, &binds).sub(&linearize(rhs, &binds));
+    let vars: Vec<(String, i64)> = form
+        .terms()
+        .filter_map(|(t, c)| match t {
+            LinTerm::Var(n) => Some((n.clone(), c)),
+            LinTerm::Opaque(_) => None,
+        })
+        .collect();
+    for (name, c) in vars {
+        // Only narrow variables whose current range is a dense-ish set;
+        // unknown variables have nothing to tighten.
+        let Some(cur) = st.vars.get(&name).copied() else {
+            continue;
+        };
+        let SInt::Set { lo, hi, stride } = cur else {
+            continue;
+        };
+        let mut rest = form.clone();
+        rest.remove_var(&name);
+        let Some((rest_lo, _)) = eval_linform(&rest, st)?.hull() else {
+            continue;
+        };
+        let narrowed = if c > 0 {
+            let new_hi = (bound - rest_lo).div_euclid(c);
+            clamp_sint(lo, hi, stride, None, Some(new_hi))
+        } else {
+            let d = -c;
+            let new_lo = (rest_lo - bound + d - 1).div_euclid(d);
+            clamp_sint(lo, hi, stride, Some(new_lo), None)
+        };
+        if narrowed != cur {
+            saved.push((name.clone(), st.bind(&name, narrowed)));
+        }
+        if matches!(narrowed, SInt::Empty) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Members of `{lo, lo+stride, …, hi}` clamped into the given bounds,
+/// keeping the congruence class.
+fn clamp_sint(lo: i64, hi: i64, stride: i64, min: Option<i64>, max: Option<i64>) -> SInt {
+    let new_lo = match min {
+        Some(m) if m > lo => {
+            lo + (m - lo).div_euclid(stride) * stride + {
+                if (m - lo).rem_euclid(stride) == 0 {
+                    0
+                } else {
+                    stride
+                }
+            }
+        }
+        _ => lo,
+    };
+    let new_hi = match max {
+        Some(m) if m < hi => m,
+        _ => hi,
+    };
+    SInt::make(new_lo, new_hi, stride)
+}
+
+/// Interval hull of a linear form under the current variable ranges
+/// (opaque terms evaluate through [`eval_expr`]).
+fn eval_linform(f: &LinForm, st: &mut BlockState<'_>) -> Result<SInt, VerifyError> {
+    let mut acc = SInt::point(f.constant_part());
+    for (t, c) in f.terms().map(|(t, c)| (t.clone(), c)).collect::<Vec<_>>() {
+        let v = match &t {
+            LinTerm::Var(n) => st.vars.get(n).copied().unwrap_or(SInt::Top),
+            LinTerm::Opaque(e) => eval_expr(e, st)?,
+        };
+        acc = acc.add(v.mul_const(c));
+    }
+    Ok(acc)
+}
+
+// ---------------------------------------------------------------------
+// Rule A: symbolic block-invariance (shape-independent)
+// ---------------------------------------------------------------------
+
+/// Symbolically checks every store to `output` for a block-invariant
+/// index: a store whose index's linear form has block-variable
+/// coefficient 0 and no remaining term that can depend on the block
+/// variable is *definitely* wrong — every block writes the same
+/// elements, regardless of shapes. This catches cancellation forms
+/// (`out[b − b + i]`, `out[b·0 + i]`) that evade the syntactic taint
+/// screen, before any concrete shape data exists.
+///
+/// Taint flows like the screen's: a `For`/`LetInt` variable is
+/// block-dependent iff its `min`/value form depends on a tainted
+/// variable; shadowing un-taints for the scope. `LetInt` values are
+/// substituted through the linear form, so cancellation across a
+/// binding is also caught.
+///
+/// Returns the first offending store as a [`VerifyError::BlockInvariantStore`].
+pub fn symbolic_store_check(body: &Stmt, output: &str, block_var: &str) -> Result<(), VerifyError> {
+    let mut binds: HashMap<String, LinForm> = HashMap::new();
+    let mut tainted: Vec<String> = vec![block_var.to_string()];
+    sym_walk(body, output, &mut binds, &mut tainted)
+}
+
+fn form_tainted(f: &LinForm, tainted: &[String]) -> bool {
+    f.terms().any(|(t, _)| match t {
+        LinTerm::Var(n) => tainted.iter().any(|t| t == n),
+        LinTerm::Opaque(e) => {
+            let mut vs = BTreeSet::new();
+            free_vars(e, &mut vs);
+            tainted.iter().any(|t| vs.contains(t))
+        }
+    })
+}
+
+fn sym_walk(
+    s: &Stmt,
+    output: &str,
+    binds: &mut HashMap<String, LinForm>,
+    tainted: &mut Vec<String>,
+) -> Result<(), VerifyError> {
+    match s {
+        Stmt::For { var, min, body, .. } => {
+            sym_scope(var, min, body, output, binds, tainted, false)
+        }
+        Stmt::LetInt { var, value, body } => {
+            sym_scope(var, value, body, output, binds, tainted, true)
+        }
+        Stmt::Store { buffer, index, .. } => {
+            if buffer == output {
+                let form = linearize(index, binds);
+                if form.coeff_of(block_var_of(tainted)) == 0 && !form_tainted(&form, tainted) {
+                    return Err(VerifyError::BlockInvariantStore {
+                        store: print_c(s),
+                        index: format!("{index}"),
+                    });
+                }
+            }
+            Ok(())
+        }
+        Stmt::If { then_, else_, .. } => {
+            sym_walk(then_, output, binds, tainted)?;
+            if let Some(e) = else_ {
+                sym_walk(e, output, binds, tainted)?;
+            }
+            Ok(())
+        }
+        Stmt::Seq(items) => {
+            for item in items {
+                sym_walk(item, output, binds, tainted)?;
+            }
+            Ok(())
+        }
+        Stmt::Alloc { buffer, body, .. } => {
+            if buffer == output {
+                // Scratch shadowing the output name: inner stores are
+                // private (the screen established this already).
+                return Ok(());
+            }
+            sym_walk(body, output, binds, tainted)
+        }
+        Stmt::Nop => Ok(()),
+    }
+}
+
+/// The root taint — index 0 is always the block variable itself.
+fn block_var_of(tainted: &[String]) -> &str {
+    &tainted[0]
+}
+
+/// Scoping protocol for one binding site: compute the bound form, set
+/// taint, shadow, recurse, restore. `substitute` distinguishes `LetInt`
+/// (value substitutes through forms) from `For` (the variable is a
+/// range, only its taint propagates).
+#[allow(clippy::too_many_arguments)]
+fn sym_scope(
+    var: &str,
+    dep: &Expr,
+    body: &Stmt,
+    output: &str,
+    binds: &mut HashMap<String, LinForm>,
+    tainted: &mut Vec<String>,
+    substitute: bool,
+) -> Result<(), VerifyError> {
+    let dep_form = linearize(dep, binds);
+    let var_tainted = form_tainted(&dep_form, tainted);
+    let shadowed_bind = if substitute {
+        binds.insert(var.to_string(), dep_form)
+    } else {
+        binds.remove(var)
+    };
+    let shadow_pos = tainted.iter().position(|t| t == var);
+    let was_shadowed = if let Some(p) = shadow_pos {
+        // Never shadow the block variable itself out of the root slot.
+        if p == 0 {
+            false
+        } else {
+            tainted.remove(p);
+            true
+        }
+    } else {
+        false
+    };
+    if var_tainted {
+        tainted.push(var.to_string());
+    }
+    let r = sym_walk(body, output, binds, tainted);
+    if var_tainted {
+        tainted.pop();
+    }
+    if was_shadowed {
+        tainted.push(var.to_string());
+    }
+    match shadowed_bind {
+        Some(f) => {
+            binds.insert(var.to_string(), f);
+        }
+        None => {
+            binds.remove(var);
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cora_ir::FExpr;
+
+    fn ctx_env() -> Env {
+        let mut env = Env::new();
+        env.set_buffer("row", vec![0i64, 5, 5, 8]);
+        env.set_buffer("lens", vec![5i64, 0, 3, 2]);
+        env
+    }
+
+    fn doubling_body() -> Stmt {
+        let idx = Expr::load("row", Expr::var("b")) + Expr::var("i");
+        Stmt::loop_(
+            "i",
+            Expr::load("lens", Expr::var("b")),
+            Stmt::store("out", idx.clone(), FExpr::load("A", idx) * 2.0),
+        )
+    }
+
+    #[test]
+    fn ragged_row_partition_verifies() {
+        let env = ctx_env();
+        let ctx = VerifyCtx {
+            env: &env,
+            scalars: &[],
+            output: "out",
+            output_size: 10,
+        };
+        let out = verify_outlined(&doubling_body(), "b", 0, 4, &ctx).expect("verifies");
+        assert_eq!(out.n_blocks, 4);
+        assert_eq!(out.store_sites, 1);
+        assert_eq!(out.cert.regions_for(0), &[SInt::range(0, 4)]);
+        // Block 1 is a zero-length row: no region at all.
+        assert!(out.cert.regions_for(1).is_empty());
+        assert_eq!(out.required_input_len("A"), Some(10));
+    }
+
+    #[test]
+    fn overlapping_rows_are_rejected_with_witnesses() {
+        let mut env = Env::new();
+        // Rows 0 and 2 share element 4.
+        env.set_buffer("row", vec![0i64, 5, 4, 8]);
+        env.set_buffer("lens", vec![5i64, 0, 3, 2]);
+        let ctx = VerifyCtx {
+            env: &env,
+            scalars: &[],
+            output: "out",
+            output_size: 10,
+        };
+        let err = verify_outlined(&doubling_body(), "b", 0, 4, &ctx).unwrap_err();
+        match &err {
+            VerifyError::StoreOverlap {
+                block_a, block_b, ..
+            } => {
+                assert_eq!((*block_a, *block_b), (0, 2));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("out["), "store cited: {msg}");
+        assert!(msg.contains("overlap"), "{msg}");
+    }
+
+    #[test]
+    fn out_of_bounds_store_is_rejected() {
+        let env = ctx_env();
+        let ctx = VerifyCtx {
+            env: &env,
+            scalars: &[],
+            output: "out",
+            output_size: 9, // one short of the required 10
+        };
+        let err = verify_outlined(&doubling_body(), "b", 0, 4, &ctx).unwrap_err();
+        assert!(matches!(err, VerifyError::OutOfBounds { .. }), "{err}");
+        assert!(err.to_string().contains("escaping"), "{err}");
+    }
+
+    #[test]
+    fn padded_guarded_loop_narrows_to_true_extent() {
+        // for i in 0..8 { if i < lens[b] { out[row[b] + i] = 1 } } — the
+        // pad_loop shape. Without guard narrowing the padded hull would
+        // collide with the next row.
+        let env = ctx_env();
+        let idx = Expr::load("row", Expr::var("b")) + Expr::var("i");
+        let body = Stmt::loop_(
+            "i",
+            Expr::int(8),
+            Stmt::if_then(
+                Expr::var("i").lt(Expr::load("lens", Expr::var("b"))),
+                Stmt::store("out", idx, FExpr::constant(1.0)),
+            ),
+        );
+        let ctx = VerifyCtx {
+            env: &env,
+            scalars: &[],
+            output: "out",
+            output_size: 10,
+        };
+        let out = verify_outlined(&body, "b", 0, 4, &ctx).expect("narrowing verifies");
+        assert_eq!(out.cert.regions_for(0), &[SInt::range(0, 4)]);
+        assert_eq!(out.cert.regions_for(3), &[SInt::range(8, 9)]);
+    }
+
+    #[test]
+    fn interleaved_lanes_verify_by_congruence() {
+        // Block b writes out[i*2 + b] for i in 0..4: hulls overlap,
+        // parity separates.
+        let body = Stmt::loop_(
+            "i",
+            Expr::int(4),
+            Stmt::store(
+                "out",
+                Expr::var("i") * 2 + Expr::var("b"),
+                FExpr::constant(1.0),
+            ),
+        );
+        let env = Env::new();
+        let ctx = VerifyCtx {
+            env: &env,
+            scalars: &[],
+            output: "out",
+            output_size: 8,
+        };
+        let out = verify_outlined(&body, "b", 0, 2, &ctx).expect("parity lanes verify");
+        assert_eq!(out.cert.regions_for(0), &[SInt::make(0, 6, 2)]);
+        assert_eq!(out.cert.regions_for(1), &[SInt::make(1, 7, 2)]);
+    }
+
+    #[test]
+    fn symbolic_check_catches_cancelled_block_coefficient() {
+        // out[b − b + i]: the taint screen sees `b` mentioned; the
+        // linear form knows the coefficient is zero.
+        let body = Stmt::loop_(
+            "i",
+            Expr::int(4),
+            Stmt::store(
+                "out",
+                Expr::var("b") - Expr::var("b") + Expr::var("i"),
+                FExpr::constant(1.0),
+            ),
+        );
+        let err = symbolic_store_check(&body, "out", "b").unwrap_err();
+        assert!(matches!(err, VerifyError::BlockInvariantStore { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("coefficient 0"), "{msg}");
+
+        // out[b·0 + i] likewise.
+        let zero = Stmt::loop_(
+            "i",
+            Expr::int(4),
+            #[allow(clippy::erasing_op)] // the cancellation is the point
+            Stmt::store(
+                "out",
+                Expr::var("b") * 0 + Expr::var("i"),
+                FExpr::constant(1.0),
+            ),
+        );
+        assert!(symbolic_store_check(&zero, "out", "b").is_err());
+
+        // The legitimate hoisted-row pattern stays accepted.
+        let ok = Stmt::LetInt {
+            var: "h".into(),
+            value: Expr::load("row", Expr::var("b")),
+            body: Box::new(Stmt::loop_(
+                "i",
+                Expr::int(4),
+                Stmt::store("out", Expr::var("h") + Expr::var("i"), FExpr::constant(1.0)),
+            )),
+        };
+        assert!(symbolic_store_check(&ok, "out", "b").is_ok());
+    }
+}

@@ -9,6 +9,7 @@
 //! has expectation `mean`. Sampling is deterministic per (dataset, seed).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -67,10 +67,12 @@
 //! so golden tests can diff the compiled form of a kernel.
 
 use std::cell::Cell;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Mutex;
 
 use cora_ir::fexpr::apply_unary;
+use cora_ir::interval::SInt;
 use cora_ir::slots::StmtSlots;
 use cora_ir::visit::{count_cond_loads, count_loads};
 use cora_ir::{
@@ -533,6 +535,398 @@ impl VmProgram {
             Some(n) => n.clone(),
             None => format!("{}@{slot}", self.var_slot_names[slot as usize - free]),
         }
+    }
+
+    /// Validates the compiled stream against the program's own censuses
+    /// and register files.
+    ///
+    /// Checks, in order: every jump target lands inside the program (or
+    /// one past the end — the halt address); every variable / integer
+    /// buffer / float buffer / UF slot is within its census and UF call
+    /// arities match; every register index is within the allocated
+    /// file; fused-superinstruction metadata is self-consistent (a
+    /// `FusedMap`'s static flop count equals its tape, tape operands
+    /// are in SSA order, `FMulAcc`/`FMulAcc2` outputs are distinct from
+    /// their operands, `FAlloc` only targets scratch slots); and — via
+    /// a forward dataflow pass with intersection merge over the
+    /// instruction-level CFG — no integer or float register is read on
+    /// *any* path before an instruction wrote it.
+    ///
+    /// This is the bytecode layer of the three-layer safety story (see
+    /// the README's "Safety & verification"): a regression net under
+    /// the compiler's CSE/DCE/register-renaming passes, run on every
+    /// `CompiledProgram::compile`.
+    pub fn validate(&self) -> Result<(), String> {
+        let code = &self.code;
+        let n = code.len();
+        let s = &self.slots;
+        let n_vars = s.var_slot_count();
+        let n_ibufs = s.ibufs.len();
+        let n_fbufs = s.fbuf_slot_count();
+        let free_fbufs = s.free_fbufs.len();
+        let n_ufs = s.ufs.len();
+
+        /// Per-pc effect summary feeding the dataflow pass: integer /
+        /// float register uses and defs, plus CFG successors.
+        struct Fx {
+            ui: Vec<u16>,
+            uf: Vec<u16>,
+            di: Vec<u16>,
+            df: Vec<u16>,
+            succ: Vec<usize>,
+        }
+        let mut fx: Vec<Fx> = Vec::with_capacity(n);
+
+        for (pc, ins) in code.iter().enumerate() {
+            let ck_var = |slot: u32| -> Result<(), String> {
+                if (slot as usize) < n_vars {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "bytecode pc {pc} ({ins:?}): variable slot {slot} out of census ({n_vars} slots)"
+                    ))
+                }
+            };
+            let ck_ibuf = |buf: u32| -> Result<(), String> {
+                if (buf as usize) < n_ibufs {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "bytecode pc {pc} ({ins:?}): integer buffer slot {buf} out of census ({n_ibufs} buffers)"
+                    ))
+                }
+            };
+            let ck_fbuf = |buf: u32| -> Result<(), String> {
+                if (buf as usize) < n_fbufs {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "bytecode pc {pc} ({ins:?}): float buffer slot {buf} out of census ({n_fbufs} buffers)"
+                    ))
+                }
+            };
+            let mut e = Fx {
+                ui: Vec::new(),
+                uf: Vec::new(),
+                di: Vec::new(),
+                df: Vec::new(),
+                succ: vec![pc + 1],
+            };
+            match ins {
+                Instr::IConst { dst, .. } => e.di.push(*dst),
+                Instr::IVar { dst, slot } => {
+                    ck_var(*slot)?;
+                    e.di.push(*dst);
+                }
+                Instr::ICopy { dst, src } => {
+                    e.ui.push(*src);
+                    e.di.push(*dst);
+                }
+                Instr::IBin { dst, a, b, .. } => {
+                    e.ui.extend([*a, *b]);
+                    e.di.push(*dst);
+                }
+                Instr::ILoad { dst, buf, idx } => {
+                    ck_ibuf(*buf)?;
+                    e.ui.push(*idx);
+                    e.di.push(*dst);
+                }
+                Instr::ILoadV { dst, buf, vslot } => {
+                    ck_ibuf(*buf)?;
+                    ck_var(*vslot)?;
+                    e.di.push(*dst);
+                }
+                Instr::IBinC { dst, a, .. } => {
+                    e.ui.push(*a);
+                    e.di.push(*dst);
+                }
+                Instr::IBinV { dst, a, vslot, .. } => {
+                    ck_var(*vslot)?;
+                    e.ui.push(*a);
+                    e.di.push(*dst);
+                }
+                Instr::IUf { dst, uf, args } => {
+                    if *uf as usize >= n_ufs {
+                        return Err(format!(
+                            "bytecode pc {pc} ({ins:?}): UF slot {uf} out of census ({n_ufs} UFs)"
+                        ));
+                    }
+                    let arity = s.uf_arities[*uf as usize];
+                    if args.len() != arity {
+                        return Err(format!(
+                            "bytecode pc {pc} ({ins:?}): UF call arity {} disagrees with census arity {arity}",
+                            args.len()
+                        ));
+                    }
+                    e.ui.extend(args.iter().copied());
+                    e.di.push(*dst);
+                }
+                Instr::SetVar { slot, src } | Instr::LetVar { slot, src, .. } => {
+                    ck_var(*slot)?;
+                    e.ui.push(*src);
+                }
+                Instr::BrVarGe { slot, lim, to } => {
+                    ck_var(*slot)?;
+                    e.ui.push(*lim);
+                    e.succ.push(*to as usize);
+                }
+                Instr::LoopNext { slot, lim, back } => {
+                    ck_var(*slot)?;
+                    e.ui.push(*lim);
+                    e.succ.push(*back as usize);
+                }
+                Instr::BrCmp {
+                    a,
+                    b,
+                    on_true,
+                    on_false,
+                    ..
+                } => {
+                    e.ui.extend([*a, *b]);
+                    e.succ = vec![*on_true as usize, *on_false as usize];
+                }
+                Instr::Jump { to } => e.succ = vec![*to as usize],
+                Instr::Guard { .. } | Instr::BumpAux { .. } => {}
+                Instr::FConst { dst, .. } => e.df.push(*dst),
+                Instr::FLoad { dst, buf, idx, .. } => {
+                    ck_fbuf(*buf)?;
+                    e.ui.push(*idx);
+                    e.df.push(*dst);
+                }
+                Instr::FCast { dst, src, .. } => {
+                    e.ui.push(*src);
+                    e.df.push(*dst);
+                }
+                Instr::FCopy { dst, src } => {
+                    e.uf.push(*src);
+                    e.df.push(*dst);
+                }
+                Instr::FBin { dst, a, b, .. } => {
+                    e.uf.extend([*a, *b]);
+                    e.df.push(*dst);
+                }
+                Instr::FBinC { dst, a, .. } => {
+                    e.uf.push(*a);
+                    e.df.push(*dst);
+                }
+                Instr::FBinCL { dst, b, .. } => {
+                    e.uf.push(*b);
+                    e.df.push(*dst);
+                }
+                Instr::FUn { dst, a, .. } => {
+                    e.uf.push(*a);
+                    e.df.push(*dst);
+                }
+                Instr::FStore { buf, idx, val, .. } => {
+                    ck_fbuf(*buf)?;
+                    e.ui.push(*idx);
+                    e.uf.push(*val);
+                }
+                Instr::FAlloc { slot, size, .. } => {
+                    if (*slot as usize) < free_fbufs || (*slot as usize) >= n_fbufs {
+                        return Err(format!(
+                            "bytecode pc {pc} ({ins:?}): FAlloc targets non-scratch slot {slot} \
+                             (scratch slots are {free_fbufs}..{n_fbufs})"
+                        ));
+                    }
+                    e.ui.push(*size);
+                }
+                Instr::FMulAcc(m) => {
+                    for b in [m.out, m.a, m.b] {
+                        ck_fbuf(b)?;
+                    }
+                    if m.out == m.a || m.out == m.b {
+                        return Err(format!(
+                            "bytecode pc {pc} ({ins:?}): FMulAcc output buffer aliases an operand"
+                        ));
+                    }
+                    e.ui.extend([m.o0, m.o1, m.a0, m.a1, m.b0, m.b1, m.n]);
+                }
+                Instr::FMulAcc2(m) => {
+                    for b in [m.out, m.a, m.b] {
+                        ck_fbuf(b)?;
+                    }
+                    if m.out == m.a || m.out == m.b {
+                        return Err(format!(
+                            "bytecode pc {pc} ({ins:?}): FMulAcc2 output buffer aliases an operand"
+                        ));
+                    }
+                    e.ui.extend([
+                        m.o00, m.o0i, m.o0o, m.a00, m.a0i, m.a0o, m.b00, m.b0i, m.b0o, m.n_outer,
+                        m.n_inner,
+                    ]);
+                }
+                Instr::FMap(m) => {
+                    ck_fbuf(m.out)?;
+                    e.ui.extend([m.o0, m.o1, m.n]);
+                    for site in m.sites.iter() {
+                        if site.buf != u32::MAX {
+                            ck_fbuf(site.buf)?;
+                        }
+                        e.ui.extend([site.r0, site.r1]);
+                    }
+                    if m.tape.is_empty() {
+                        return Err(format!("bytecode pc {pc}: FMap with an empty tape"));
+                    }
+                    let mut flops = 0u64;
+                    for (ti, op) in m.tape.iter().enumerate() {
+                        match op {
+                            MapOp::Const { .. } => {}
+                            MapOp::Load { site } => {
+                                if *site as usize >= m.sites.len()
+                                    || m.sites[*site as usize].buf == u32::MAX
+                                {
+                                    return Err(format!(
+                                        "bytecode pc {pc}: FMap tape op {ti} loads through an \
+                                         invalid site {site}"
+                                    ));
+                                }
+                            }
+                            MapOp::Cast { site } => {
+                                if *site as usize >= m.sites.len()
+                                    || m.sites[*site as usize].buf != u32::MAX
+                                {
+                                    return Err(format!(
+                                        "bytecode pc {pc}: FMap tape op {ti} casts through a \
+                                         non-index site {site}"
+                                    ));
+                                }
+                            }
+                            MapOp::Bin { a, b, .. } => {
+                                if *a as usize >= ti || *b as usize >= ti {
+                                    return Err(format!(
+                                        "bytecode pc {pc}: FMap tape op {ti} reads a temp that \
+                                         is not yet computed"
+                                    ));
+                                }
+                                flops += 1;
+                            }
+                            MapOp::Un { a, .. } => {
+                                if *a as usize >= ti {
+                                    return Err(format!(
+                                        "bytecode pc {pc}: FMap tape op {ti} reads a temp that \
+                                         is not yet computed"
+                                    ));
+                                }
+                                flops += 1;
+                            }
+                        }
+                    }
+                    if !matches!(m.kind, StoreKind::Assign) {
+                        flops += 1;
+                    }
+                    if flops != m.flops {
+                        return Err(format!(
+                            "bytecode pc {pc}: FMap static flop metadata {} disagrees with its \
+                             tape ({flops} per element)",
+                            m.flops
+                        ));
+                    }
+                }
+            }
+            for &r in e.ui.iter().chain(&e.di) {
+                if r as usize >= self.n_iregs {
+                    return Err(format!(
+                        "bytecode pc {pc} ({ins:?}): integer register r{r} out of file \
+                         ({} allocated)",
+                        self.n_iregs
+                    ));
+                }
+            }
+            for &r in e.uf.iter().chain(&e.df) {
+                if r as usize >= self.n_fregs {
+                    return Err(format!(
+                        "bytecode pc {pc} ({ins:?}): float register f{r} out of file \
+                         ({} allocated)",
+                        self.n_fregs
+                    ));
+                }
+            }
+            for &t in &e.succ {
+                if t > n {
+                    return Err(format!(
+                        "bytecode pc {pc} ({ins:?}): jump target {t} beyond program end {n}"
+                    ));
+                }
+            }
+            fx.push(e);
+        }
+
+        // Def-before-use: forward dataflow over the instruction-level
+        // CFG with *intersection* merge, so a register counts as
+        // defined at a join only if every incoming path defined it.
+        // Intersection over a finite bitset lattice is monotone
+        // decreasing, so the worklist terminates.
+        let wi = self.n_iregs.div_ceil(64).max(1);
+        let wf = self.n_fregs.div_ceil(64).max(1);
+        let has = |bits: &[u64], r: u16| bits[r as usize / 64] >> (r as usize % 64) & 1 == 1;
+        let set = |bits: &mut [u64], r: u16| bits[r as usize / 64] |= 1 << (r as usize % 64);
+        let mut states: Vec<Option<(Vec<u64>, Vec<u64>)>> = vec![None; n];
+        let mut work = std::collections::VecDeque::new();
+        if n > 0 {
+            states[0] = Some((vec![0u64; wi], vec![0u64; wf]));
+            work.push_back(0usize);
+        }
+        while let Some(pc) = work.pop_front() {
+            let (mut bi, mut bf) = states[pc].clone().expect("queued pcs have a state");
+            let e = &fx[pc];
+            for &r in &e.ui {
+                if !has(&bi, r) {
+                    return Err(format!(
+                        "bytecode pc {pc} ({:?}): integer register r{r} may be read before any \
+                         write reaches it",
+                        code[pc]
+                    ));
+                }
+            }
+            for &r in &e.uf {
+                if !has(&bf, r) {
+                    return Err(format!(
+                        "bytecode pc {pc} ({:?}): float register f{r} may be read before any \
+                         write reaches it",
+                        code[pc]
+                    ));
+                }
+            }
+            for &r in &e.di {
+                set(&mut bi, r);
+            }
+            for &r in &e.df {
+                set(&mut bf, r);
+            }
+            for &t in &e.succ {
+                if t == n {
+                    continue;
+                }
+                match &mut states[t] {
+                    st @ None => {
+                        *st = Some((bi.clone(), bf.clone()));
+                        work.push_back(t);
+                    }
+                    Some((si, sf)) => {
+                        let mut changed = false;
+                        for (w, v) in si.iter_mut().zip(&bi) {
+                            let m = *w & *v;
+                            if m != *w {
+                                *w = m;
+                                changed = true;
+                            }
+                        }
+                        for (w, v) in sf.iter_mut().zip(&bf) {
+                            let m = *w & *v;
+                            if m != *w {
+                                *w = m;
+                                changed = true;
+                            }
+                        }
+                        if changed {
+                            work.push_back(t);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -3862,6 +4256,85 @@ fn fbuf_name(prog: &VmProgram, slot: u32) -> String {
 // Parallel execution
 // ---------------------------------------------------------------------
 
+/// A machine-checked disjoint-store certificate: for every block value,
+/// the strided-interval regions of the output its stores may touch.
+///
+/// Produced by the static verifier (`cora_core::verify`) from a
+/// concrete abstract interpretation of the outlined body, and consumed
+/// by [`VmShared::run_blocks_proven`] — the *safe* parallel entry
+/// point. Soundness does not rest on trusting the verifier:
+/// [`StoreCert::new`] re-validates that regions of distinct blocks are
+/// pairwise disjoint (so the type cannot exist for a non-partitioned
+/// store space), and the executor checks every output store against the
+/// executing block's regions at run time. A verifier bug can therefore
+/// produce a deterministic panic, never a data race.
+#[derive(Debug, Clone, Default)]
+pub struct StoreCert {
+    regions: HashMap<i64, Vec<SInt>>,
+}
+
+impl StoreCert {
+    /// Builds a certificate, re-validating pairwise disjointness across
+    /// blocks (interval separation with stride/congruence fallback, via
+    /// a sort-and-sweep over the bounded regions).
+    ///
+    /// Rejects unbounded ([`SInt::Top`]) regions and any cross-block
+    /// overlap the congruence test cannot refute.
+    pub fn new(regions: HashMap<i64, Vec<SInt>>) -> Result<StoreCert, String> {
+        let mut spans: Vec<(i64, i64, i64, SInt)> = Vec::new();
+        for (&block, rs) in &regions {
+            for r in rs {
+                match *r {
+                    SInt::Empty => {}
+                    SInt::Top => {
+                        return Err(format!("block {block} has an unbounded store region"));
+                    }
+                    SInt::Set { lo, hi, .. } => spans.push((lo, hi, block, *r)),
+                }
+            }
+        }
+        spans.sort_by_key(|&(lo, hi, b, _)| (lo, hi, b));
+        for i in 0..spans.len() {
+            let (_, hi_i, block_i, r_i) = spans[i];
+            for &(lo_j, _, block_j, r_j) in spans.iter().skip(i + 1) {
+                if lo_j > hi_i {
+                    break;
+                }
+                if block_i != block_j && !r_i.disjoint(r_j) {
+                    return Err(format!(
+                        "blocks {block_i} and {block_j} have overlapping store \
+                         regions {r_i} and {r_j}"
+                    ));
+                }
+            }
+        }
+        Ok(StoreCert { regions })
+    }
+
+    /// The certified store regions of one block value. Blocks absent
+    /// from the certificate (e.g. zero-length rows) own no elements, so
+    /// any store they attempt panics.
+    pub fn regions_for(&self, block: i64) -> &[SInt] {
+        self.regions.get(&block).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Number of block values with at least one recorded region.
+    pub fn block_count(&self) -> usize {
+        self.regions.len()
+    }
+}
+
+/// True when the per-element owning-block tracker should run: always in
+/// debug builds, and in release builds when `CORA_CHECK_DISJOINT=1`
+/// opts in — the verifier cross-check the `verify` CI job uses to run
+/// a release-speed encoder batch under full dynamic enforcement.
+fn dynamic_check_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        cfg!(debug_assertions) || std::env::var("CORA_CHECK_DISJOINT").is_ok_and(|v| v == "1")
+    })
+}
+
 /// The kernel output buffer shared by every parallel worker.
 ///
 /// Built safely from an exclusive `&mut [f32]` via
@@ -3881,17 +4354,19 @@ fn fbuf_name(prog: &VmProgram, slot: u32) -> String {
 /// [`CpuPool::parallel_for`] joins every worker before `run_blocks`
 /// returns.
 ///
-/// The contract itself is the *caller's* obligation. The outliner in
-/// `cora-core` screens for it syntactically (output-only stores,
-/// no output read-back, store indices that depend on the block
-/// variable), but dependence is necessary, not sufficient, for
-/// disjointness — the guarantee ultimately rests on how CoRa's lowering
-/// builds output indices (each spatial coordinate is stored exactly
-/// once and the block axis partitions the spatial space). As
-/// defence-in-depth, debug builds track a per-element owning block and
-/// panic deterministically on any cross-block store overlap, so the
-/// differential test suites would catch a violated contract rather
-/// than race.
+/// The contract itself is the *caller's* obligation, discharged at
+/// three layers (the README's "Safety & verification" story). First,
+/// statically: the outliner's taint screen is a fast necessary-filter,
+/// and `cora_core::verify` then *proves* disjointness per block value
+/// by abstract interpretation over strided intervals, recording the
+/// proof as a [`StoreCert`] inside the session's `VerifyOutcome`; the
+/// safe entry point [`VmShared::run_blocks_proven`] enforces cert
+/// membership on every store, so even a verifier bug panics
+/// deterministically instead of racing. Second, dynamically: debug
+/// builds — and release builds under `CORA_CHECK_DISJOINT=1` — track a
+/// per-element owning block ([`OutOwners`]) and panic on any
+/// cross-block overlap. Third, `miri` runs the parallel suites against
+/// the raw `unsafe` entry points.
 struct SharedOut<'a>(&'a [Cell<f32>]);
 
 // SAFETY: see the type-level contract above — concurrent access is
@@ -3941,15 +4416,15 @@ impl<'a> SharedOut<'a> {
     }
 }
 
-/// Debug-build enforcement of the disjoint-store contract: one atomic
+/// Dynamic enforcement of the disjoint-store contract: one atomic
 /// owner record per output element, claimed by the first block that
 /// stores there. A second block claiming the same element means the
 /// contract the `unsafe impl Sync` relies on is violated — panic
-/// deterministically (under test) instead of racing (in release).
-#[cfg(debug_assertions)]
+/// deterministically instead of racing. Active in every debug build
+/// and, via `CORA_CHECK_DISJOINT=1` (see [`dynamic_check_enabled`]),
+/// in release builds as the verifier's runtime cross-check.
 struct OutOwners(Vec<std::sync::atomic::AtomicI64>);
 
-#[cfg(debug_assertions)]
 impl OutOwners {
     const UNCLAIMED: i64 = i64::MIN;
 
@@ -3993,11 +4468,16 @@ struct WorkerBufs<'a> {
     /// per-worker `Alloc` scratch.
     n_free: usize,
     scratch: Vec<Vec<f32>>,
-    #[cfg(debug_assertions)]
-    owners: &'a OutOwners,
-    /// Block-variable value currently executing (owner records).
-    #[cfg(debug_assertions)]
+    /// Per-element owner records, when the dynamic tracker is active
+    /// (debug builds, or release under `CORA_CHECK_DISJOINT=1`).
+    owners: Option<&'a OutOwners>,
+    /// Block-variable value currently executing (owner records and
+    /// certificate diagnostics).
     cur_block: i64,
+    /// The certified store regions of `cur_block`, when running through
+    /// the safe proven entry points. `None` means the caller vouched
+    /// for the contract through the raw `unsafe` entry points.
+    regions: Option<&'a [SInt]>,
 }
 
 impl WorkerBufs<'_> {
@@ -4014,8 +4494,41 @@ impl WorkerBufs<'_> {
     #[inline]
     fn out_claim(&self, idx: usize) {
         self.out_bounds_check(idx);
-        #[cfg(debug_assertions)]
-        self.owners.claim(idx, self.cur_block);
+        if let Some(regions) = self.regions {
+            assert!(
+                regions.iter().any(|r| r.contains(idx as i64)),
+                "store to output element {idx} outside block {}'s certified regions",
+                self.cur_block
+            );
+        }
+        if let Some(owners) = self.owners {
+            owners.claim(idx, self.cur_block);
+        }
+    }
+
+    /// [`WorkerBufs::out_claim`] for a dense run `[o0, o0 + n)` — the
+    /// chunked store paths. Certificate membership is checked once per
+    /// run ([`SInt::contains_run`]); owner records still claim each
+    /// element when the tracker is active.
+    #[inline]
+    fn out_claim_run(&self, o0: usize, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.out_bounds_check(o0 + n - 1);
+        if let Some(regions) = self.regions {
+            assert!(
+                regions.iter().any(|r| r.contains_run(o0 as i64, n as i64)),
+                "store run [{o0}, {}) outside block {}'s certified regions",
+                o0 + n,
+                self.cur_block
+            );
+        }
+        if let Some(owners) = self.owners {
+            for idx in o0..o0 + n {
+                owners.claim(idx, self.cur_block);
+            }
+        }
     }
 }
 
@@ -4090,11 +4603,10 @@ impl FloatBufs for WorkerBufs<'_> {
     #[allow(unsafe_code)] // exclusive chunk view of the shared output; see SAFETY below
     fn store_chunk(&mut self, out: u32, o0: usize, kind: StoreKind, vals: &[f32]) -> bool {
         if out == self.out_slot {
-            for idx in o0..o0 + vals.len() {
-                self.out_claim(idx);
-            }
+            self.out_claim_run(o0, vals.len());
             // SAFETY: this block stores to exactly `[o0, o0 + len)` of
-            // the output (claimed above in debug builds); under the
+            // the output (checked against the certificate and claimed
+            // above when the tracker is active); under the
             // disjoint-store contract the view is exclusive.
             let orow = unsafe { self.out.slice_mut(o0, vals.len()) };
             store_chunk_slice(orow, kind, vals);
@@ -4115,9 +4627,9 @@ impl FloatBufs for WorkerBufs<'_> {
             // `b` is never the output (compile-time contract), so `ro`
             // always covers it here.
             let Some(bv) = self.ro(b) else { return false };
+            self.out_claim_run(o0, n);
             for (t, x) in bv[b0..b0 + n].iter().enumerate() {
                 let idx = o0 + t;
-                self.out_claim(idx);
                 self.out.set(idx, self.out.get(idx) + s * *x);
             }
             true
@@ -4158,17 +4670,16 @@ impl FloatBufs for WorkerBufs<'_> {
         n_o: usize,
     ) -> bool {
         if out == self.out_slot {
-            for idx in o0..o0 + n_i {
-                self.out_claim(idx);
-            }
+            self.out_claim_run(o0, n_i);
             // `a`/`b` are never the output (compile-time contract).
             let (Some(av), Some(bv)) = (self.ro(a), self.ro(b)) else {
                 return false;
             };
             // SAFETY: this block stores to exactly `[o0, o0+n_i)` of the
-            // output (claimed above in debug builds); under the
-            // disjoint-store contract no other block accesses those
-            // elements, so the view is exclusive.
+            // output (checked against the certificate and claimed above
+            // when the tracker is active); under the disjoint-store
+            // contract no other block accesses those elements, so the
+            // view is exclusive.
             let orow = unsafe { self.out.slice_mut(o0, n_i) };
             panel::saxpy(orow, 0, n_i, av, a0, sa_o, bv, b0, sb_o, n_o);
             true
@@ -4202,9 +4713,7 @@ impl FloatBufs for WorkerBufs<'_> {
         mode: MathMode,
     ) -> bool {
         if out == self.out_slot {
-            for idx in o0..o0 + n_o {
-                self.out_claim(idx);
-            }
+            self.out_claim_run(o0, n_o);
             let (Some(av), Some(bv)) = (self.ro(a), self.ro(b)) else {
                 return false;
             };
@@ -4423,14 +4932,17 @@ impl VmShared<'_> {
     /// elements of `out` and never load another block's elements (see
     /// `SharedOut`). Two helpers reduce the obligation but do not
     /// discharge it: in-place programs (output loaded *and* stored) are
-    /// rejected up front, and debug builds record each output element's
-    /// owning block, panicking deterministically on any cross-block
-    /// overlap — release builds run unchecked, so a violated contract is
-    /// a data race (undefined behaviour). The parallel outliner in
-    /// `cora-core` validates the programs it produces (stores confined
-    /// to the output, indices keyed by the block variable, one store per
-    /// spatial coordinate from lowering), which is how
-    /// `CompiledProgram::run_parallel` satisfies this contract.
+    /// rejected up front, and the dynamic tracker (debug builds, or
+    /// release under `CORA_CHECK_DISJOINT=1`) records each output
+    /// element's owning block, panicking deterministically on any
+    /// cross-block overlap — untracked release builds run unchecked, so
+    /// a violated contract is a data race (undefined behaviour).
+    ///
+    /// Prefer [`VmShared::run_blocks_proven`]: it is *safe*, taking a
+    /// [`StoreCert`] produced by the static verifier
+    /// (`cora_core::verify`, recorded in a session's `VerifyOutcome`)
+    /// and enforcing it per store. This raw entry point remains for
+    /// callers with an external proof and for the miri suites.
     ///
     /// # Panics
     ///
@@ -4439,7 +4951,7 @@ impl VmShared<'_> {
     /// binding is missing, or if the program itself panics
     /// (out-of-bounds access, negative index) — propagated after the
     /// region drains.
-    #[allow(unsafe_code)] // the disjoint-store contract cannot be compiler-checked
+    #[allow(unsafe_code)] // the disjoint-store contract is the caller's proof here
     pub unsafe fn run_blocks(
         &self,
         pool: &CpuPool,
@@ -4457,7 +4969,101 @@ impl VmShared<'_> {
             &self.fbuf_bound,
             out,
             batches,
+            None,
         )
+    }
+
+    /// The *safe* parallel entry point: [`VmShared::run_blocks`] under a
+    /// machine-checked disjoint-store certificate.
+    ///
+    /// Soundness is enforced, not assumed: [`StoreCert::new`] has
+    /// already re-validated that distinct blocks' certified regions are
+    /// pairwise disjoint, and every output store is checked for
+    /// membership in the executing block's regions before it lands. A
+    /// store outside its certificate — i.e. any disagreement between
+    /// the static verifier and the actual execution — panics
+    /// deterministically before the write, so no interleaving can
+    /// produce a data race. That is what makes this function safe to
+    /// expose despite the internal `unsafe` dispatch.
+    ///
+    /// # Panics
+    ///
+    /// As for [`VmShared::run_blocks`], plus any store outside the
+    /// executing block's certified regions.
+    #[allow(unsafe_code)] // contains the one audited unsafe dispatch; see SAFETY below
+    pub fn run_blocks_proven(
+        &self,
+        pool: &CpuPool,
+        block_var: &str,
+        output: &str,
+        out: &mut [f32],
+        batches: &[Vec<i64>],
+        cert: &StoreCert,
+    ) -> InterpStats {
+        let views: Vec<&[f32]> = self.fbufs.iter().map(|v| v.as_slice()).collect();
+        // SAFETY: every output store is checked against the executing
+        // block's certified regions before it happens, and the regions
+        // of distinct blocks are pairwise disjoint by `StoreCert`'s
+        // construction-time validation — so two threads can never touch
+        // the same output element (stores or read-modify-writes), which
+        // is exactly the `run_blocks_views` contract.
+        unsafe {
+            self.run_blocks_views(
+                pool,
+                block_var,
+                output,
+                &views,
+                &self.fbuf_bound,
+                out,
+                batches,
+                Some(cert),
+            )
+        }
+    }
+
+    /// [`VmShared::run_blocks_proven`] with additional float inputs
+    /// supplied as *borrowed* slices — the safe parallel entry point for
+    /// arena-backed pipelines. Bindings for names the program never
+    /// references are ignored.
+    ///
+    /// # Panics
+    ///
+    /// As for [`VmShared::run_blocks_proven`].
+    #[allow(unsafe_code)] // contains the one audited unsafe dispatch; see SAFETY below
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_blocks_proven_borrowed(
+        &self,
+        pool: &CpuPool,
+        block_var: &str,
+        output: &str,
+        out: &mut [f32],
+        inputs: &[(&str, &[f32])],
+        batches: &[Vec<i64>],
+        cert: &StoreCert,
+    ) -> InterpStats {
+        let s = &self.prog.slots;
+        let mut views: Vec<&[f32]> = self.fbufs.iter().map(|v| v.as_slice()).collect();
+        let mut bound = self.fbuf_bound.clone();
+        for (name, buf) in inputs {
+            if let Some(slot) = s.free_fbufs.get(name) {
+                views[slot as usize] = buf;
+                bound[slot as usize] = true;
+            }
+        }
+        // SAFETY: as for `run_blocks_proven` — per-store certificate
+        // enforcement plus the cert's pairwise disjointness.
+        unsafe {
+            self.run_blocks_views(
+                pool,
+                block_var,
+                output,
+                &views,
+                &bound,
+                out,
+                batches,
+                Some(cert),
+            )
+        }
     }
 
     /// [`VmShared::run_blocks`] with additional float inputs supplied as
@@ -4493,7 +5099,7 @@ impl VmShared<'_> {
                 bound[slot as usize] = true;
             }
         }
-        self.run_blocks_views(pool, block_var, output, &views, &bound, out, batches)
+        self.run_blocks_views(pool, block_var, output, &views, &bound, out, batches, None)
     }
 
     /// Shared core of [`VmShared::run_blocks`] /
@@ -4513,6 +5119,7 @@ impl VmShared<'_> {
         fbuf_bound: &[bool],
         out: &mut [f32],
         batches: &[Vec<i64>],
+        cert: Option<&StoreCert>,
     ) -> InterpStats {
         let s = &self.prog.slots;
         let block_slot = s
@@ -4532,8 +5139,7 @@ impl VmShared<'_> {
              the parallel tier forbids in-place output access"
         );
         self.check_bound(Some(block_slot), out_slot, fbuf_bound);
-        #[cfg(debug_assertions)]
-        let owners = OutOwners::new(out.len());
+        let owners = dynamic_check_enabled().then(|| OutOwners::new(out.len()));
         let shared_out = SharedOut::new(out);
         let total = Mutex::new(InterpStats::default());
         pool.parallel_for(batches.len(), |bi| {
@@ -4549,19 +5155,16 @@ impl VmShared<'_> {
                 out: &shared_out,
                 n_free: s.free_fbufs.len(),
                 scratch: vec![Vec::new(); s.alloc_sites],
-                #[cfg(debug_assertions)]
-                owners: &owners,
-                #[cfg(debug_assertions)]
+                owners: owners.as_ref(),
                 cur_block: 0,
+                regions: None,
             };
             let mut stats = InterpStats::default();
             let mut map_scratch = MapScratch::default();
             for &bv in &batches[bi] {
                 vars[block_slot as usize] = bv;
-                #[cfg(debug_assertions)]
-                {
-                    bufs.cur_block = bv;
-                }
+                bufs.cur_block = bv;
+                bufs.regions = cert.map(|c| c.regions_for(bv));
                 dispatch(
                     prog,
                     &self.ibufs,
@@ -4950,6 +5553,136 @@ mod tests {
         let stats = unsafe { shared.run_blocks(&CpuPool::new(2), "b", "B", &mut out, &[]) };
         assert_eq!(stats, InterpStats::default());
         assert_eq!(out, vec![7.0]);
+    }
+
+    #[test]
+    fn validate_accepts_compiled_programs() {
+        for s in [
+            outlined_doubling_body(),
+            Stmt::loop_(
+                "i",
+                Expr::int(4),
+                Stmt::store("B", Expr::var("i"), FExpr::constant(1.0)),
+            ),
+            Stmt::Nop,
+        ] {
+            compile(&s)
+                .validate()
+                .unwrap_or_else(|e| panic!("fresh compile must validate: {e}"));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_corrupted_streams() {
+        let base = compile(&outlined_doubling_body());
+        base.validate().expect("baseline validates");
+
+        // A jump beyond the halt address.
+        let mut p = base.clone();
+        p.code.push(Instr::Jump {
+            to: u32::try_from(p.code.len() + 5).unwrap(),
+        });
+        assert!(p.validate().unwrap_err().contains("beyond program end"));
+
+        // A read of a register no path has written (appended at the
+        // program end, which stays reachable by fallthrough).
+        let mut p = base.clone();
+        let fresh = u16::try_from(p.n_iregs).unwrap();
+        p.n_iregs += 1;
+        p.code.push(Instr::ICopy { dst: 0, src: fresh });
+        assert!(p.validate().unwrap_err().contains("read before any write"));
+
+        // A register index outside the allocated file.
+        let mut p = base.clone();
+        p.code.push(Instr::IConst {
+            dst: u16::try_from(p.n_iregs).unwrap(),
+            v: 0,
+        });
+        assert!(p.validate().unwrap_err().contains("out of file"));
+
+        // A variable slot outside the census.
+        let mut p = base;
+        let slot = u32::try_from(p.slots.var_slot_count()).unwrap();
+        p.code.push(Instr::IVar { dst: 0, slot });
+        assert!(p.validate().unwrap_err().contains("out of census"));
+    }
+
+    #[test]
+    fn store_cert_validates_pairwise_disjointness() {
+        // Disjoint rows certify.
+        let mut ok = HashMap::new();
+        ok.insert(0i64, vec![SInt::range(0, 4)]);
+        ok.insert(1, vec![SInt::range(5, 9)]);
+        let cert = StoreCert::new(ok).expect("disjoint rows certify");
+        assert_eq!(cert.block_count(), 2);
+        assert!(cert.regions_for(2).is_empty());
+
+        // Interleaved but congruence-disjoint strided lanes certify.
+        let mut lace = HashMap::new();
+        lace.insert(0i64, vec![SInt::make(0, 8, 2)]);
+        lace.insert(1, vec![SInt::make(1, 9, 2)]);
+        StoreCert::new(lace).expect("even/odd lanes certify");
+
+        // A genuine overlap is rejected, naming both blocks.
+        let mut bad = HashMap::new();
+        bad.insert(0i64, vec![SInt::range(0, 5)]);
+        bad.insert(1, vec![SInt::range(5, 9)]);
+        let err = StoreCert::new(bad).unwrap_err();
+        assert!(err.contains("overlapping store regions"), "{err}");
+
+        // Unbounded regions can never certify.
+        let mut top = HashMap::new();
+        top.insert(0i64, vec![SInt::Top]);
+        assert!(StoreCert::new(top).unwrap_err().contains("unbounded"));
+    }
+
+    /// The row partition of `outlined_doubling_body`: block `b` owns
+    /// `[row[b], row[b] + lens[b])`.
+    fn doubling_cert() -> StoreCert {
+        let lens = [5i64, 0, 3, 2];
+        let row = [0i64, 5, 5, 8];
+        let mut regions = HashMap::new();
+        for b in 0..4usize {
+            regions.insert(b as i64, vec![SInt::range(row[b], row[b] + lens[b] - 1)]);
+        }
+        StoreCert::new(regions).expect("rows are disjoint")
+    }
+
+    #[test]
+    fn run_blocks_proven_matches_unsafe_entry_point() {
+        let bp = compile(&outlined_doubling_body());
+        let input: Vec<f32> = (0..10).map(|x| x as f32 - 4.5).collect();
+        let mut shared = bp.shared();
+        shared.set_ibuffer("lens", vec![5, 0, 3, 2]);
+        shared.set_ibuffer("row", vec![0, 5, 5, 8]);
+        shared.set_fbuffer("A", input);
+        let pool = CpuPool::new(3);
+        let batches = vec![vec![0, 2], vec![1, 3]];
+        let mut reference = vec![0.0f32; 10];
+        let ref_stats = unsafe { shared.run_blocks(&pool, "b", "B", &mut reference, &batches) };
+        let mut proven = vec![0.0f32; 10];
+        let stats =
+            shared.run_blocks_proven(&pool, "b", "B", &mut proven, &batches, &doubling_cert());
+        assert_eq!(proven, reference);
+        assert_eq!(stats, ref_stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside block 3's certified regions")]
+    fn run_blocks_proven_rejects_uncertified_stores() {
+        let bp = compile(&outlined_doubling_body());
+        let mut shared = bp.shared();
+        shared.set_ibuffer("lens", vec![5, 0, 3, 2]);
+        shared.set_ibuffer("row", vec![0, 5, 5, 8]);
+        shared.set_fbuffer("A", vec![1.0; 10]);
+        // A certificate that certifies every block except 3: the store
+        // must panic before it lands, not race.
+        let mut regions = HashMap::new();
+        regions.insert(0i64, vec![SInt::range(0, 4)]);
+        regions.insert(2, vec![SInt::range(5, 7)]);
+        let cert = StoreCert::new(regions).unwrap();
+        let mut out = vec![0.0f32; 10];
+        shared.run_blocks_proven(&CpuPool::new(2), "b", "B", &mut out, &[vec![3]], &cert);
     }
 
     #[test]

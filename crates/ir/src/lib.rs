@@ -11,7 +11,9 @@
 //! transformation is checked against concrete evaluation ([`eval::Env`]).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
+pub mod affine;
 pub mod eval;
 pub mod expr;
 pub mod fexpr;
@@ -24,10 +26,11 @@ pub mod stmt;
 pub mod ufunc;
 pub mod visit;
 
+pub use affine::{linearize, LinForm, LinTerm};
 pub use eval::Env;
 pub use expr::{Cond, CondKind, Expr, ExprKind};
 pub use fexpr::{FExpr, FExprKind, FUnaryOp};
-pub use interval::{Interval, RangeMap};
+pub use interval::{Interval, RangeMap, SInt};
 pub use slots::StmtSlots;
 pub use solve::Solver;
 pub use stmt::{ForKind, Stmt, StoreKind};

@@ -11,6 +11,7 @@
 //! offloading inner tiles to MKL.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod elementwise;
 pub mod gemm;

@@ -8,6 +8,7 @@
 //! values, and the CSF-style scheme of past work for overhead comparisons.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod access;
 pub mod aux;

@@ -6,6 +6,7 @@
 //! sparse compiler must emit. Used by the Table 6 / §7.5 comparison.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod bcsr;
 pub mod csr;

@@ -949,6 +949,17 @@ impl EncoderSession<'_> {
             (Some(s), None) => s.run_serial(&inputs),
         }
     }
+
+    /// Per-stage safety proofs, in stage order: each parallel stage's
+    /// [`cora_core::verify::VerifyOutcome`] (in-bounds and
+    /// disjoint-store, verified at this layer's shape), `None` for
+    /// serial stages. Empty for an empty batch (no pipeline is built).
+    pub fn verify_outcomes(&self) -> Vec<(&str, Option<&cora_core::verify::VerifyOutcome>)> {
+        self.inner
+            .as_ref()
+            .map(|s| s.verify_outcomes())
+            .unwrap_or_default()
+    }
 }
 
 /// One-shot convenience mirroring [`crate::encoder::encoder_layer_ragged`]:

@@ -10,6 +10,7 @@
 //! triangular kernels run on the parallel compiled tier.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod autotune;
 pub mod compiled;

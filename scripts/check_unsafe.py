@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fail if `unsafe` appears outside the audited executor files.
+
+The workspace's safety story (README "Safety & verification") rests on
+unsafe code being confined to two audited sites in `cora-exec`: the VM's
+shared-output block dispatch (`crates/exec/src/vm.rs`) and the
+work-stealing runtime's parked-worker handoff
+(`crates/exec/src/runtime.rs`). Every other crate carries
+`#![forbid(unsafe_code)]`; this script is the belt to that suspender —
+it greps the whole tree so a stray `#[allow(unsafe_code)]` added
+anywhere else fails CI even before rustc sees it.
+
+Doc comments and line comments are stripped before matching, so prose
+*about* unsafety (safety comments, module docs) does not count.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# The only files allowed to contain the token `unsafe`.
+ALLOWED = {
+    Path("crates/exec/src/vm.rs"),
+    Path("crates/exec/src/runtime.rs"),
+}
+
+# Directories scanned for Rust sources.
+SCAN_DIRS = ["crates", "src", "tests", "examples"]
+
+UNSAFE_RE = re.compile(r"\bunsafe\b")
+
+
+def strip_comments(text: str) -> str:
+    """Remove line comments (incl. doc comments) and block comments."""
+    text = re.sub(r"//[^\n]*", "", text)
+    # Preserve line numbering when dropping block comments.
+    text = re.sub(
+        r"/\*.*?\*/", lambda m: "\n" * m.group(0).count("\n"), text, flags=re.DOTALL
+    )
+    return text
+
+
+def main() -> int:
+    offenders: list[str] = []
+    for d in SCAN_DIRS:
+        base = ROOT / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.rs")):
+            rel = path.relative_to(ROOT)
+            if "target" in rel.parts:
+                continue
+            if rel in ALLOWED:
+                continue
+            body = strip_comments(path.read_text(encoding="utf-8"))
+            for lineno, line in enumerate(body.splitlines(), start=1):
+                if UNSAFE_RE.search(line):
+                    offenders.append(f"{rel}:{lineno}: {line.strip()}")
+    if offenders:
+        print("`unsafe` outside the audited executor files:", file=sys.stderr)
+        for o in offenders:
+            print(f"  {o}", file=sys.stderr)
+        print(
+            "\nOnly crates/exec/src/vm.rs and crates/exec/src/runtime.rs may "
+            "contain unsafe code; see README 'Safety & verification'.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_unsafe: no unsafe outside {sorted(str(p) for p in ALLOWED)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

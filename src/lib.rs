@@ -37,6 +37,8 @@
 //! See `examples/` for end-to-end scenarios (transformer encoder, triangular
 //! matmul, load balancing) and `crates/bench` for the paper's experiments.
 
+#![forbid(unsafe_code)]
+
 pub use cora_core as core;
 pub use cora_datasets as datasets;
 pub use cora_exec as exec;

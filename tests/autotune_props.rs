@@ -188,6 +188,67 @@ proptest! {
 }
 
 #[test]
+fn every_autotune_candidate_verifies_under_both_remap_policies() {
+    // Safety sweep over the whole tuning space: every candidate of every
+    // stage space, additionally forced onto each remap policy, must
+    // build a layer whose session construction succeeds — session
+    // construction *is* the safety proof now (the verifier runs on
+    // every outlined stage) — and one forward pass must run clean under
+    // the per-element owning-block tracker (active in debug builds).
+    use cora::core::RemapPolicy;
+
+    let cfg = small_config();
+    let lens = [5usize, 0, 3, 1, 7];
+    let w = EncoderWeights::random(&cfg, 11);
+    let x = RaggedBatch::random(&lens, cfg.hidden, 12);
+    let pool = CpuPool::new(2);
+    let mut candidates = 0usize;
+    for space in encoder_stage_spaces(&cfg) {
+        for choice in space.choices() {
+            for remap in [
+                None,
+                Some(RemapPolicy::Identity),
+                Some(RemapPolicy::LongestFirst),
+            ] {
+                let mut c = choice.clone();
+                if remap.is_some() {
+                    c.remap = remap;
+                }
+                let mut chosen = std::collections::BTreeMap::new();
+                chosen.insert(space.stage().to_string(), c);
+                let layer = CompiledEncoderLayer::build_with_choices(
+                    &cfg,
+                    &lens,
+                    MathMode::Strict,
+                    &chosen,
+                )
+                .unwrap_or_else(|e| {
+                    panic!("stage {} candidate fails to build: {e:?}", space.stage())
+                });
+                let mut session = layer.session().unwrap_or_else(|e| {
+                    panic!(
+                        "stage {} candidate fails verification (remap {remap:?}): {e}",
+                        space.stage()
+                    )
+                });
+                for (label, outcome) in session.verify_outcomes() {
+                    if let Some(o) = outcome {
+                        assert!(o.n_blocks > 0, "stage `{label}` proof covers no blocks");
+                    }
+                }
+                // One tracked forward pass: static proof vs runtime oracle.
+                session.forward(&pool, &w, &x);
+                candidates += 1;
+            }
+        }
+    }
+    assert!(
+        candidates >= 42,
+        "the tuning space shrank unexpectedly: only {candidates} candidates swept"
+    );
+}
+
+#[test]
 fn seeded_deterministic_runs_write_byte_identical_caches() {
     let cfg = small_config();
     let lens = [5usize, 0, 3, 1, 7];

@@ -1,0 +1,372 @@
+//! Adversarial and differential properties of the safety verifier.
+//!
+//! The old outlining screen was syntactic: a store was accepted if its
+//! index *mentioned* a block-derived variable. That predicate has false
+//! negatives — indices that mention the block variable yet collide
+//! across blocks. Each adversarial program below passes the syntactic
+//! screen and must be rejected by the verifier (symbolically at outline
+//! time for shape-independent violations, concretely at session time
+//! otherwise), with a diagnostic naming the offending store.
+//!
+//! The differential half is the converse obligation: every program the
+//! verifier *accepts* must also satisfy the dynamic per-element
+//! owning-block tracker (active in debug builds), i.e. the static proof
+//! and the runtime oracle must never disagree in either direction.
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use cora::core::prelude::*;
+use cora::core::verify::{verify_outlined, VerifyCtx, VerifyError};
+use cora::ir::{Env, ForKind, Stmt};
+use cora::ragged::{Dim, RaggedLayout};
+use cora::transformer::{CompiledEncoderLayer, EncoderConfig};
+
+// ---------------------------------------------------------------------
+// Adversarial: pass the syntactic screen, rejected by the verifier
+// ---------------------------------------------------------------------
+
+/// Outlines a hand-built block program, asserting the *syntactic* part
+/// of the pipeline accepted it (any error must come from the verifier,
+/// not the taint screen), then runs the concrete verifier.
+#[allow(clippy::result_large_err)] // witness-rich error, cold path
+fn outline_then_verify(
+    stmt: &Stmt,
+    env: &Env,
+    n_blocks: usize,
+    output_size: usize,
+) -> Result<cora::core::verify::VerifyOutcome, VerifyError> {
+    let o = outline(stmt, "out")
+        .expect("the syntactic screen must accept this program")
+        .expect("a block axis exists");
+    let ctx = VerifyCtx {
+        env,
+        scalars: &[],
+        output: "out",
+        output_size,
+    };
+    verify_outlined(&o.body, &o.block_var, 0, n_blocks, &ctx)
+}
+
+#[test]
+fn cancelled_coefficient_is_rejected_symbolically() {
+    // out[b - b + i]: mentions `b`, so the taint screen passes; the
+    // linear form has block coefficient 0, so every block writes
+    // out[0..4]. Rejected at outline time, for every shape.
+    let s = Stmt::loop_kind(
+        "b",
+        Expr::int(3),
+        ForKind::GpuBlockX,
+        Stmt::loop_(
+            "i",
+            Expr::int(4),
+            Stmt::store(
+                "out",
+                Expr::var("b") - Expr::var("b") + Expr::var("i"),
+                FExpr::constant(1.0),
+            ),
+        ),
+    );
+    let msg = outline(&s, "out").unwrap_err().to_string();
+    assert!(msg.contains("coefficient 0"), "symbolic rejection: {msg}");
+    assert!(msg.contains("out["), "cites the store: {msg}");
+}
+
+#[test]
+fn multiplied_out_coefficient_is_rejected_symbolically() {
+    // out[b*0 + i]: same cancellation through a multiplication.
+    let s = Stmt::loop_kind(
+        "b",
+        Expr::int(3),
+        ForKind::GpuBlockX,
+        Stmt::loop_(
+            "i",
+            Expr::int(4),
+            #[allow(clippy::erasing_op)] // the cancellation is the point
+            Stmt::store(
+                "out",
+                Expr::var("b") * 0 + Expr::var("i"),
+                FExpr::constant(1.0),
+            ),
+        ),
+    );
+    let msg = outline(&s, "out").unwrap_err().to_string();
+    assert!(msg.contains("coefficient 0"), "symbolic rejection: {msg}");
+}
+
+#[test]
+fn modulo_collision_is_rejected_concretely() {
+    // out[b mod 2] with 4 blocks: blocks 0 and 2 both write out[0].
+    // Symbolically opaque (the modulo mentions `b`), so the screen and
+    // the linear-form pass both accept; the concrete interpretation
+    // catches the collision with block witnesses.
+    let s = Stmt::loop_kind(
+        "b",
+        Expr::int(4),
+        ForKind::GpuBlockX,
+        Stmt::store(
+            "out",
+            Expr::var("b").floor_mod(Expr::int(2)),
+            FExpr::constant(1.0),
+        ),
+    );
+    let err = outline_then_verify(&s, &Env::new(), 4, 4).unwrap_err();
+    match &err {
+        VerifyError::StoreOverlap {
+            block_a, block_b, ..
+        } => assert_eq!((*block_a, *block_b), (0, 2), "witness blocks"),
+        other => panic!("expected StoreOverlap, got {other:?}"),
+    }
+    assert!(err.to_string().contains("same output elements"), "{err}");
+}
+
+#[test]
+fn aliasing_indirection_table_is_rejected_concretely() {
+    // out[map[b]] where the table aliases: map = [0, 1, 0, 2]. The index
+    // depends on `b` through a load — exactly the shape of a legitimate
+    // row-offset table — but *this* table's contents collide. Only
+    // grounding the load in the built prelude data can tell the two
+    // apart.
+    let mut env = Env::new();
+    env.set_buffer("map", vec![0i64, 1, 0, 2]);
+    let s = Stmt::loop_kind(
+        "b",
+        Expr::int(4),
+        ForKind::GpuBlockX,
+        Stmt::store(
+            "out",
+            Expr::load("map", Expr::var("b")),
+            FExpr::constant(1.0),
+        ),
+    );
+    let err = outline_then_verify(&s, &env, 4, 4).unwrap_err();
+    match &err {
+        VerifyError::StoreOverlap {
+            block_a, block_b, ..
+        } => assert_eq!((*block_a, *block_b), (0, 2)),
+        other => panic!("expected StoreOverlap, got {other:?}"),
+    }
+}
+
+#[test]
+fn coarsened_block_quotient_is_rejected_concretely() {
+    // out[(b div 2)*4 + i]: blocks 0 and 1 both own row 0. The quotient
+    // mentions `b`, so the screen passes; intervals catch the overlap.
+    let s = Stmt::loop_kind(
+        "b",
+        Expr::int(4),
+        ForKind::GpuBlockX,
+        Stmt::loop_(
+            "i",
+            Expr::int(4),
+            Stmt::store(
+                "out",
+                Expr::var("b").floor_div(Expr::int(2)) * 4 + Expr::var("i"),
+                FExpr::constant(1.0),
+            ),
+        ),
+    );
+    let err = outline_then_verify(&s, &Env::new(), 4, 8).unwrap_err();
+    assert!(matches!(err, VerifyError::StoreOverlap { .. }), "{err}");
+}
+
+#[test]
+fn stride_narrower_than_row_width_is_rejected_concretely() {
+    // out[b*3 + i] with rows of width 5: block b writes [3b, 3b+4],
+    // which overlaps block b+1's [3b+3, ...]. Affine, block-dependent,
+    // in-bounds — wrong purely in the stride-vs-width arithmetic.
+    let s = Stmt::loop_kind(
+        "b",
+        Expr::int(3),
+        ForKind::GpuBlockX,
+        Stmt::loop_(
+            "i",
+            Expr::int(5),
+            Stmt::store(
+                "out",
+                Expr::var("b") * 3 + Expr::var("i"),
+                FExpr::constant(1.0),
+            ),
+        ),
+    );
+    let err = outline_then_verify(&s, &Env::new(), 3, 11).unwrap_err();
+    match &err {
+        VerifyError::StoreOverlap {
+            block_a,
+            block_b,
+            region_a,
+            region_b,
+            ..
+        } => {
+            assert_eq!((*block_a, *block_b), (0, 1));
+            let msg = err.to_string();
+            assert!(
+                msg.contains(&region_a.to_string()) && msg.contains(&region_b.to_string()),
+                "witness regions shown: {msg}"
+            );
+        }
+        other => panic!("expected StoreOverlap, got {other:?}"),
+    }
+}
+
+#[test]
+fn escaping_offset_table_is_rejected_as_out_of_bounds() {
+    // A row-offset program whose table is corrupt: the last row starts
+    // at 7 with length 2 but the output has 8 elements. Disjoint, yet
+    // out of bounds — the other theorem.
+    let mut env = Env::new();
+    env.set_buffer("row", vec![0i64, 3, 7]);
+    env.set_buffer("lens", vec![3i64, 4, 2]);
+    let idx = Expr::load("row", Expr::var("b")) + Expr::var("i");
+    let s = Stmt::loop_kind(
+        "b",
+        Expr::int(3),
+        ForKind::GpuBlockX,
+        Stmt::loop_(
+            "i",
+            Expr::load("lens", Expr::var("b")),
+            Stmt::store("out", idx, FExpr::constant(1.0)),
+        ),
+    );
+    let err = outline_then_verify(&s, &env, 3, 8).unwrap_err();
+    match &err {
+        VerifyError::OutOfBounds { buffer, size, .. } => {
+            assert_eq!(buffer, "out");
+            assert_eq!(*size, 8);
+        }
+        other => panic!("expected OutOfBounds, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Differential: verifier-accepted programs never trip the tracker
+// ---------------------------------------------------------------------
+
+fn ragged_2d(name: &str, lens: &[usize], pad: usize) -> TensorRef {
+    let b = Dim::new("batch");
+    let l = Dim::new("len");
+    TensorRef::new(
+        name,
+        RaggedLayout::builder()
+            .cdim(b.clone(), lens.len())
+            .vdim(l, &b, lens.to_vec())
+            .pad(pad)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn make_op(lens: &[usize], pad: usize) -> Operator {
+    let a = ragged_2d("A", lens, pad);
+    let out = ragged_2d("B", lens, pad);
+    let a2 = a.clone();
+    let body: BodyFn = Rc::new(move |args| a2.at(args) * 2.0 + 1.0);
+    Operator::new(
+        "verifydiff",
+        vec![
+            LoopSpec::fixed("o", lens.len()),
+            LoopSpec::variable("i", 0, lens.to_vec()),
+        ],
+        vec![],
+        out,
+        vec![a],
+        body,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Static/dynamic agreement: for random ragged shapes and block
+    /// schedules the verifier accepts (every session construction below
+    /// runs the proof), parallel execution under the per-element
+    /// owning-block tracker and the store-certificate checks — both
+    /// active in debug builds — completes with serial-identical output.
+    /// A tracker or certificate panic here means the static proof and
+    /// the runtime oracle disagree.
+    #[test]
+    fn verified_programs_never_trip_the_dynamic_tracker(
+        lens in prop::collection::vec(0usize..12, 1..7),
+        pad in 1usize..5,
+        sched in 0usize..4,
+    ) {
+        let mut op = make_op(&lens, pad);
+        match sched {
+            0 => { op.schedule_mut().bind("o", ForKind::GpuBlockX); }
+            1 => {
+                op.schedule_mut()
+                    .bind("o", ForKind::GpuBlockX)
+                    .thread_remap(RemapPolicy::LongestFirst);
+            }
+            2 => {
+                op.schedule_mut()
+                    .pad_loop("i", pad)
+                    .split("i", pad)
+                    .bind("o", ForKind::GpuBlockX);
+            }
+            _ => {
+                op.schedule_mut()
+                    .fuse_loops("o", "i")
+                    .bind("o_i_f", ForKind::GpuBlockX);
+            }
+        }
+        let p = lower(&op).unwrap();
+        let compiled = p.compile();
+        let mut session = compiled
+            .parallel_session()
+            .expect("verifier accepts lowered schedules")
+            .expect("block axis outlined");
+
+        // The proof artifact is well-formed: every certified block's
+        // regions stay inside the output.
+        let outcome = session.verify_outcome();
+        let n_rows: usize = lens.len();
+        prop_assert!(outcome.n_blocks <= n_rows.max(lens.iter().map(|&l| l.max(1)).sum()));
+        for b in 0..outcome.n_blocks as i64 {
+            for r in outcome.cert.regions_for(b) {
+                let (lo, hi) = r.hull().expect("certified regions are bounded");
+                prop_assert!(lo >= 0 && hi < p.output_size() as i64);
+            }
+        }
+
+        let input: Vec<f32> = (0..p.output_size())
+            .map(|x| x as f32 * 0.25 - 3.0)
+            .collect();
+        let serial = compiled.run(&[("A", input.clone())]);
+        let pool = CpuPool::new(4);
+        let par = session.run(&pool, vec![("A", input)]);
+        let sb: Vec<u32> = serial.output.iter().map(|v| v.to_bits()).collect();
+        let pb: Vec<u32> = par.output.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(sb, pb, "verified parallel run diverges from serial");
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: every encoder stage carries a proof
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_encoder_stage_verifies() {
+    let cfg = EncoderConfig::scaled(8);
+    let lens = vec![5usize, 0, 3, 1, 7];
+    let layer = CompiledEncoderLayer::build(&cfg, &lens).expect("builds");
+    let session = layer.session().expect("verifies");
+    let outcomes = session.verify_outcomes();
+    assert!(!outcomes.is_empty(), "encoder pipeline has stages");
+    let mut proven = 0usize;
+    for (label, outcome) in &outcomes {
+        if let Some(o) = outcome {
+            proven += 1;
+            assert!(o.n_blocks > 0, "stage `{label}` proof covers no blocks");
+            assert!(
+                o.store_sites > 0,
+                "stage `{label}` proof records no store sites"
+            );
+        }
+    }
+    assert!(
+        proven > 0,
+        "at least one encoder stage runs on the parallel tier"
+    );
+}
