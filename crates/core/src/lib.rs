@@ -60,10 +60,11 @@ pub mod prelude {
     pub use crate::opsplit::{hfuse_sim, split_operation};
     pub use crate::outline::{outline, BlockOutline};
     pub use crate::pipeline::{
-        BufferPlan, CompiledPipeline, PipelineBuilder, PipelineError, PipelineRun, PipelineSession,
+        BufferPlan, CompiledPipeline, PipelineBuilder, PipelineError, PipelinePrep, PipelineRun,
+        PipelineSession,
     };
     pub use crate::prelude_gen::{FusionSpec, PreludeData, PreludeSpec};
-    pub use crate::program::{CompiledProgram, ParallelSession, Program, RunResult};
+    pub use crate::program::{CompiledProgram, ParallelPrep, ParallelSession, Program, RunResult};
     pub use crate::schedule::{Directive, RemapPolicy, Schedule, ScheduleError};
     pub use crate::verify::{ProofKind, VerifyError, VerifyOutcome};
     pub use cora_exec::{CpuPool, MathMode};

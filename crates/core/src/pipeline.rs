@@ -479,23 +479,55 @@ impl CompiledPipeline {
     /// allocated — everything shape-dependent, done once. Repeated
     /// [`PipelineSession::run`]s then only bind the external inputs.
     ///
+    /// The session owns its prep work. To keep the prep (safety proofs,
+    /// preludes, arena) alive *across* sessions — e.g. in a session pool
+    /// that checks sessions out per request — use
+    /// [`CompiledPipeline::prepare`] + [`CompiledPipeline::session_with`]
+    /// instead.
+    ///
     /// # Errors
     ///
     /// Returns [`ScheduleError::BlockAxisNotOutlinable`] when a stage
     /// binds a block axis the outliner cannot hoist (stages with *no*
     /// block axis are legal — they run serially in both modes).
     pub fn session(&self) -> Result<PipelineSession<'_>, ScheduleError> {
+        let prep = self.prepare()?;
+        let mut stages = Vec::with_capacity(self.stages.len());
+        for (spec, sp) in self.stages.iter().zip(prep.stages) {
+            let serial = spec.program.serial_shared_with(&sp.serial_prelude);
+            let par = sp.par.map(|p| spec.program.parallel_session_owned(p));
+            stages.push(PreparedStage { spec, serial, par });
+        }
+        Ok(PipelineSession {
+            pipeline: self,
+            stages,
+            slots: SlotArena::Owned(prep.slots),
+        })
+    }
+
+    /// Computes the expensive, fully *owned* prep work of a session —
+    /// per-stage preludes, parallel dispatch orders, the safety-verifier
+    /// proofs and the arena — without borrowing the pipeline. A
+    /// [`PipelinePrep`] can be stored beside its pipeline (in a cache or
+    /// session pool) and turned into a live session on demand with
+    /// [`CompiledPipeline::session_with`], which skips every proof and
+    /// allocates nothing beyond the per-stage slot tables.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledPipeline::session`].
+    pub fn prepare(&self) -> Result<PipelinePrep, ScheduleError> {
         let mut stages = Vec::with_capacity(self.stages.len());
         for spec in &self.stages {
-            let (serial, _) = spec.program.serial_shared();
-            let par = spec.program.parallel_session()?;
-            if let Some(session) = &par {
+            let serial_prelude = spec.program.build_prelude();
+            let par = spec.program.parallel_prep()?;
+            if let Some(prep) = &par {
                 // Cross-check the verifier's proven access hulls against
                 // the planner's buffer sizes: every input the stage reads
                 // must fit inside the arena slot it is wired to. Both
                 // derive from the same lowering, so a mismatch is a
                 // planner or verifier bug, not a user error.
-                let outcome = session.verify_outcome();
+                let outcome = prep.verify_outcome();
                 for (name, buf) in &spec.inputs {
                     if let Some(need) = outcome.required_input_len(name) {
                         let planned = self.decls[*buf as usize].size;
@@ -508,10 +540,12 @@ impl CompiledPipeline {
                     }
                 }
             }
-            stages.push(PreparedStage { spec, serial, par });
+            stages.push(StagePrep {
+                serial_prelude,
+                par,
+            });
         }
-        Ok(PipelineSession {
-            pipeline: self,
+        Ok(PipelinePrep {
             stages,
             slots: self
                 .plan
@@ -521,6 +555,69 @@ impl CompiledPipeline {
                 .collect(),
         })
     }
+
+    /// Mints a [`PipelineSession`] from a previously computed
+    /// [`PipelinePrep`]: no proofs re-run, no arena allocation — the
+    /// prep's arena buffers are borrowed and literally reused across
+    /// sessions. The prep **must** come from this pipeline's own
+    /// [`CompiledPipeline::prepare`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prep's stage count does not match this pipeline.
+    pub fn session_with<'p>(&'p self, prep: &'p mut PipelinePrep) -> PipelineSession<'p> {
+        assert_eq!(
+            prep.stages.len(),
+            self.stages.len(),
+            "prep was built for a different pipeline ({} stages vs {})",
+            prep.stages.len(),
+            self.stages.len()
+        );
+        let PipelinePrep { stages: sp, slots } = prep;
+        let stages = self
+            .stages
+            .iter()
+            .zip(sp.iter())
+            .map(|(spec, sp)| PreparedStage {
+                spec,
+                serial: spec.program.serial_shared_with(&sp.serial_prelude),
+                par: sp
+                    .par
+                    .as_ref()
+                    .map(|p| spec.program.parallel_session_with(p)),
+            })
+            .collect();
+        PipelineSession {
+            pipeline: self,
+            stages,
+            slots: SlotArena::Borrowed(slots),
+        }
+    }
+}
+
+/// The owned prep work of one pipeline session: per-stage preludes and
+/// parallel preps (dispatch order + safety proof) plus the arena
+/// buffers. Borrows nothing; create with [`CompiledPipeline::prepare`],
+/// use with [`CompiledPipeline::session_with`].
+#[derive(Debug, Clone)]
+pub struct PipelinePrep {
+    stages: Vec<StagePrep>,
+    /// Arena: one buffer per plan slot, reused across sessions.
+    slots: Vec<Vec<f32>>,
+}
+
+impl PipelinePrep {
+    /// Total arena size in elements (allocated once, reused per session).
+    pub fn arena_elems(&self) -> usize {
+        self.slots.iter().map(Vec::len).sum()
+    }
+}
+
+/// Owned prep of one stage.
+#[derive(Debug, Clone)]
+struct StagePrep {
+    serial_prelude: crate::prelude_gen::PreludeData,
+    par: Option<crate::program::ParallelPrep>,
 }
 
 /// One stage with its shape-invariant bindings resolved.
@@ -569,8 +666,26 @@ impl PipelineRun {
 pub struct PipelineSession<'p> {
     pipeline: &'p CompiledPipeline,
     stages: Vec<PreparedStage<'p>>,
-    /// Arena: one buffer per plan slot, allocated once.
-    slots: Vec<Vec<f32>>,
+    /// Arena: one buffer per plan slot — owned on the
+    /// [`CompiledPipeline::session`] path, borrowed from a
+    /// [`PipelinePrep`] on the [`CompiledPipeline::session_with`] path.
+    slots: SlotArena<'p>,
+}
+
+/// Owned-or-borrowed arena storage.
+#[derive(Debug)]
+enum SlotArena<'p> {
+    Owned(Vec<Vec<f32>>),
+    Borrowed(&'p mut Vec<Vec<f32>>),
+}
+
+impl SlotArena<'_> {
+    fn get(&mut self) -> &mut Vec<Vec<f32>> {
+        match self {
+            SlotArena::Owned(v) => v,
+            SlotArena::Borrowed(v) => v,
+        }
+    }
 }
 
 impl PipelineSession<'_> {
@@ -642,6 +757,7 @@ impl PipelineSession<'_> {
         }
 
         let mut stage_stats = Vec::with_capacity(self.stages.len());
+        let slots = self.slots.get();
         for st in self.stages.iter_mut() {
             let spec = st.spec;
             let out_size = pl.decls[spec.output as usize].size;
@@ -652,7 +768,7 @@ impl PipelineSession<'_> {
             // Take the output's slot out of the arena (O(1), no
             // allocation) so the remaining slots can be borrowed as
             // inputs; the plan guarantees no live input shares it.
-            let mut out = mem::take(&mut self.slots[out_slot]);
+            let mut out = mem::take(&mut slots[out_slot]);
             let ins: Vec<(&str, &[f32])> = spec
                 .inputs
                 .iter()
@@ -666,7 +782,7 @@ impl PipelineSession<'_> {
                                 "buffer plan aliased a live input of stage `{}`",
                                 spec.label
                             );
-                            &self.slots[slot][..pl.decls[*bid as usize].size]
+                            &slots[slot][..pl.decls[*bid as usize].size]
                         }
                     };
                     (pname.as_str(), slice)
@@ -684,7 +800,7 @@ impl PipelineSession<'_> {
                 }
             };
             drop(ins);
-            self.slots[out_slot] = out;
+            slots[out_slot] = out;
             stage_stats.push(StageStats {
                 label: spec.label.clone(),
                 stats,
@@ -693,7 +809,7 @@ impl PipelineSession<'_> {
 
         let out_slot = pl.plan.slot_of(pl.output).expect("output is planned") as usize;
         PipelineRun {
-            output: self.slots[out_slot][..pl.decls[pl.output as usize].size].to_vec(),
+            output: slots[out_slot][..pl.decls[pl.output as usize].size].to_vec(),
             stages: stage_stats,
         }
     }

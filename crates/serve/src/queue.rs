@@ -1,0 +1,178 @@
+//! The admission queue: validated FIFO of waiting requests.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+use crate::request::Request;
+
+/// Why a request was refused at admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The id was already admitted (ever — completed requests count).
+    DuplicateId(u64),
+    /// `data.len() != len * hidden` for the server's hidden size.
+    ShapeMismatch {
+        /// Offending request id.
+        id: u64,
+        /// Expected float count (`len * hidden`).
+        expected: usize,
+        /// Supplied float count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::DuplicateId(id) => write!(f, "request id {id} was already admitted"),
+            AdmitError::ShapeMismatch { id, expected, got } => {
+                write!(f, "request {id}: expected {expected} floats, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// FIFO of admitted, not-yet-dispatched requests. Admission validates
+/// shape and id uniqueness; the [`crate::policy::BatchPolicy`] removes
+/// requests when packing microbatches.
+#[derive(Debug)]
+pub struct RequestQueue {
+    hidden: usize,
+    waiting: VecDeque<Request>,
+    /// Every id ever admitted, for duplicate rejection.
+    seen: BTreeSet<u64>,
+    /// Σ len over waiting requests, maintained incrementally.
+    rows: usize,
+}
+
+impl RequestQueue {
+    /// An empty queue for requests of `hidden` floats per row.
+    pub fn new(hidden: usize) -> RequestQueue {
+        RequestQueue {
+            hidden,
+            waiting: VecDeque::new(),
+            seen: BTreeSet::new(),
+            rows: 0,
+        }
+    }
+
+    /// Admits a request at the back of the queue.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::DuplicateId`] for a reused id (including ids that
+    /// already completed), [`AdmitError::ShapeMismatch`] when the data
+    /// length is not `len * hidden`.
+    pub fn admit(&mut self, req: Request) -> Result<(), AdmitError> {
+        let expected = req.len * self.hidden;
+        if req.data.len() != expected {
+            return Err(AdmitError::ShapeMismatch {
+                id: req.id,
+                expected,
+                got: req.data.len(),
+            });
+        }
+        if !self.seen.insert(req.id) {
+            return Err(AdmitError::DuplicateId(req.id));
+        }
+        self.rows += req.len;
+        self.waiting.push_back(req);
+        Ok(())
+    }
+
+    /// Waiting request count.
+    pub fn len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// True when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.waiting.is_empty()
+    }
+
+    /// Σ len over waiting requests.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Arrival time of the front (oldest) request.
+    pub fn oldest_arrival_ns(&self) -> Option<u64> {
+        self.waiting.front().map(|r| r.arrival_ns)
+    }
+
+    /// Waiting requests, front (oldest) first.
+    pub fn iter(&self) -> impl Iterator<Item = &Request> {
+        self.waiting.iter()
+    }
+
+    /// Removes and returns the requests at `indices` (ascending, as
+    /// produced by the policy), preserving their queue order.
+    pub(crate) fn take(&mut self, indices: &[usize]) -> Vec<Request> {
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        let mut out = Vec::with_capacity(indices.len());
+        // Walk back-to-front so earlier indices stay valid.
+        for &i in indices.iter().rev() {
+            let r = self.waiting.remove(i).expect("policy index in range");
+            self.rows -= r.len;
+            out.push(r);
+        }
+        out.reverse();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, len: usize, hidden: usize, at: u64) -> Request {
+        Request::new(id, len, vec![0.0; len * hidden], at)
+    }
+
+    #[test]
+    fn admission_validates_and_tracks_rows() {
+        let mut q = RequestQueue::new(4);
+        q.admit(req(1, 3, 4, 10)).unwrap();
+        q.admit(req(2, 0, 4, 11)).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.rows(), 3);
+        assert_eq!(q.oldest_arrival_ns(), Some(10));
+
+        assert_eq!(
+            q.admit(req(1, 2, 4, 12)).unwrap_err(),
+            AdmitError::DuplicateId(1)
+        );
+        assert_eq!(
+            q.admit(Request::new(3, 2, vec![0.0; 5], 12)).unwrap_err(),
+            AdmitError::ShapeMismatch {
+                id: 3,
+                expected: 8,
+                got: 5
+            }
+        );
+
+        let taken = q.take(&[0, 1]);
+        assert_eq!(taken.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(q.is_empty());
+        assert_eq!(q.rows(), 0);
+        // Ids stay burned after dispatch.
+        assert_eq!(
+            q.admit(req(2, 1, 4, 20)).unwrap_err(),
+            AdmitError::DuplicateId(2)
+        );
+    }
+
+    #[test]
+    fn take_preserves_queue_order_for_sparse_indices() {
+        let mut q = RequestQueue::new(1);
+        for id in 0..5 {
+            q.admit(req(id, 1, 1, id)).unwrap();
+        }
+        let taken = q.take(&[1, 3]);
+        assert_eq!(taken.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(q.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 2, 4]);
+        assert_eq!(q.rows(), 3);
+    }
+}

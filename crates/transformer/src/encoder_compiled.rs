@@ -855,6 +855,44 @@ impl CompiledEncoderLayer {
         Ok(EncoderSession { layer: self, inner })
     }
 
+    /// Computes the owned prep work of a session — per-stage preludes,
+    /// safety proofs, dispatch orders and the arena — without borrowing
+    /// the layer. Store the [`EncoderPrep`] beside the layer (e.g. in a
+    /// serving session pool) and mint sessions per request with
+    /// [`CompiledEncoderLayer::session_with`]: arena and preludes are
+    /// then literally reused across requests and nothing expensive is
+    /// recomputed.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledEncoderLayer::session`].
+    pub fn prepare(&self) -> Result<EncoderPrep, ScheduleError> {
+        Ok(EncoderPrep {
+            inner: match &self.pipeline {
+                Some(p) => Some(p.prepare()?),
+                None => None,
+            },
+        })
+    }
+
+    /// Mints a session from a previously computed [`EncoderPrep`]
+    /// (which **must** come from this layer's own
+    /// [`CompiledEncoderLayer::prepare`]): no proofs re-run, no arena
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prep was built for a layer of a different stage
+    /// structure.
+    pub fn session_with<'p>(&'p self, prep: &'p mut EncoderPrep) -> EncoderSession<'p> {
+        let inner = match (&self.pipeline, &mut prep.inner) {
+            (Some(p), Some(pr)) => Some(p.session_with(pr)),
+            (None, _) => None,
+            (Some(_), None) => panic!("prep was built for an empty batch; layer is not"),
+        };
+        EncoderSession { layer: self, inner }
+    }
+
     /// One-shot convenience: build a session and run once on `pool`.
     /// Multi-layer callers should hold a session instead.
     ///
@@ -867,6 +905,15 @@ impl CompiledEncoderLayer {
             .expect("built-in schedules outline")
             .forward(pool, w, x)
     }
+}
+
+/// The owned prep work of one [`CompiledEncoderLayer`] session:
+/// everything [`CompiledEncoderLayer::prepare`] resolves, borrowing
+/// nothing from the layer — storable beside it in caches and pools.
+/// `None` inner prep corresponds to an empty batch (no pipeline).
+#[derive(Debug, Clone)]
+pub struct EncoderPrep {
+    inner: Option<cora_core::pipeline::PipelinePrep>,
 }
 
 /// A prepared execution of one [`CompiledEncoderLayer`]: everything

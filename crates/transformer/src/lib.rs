@@ -29,6 +29,8 @@ pub mod weights;
 pub use autotune::{EncoderAutotuner, TuneOutcome};
 pub use config::EncoderConfig;
 pub use encoder::{encoder_layer_padded, encoder_layer_ragged, RaggedBatch};
-pub use encoder_compiled::{encoder_layer_compiled, CompiledEncoderLayer, EncoderSession};
+pub use encoder_compiled::{
+    encoder_layer_compiled, CompiledEncoderLayer, EncoderPrep, EncoderSession,
+};
 pub use gpu::{EncoderImpl, EncoderSim};
 pub use weights::EncoderWeights;

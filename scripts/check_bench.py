@@ -74,7 +74,30 @@ def check_report(report, where, seed=None):
             speedup = v.get("speedup")
             if not isinstance(speedup, (int, float)) or speedup <= 0:
                 fail(f"{where}: {mname}/{vname}: bad speedup {speedup!r}")
+    if name == "serve_trace":
+        check_serve_report(report, where)
     return name
+
+
+def check_serve_report(report, where):
+    """Serving reports carry a latency percentile pair and a throughput
+    measurement; p99 must dominate p50 (both in ns)."""
+    by_name = {m["name"]: m for m in report["measurements"]}
+    latency = by_name.get("latency")
+    if latency is None:
+        fail(f"{where}: serve report missing 'latency' measurement")
+    pct = {v["name"]: v["ns_per_op"] for v in latency["variants"]}
+    for p in ("p50", "p99"):
+        if p not in pct:
+            fail(f"{where}: latency measurement missing {p!r} variant")
+    if pct["p99"] < pct["p50"]:
+        fail(f"{where}: latency p99 {pct['p99']} < p50 {pct['p50']}")
+    if "throughput" not in by_name:
+        fail(f"{where}: serve report missing 'throughput' measurement")
+    params = report.get("params", {})
+    for key in ("mode", "requests", "batches"):
+        if key not in params:
+            fail(f"{where}: serve report missing param {key!r}")
 
 
 def check_reports_dir(directory, seed):

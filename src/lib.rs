@@ -45,5 +45,6 @@ pub use cora_exec as exec;
 pub use cora_ir as ir;
 pub use cora_kernels as kernels;
 pub use cora_ragged as ragged;
+pub use cora_serve as serve;
 pub use cora_sparse as sparse;
 pub use cora_transformer as transformer;
